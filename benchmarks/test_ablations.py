@@ -1,0 +1,122 @@
+"""E8 — Ablations of the design choices Section III-A motivates."""
+
+from conftest import run_once
+
+from repro.harness.ablations import (
+    run_ablation_greedy,
+    run_ablation_pstore,
+    run_ablation_queue_order,
+    run_ablation_steal_end,
+    run_ablation_steal_latency,
+)
+
+
+def test_ablation_queue_order(benchmark, quick):
+    result = run_once(
+        benchmark,
+        lambda: run_ablation_queue_order(
+            benchmarks=("quicksort", "cilksort"), quick=quick, num_pes=1
+        ),
+    )
+    print()
+    print(result.render())
+    # FIFO (breadth-first) explodes the queue footprint on divide and
+    # conquer benchmarks — the bound behind the paper's LIFO choice.
+    assert result.data["quicksort"]["queue_growth"] > 2.0
+    assert result.data["cilksort"]["queue_growth"] > 2.0
+
+
+def test_ablation_steal_end(benchmark, quick):
+    # fib's tiny leaves make the head-vs-tail contrast starkest: a tail
+    # steal takes one leaf where a head steal takes a whole subtree.
+    result = run_once(
+        benchmark,
+        lambda: run_ablation_steal_end(benchmarks=("fib", "uts"),
+                                       quick=quick),
+    )
+    print()
+    print(result.render())
+    # Tail steals take tiny leaf tasks, so thieves come back for more
+    # and the run slows; both effects are strongest at full size.
+    threshold = 1.5 if not quick else 1.1
+    assert result.data["fib"]["steal_ratio"] > threshold
+
+
+def test_ablation_greedy(benchmark, quick):
+    result = run_once(benchmark, lambda: run_ablation_greedy(quick=quick))
+    print()
+    print(result.render())
+    for entry in result.data.values():
+        assert entry["slowdown"] > 0.5  # sanity: comparable magnitude
+
+
+def test_ablation_pstore(benchmark, quick):
+    result = run_once(
+        benchmark,
+        lambda: run_ablation_pstore(benchmarks=("uts", "cilksort"),
+                                    quick=quick),
+    )
+    print()
+    print(result.render())
+    # Centralising the P-Store pushes argument traffic across the network.
+    assert result.data["uts"]["remote_growth"] > 1.5
+
+
+def test_ablation_steal_latency(benchmark, quick):
+    result = run_once(
+        benchmark, lambda: run_ablation_steal_latency("uts", quick=quick)
+    )
+    print()
+    print(result.render())
+    slowdowns = [d["slowdown"] for d in result.data.values()]
+    # Pushing steal latency toward software-like costs degrades uts —
+    # the reason hardware work stealing matters (Section V-D).
+    assert slowdowns[-1] > slowdowns[0]
+    assert slowdowns[-1] > 1.2
+
+
+def test_ablation_worker_sharing(benchmark, quick):
+    from repro.harness.ablations import run_ablation_worker_sharing
+
+    result = run_once(
+        benchmark, lambda: run_ablation_worker_sharing(quick=quick)
+    )
+    print()
+    print(result.render())
+    for name, entry in result.data.items():
+        # Sharing never speeds things up, and always saves logic.
+        assert entry["slowdown"] >= 0.99
+        assert entry["lut_saving"] > 0.0
+    # The benchmark with the biggest worker saves the most.
+    assert (result.data["cilksort"]["lut_saving"]
+            > result.data["fib"]["lut_saving"])
+
+
+def test_memory_styles(benchmark, quick):
+    from repro.harness.memstyles import run_memstyles
+
+    result = run_once(benchmark, lambda: run_memstyles(quick=quick))
+    print()
+    print(result.render())
+    data = result.data
+    # Coherent caches stay close to perfect memory across regimes.
+    for name in data:
+        assert data[name]["coherent"] < 3.0
+    # DMA is fine for compute-bound, catastrophic for irregular gathers.
+    assert data["queens"]["dma"] < 1.2
+    assert data["spmvcrs"]["dma"] > 5.0
+    # The stream/ACP path is the most constrained for streaming kernels.
+    assert data["stencil2d"]["stream"] > data["stencil2d"]["coherent"]
+
+
+def test_queue_sizing(benchmark, quick):
+    from repro.harness.sizing import run_sizing
+
+    result = run_once(benchmark, lambda: run_sizing(quick=quick))
+    print()
+    print(result.render())
+    # The space bound (with the engine's greedy-deviation slack) holds
+    # for every fully strict benchmark — the paper's justification for
+    # bounded task queues.
+    for name, entry in result.data.items():
+        assert entry["bound_ok"], name

@@ -1,0 +1,34 @@
+"""E1 — Figure 6: hardware prototype on today's FPGA (Zedboard).
+
+Regenerates the prototype study: 4- and 8-PE FlexArch accelerators on the
+100 MHz fabric behind the single ACP port, against parallel software on
+the two Cortex-A9 cores.  Shape checks follow Section V-B's narrative:
+compute-bound benchmarks win big, spmvcrs slows down (the fabric has less
+memory bandwidth than the cores), and the memory-bound benchmarks barely
+gain from more PEs.
+"""
+
+from conftest import run_once
+
+from repro.harness.fig6 import run_fig6
+
+
+def test_fig6(benchmark, quick):
+    result = run_once(benchmark, lambda: run_fig6(quick=quick))
+    print()
+    print(result.render())
+    speedups = result.data["speedups"]
+
+    # Compute-bound benchmarks show the paper's "up to 5.9x / 11.7x".
+    best4 = max(d[4] for d in speedups.values())
+    best8 = max(d[8] for d in speedups.values())
+    assert best4 > 3.0
+    assert best8 > 5.0
+    assert best8 > best4  # compute-bound keeps scaling 4 -> 8 PEs
+
+    # spmvcrs is a slowdown: fabric memory bandwidth < CPU's.
+    assert speedups["spmvcrs"][8] < 1.0
+
+    # Memory-bound benchmarks gain little from doubling the PEs.
+    for name in ("nw", "spmvcrs", "stencil2d"):
+        assert speedups[name][8] < 1.5 * speedups[name][4]

@@ -1,0 +1,34 @@
+"""E5 — Figure 8: performance vs energy efficiency (16 PEs vs 8 cores)."""
+
+from conftest import run_once
+
+from repro.harness.fig8 import run_fig8
+
+
+def test_fig8(benchmark, quick):
+    result = run_once(benchmark, lambda: run_fig8(quick=quick))
+    print()
+    print(result.render())
+    points = result.data["points"]
+    summary = result.data["summary"]
+
+    # Every accelerator sits below the iso-power line (lower power).
+    assert summary["flex_all_lower_power"]
+    assert summary["lite_all_lower_power"]
+
+    # Energy-efficiency geomeans in the paper's range (11.8x / 15.3x),
+    # with "most benchmarks showing more than 10x".
+    assert summary["flex_eff_geomean"] > 5.0
+    above_10x = sum(1 for entry in points.values()
+                    if entry["flex"] and entry["flex"]["eff_norm"] > 10.0)
+    assert above_10x >= 5
+
+    # The Flex/Lite trade-off: Lite is at least as energy-efficient on the
+    # benchmarks where both exist and perform comparably.
+    comparable = ("bbgemm", "spmvcrs", "stencil2d", "bfsqueue")
+    lite_wins = sum(
+        1 for name in comparable
+        if points[name]["lite"]["eff_norm"]
+        > 0.9 * points[name]["flex"]["eff_norm"]
+    )
+    assert lite_wins >= 3

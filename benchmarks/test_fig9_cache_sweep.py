@@ -1,0 +1,28 @@
+"""E6 — Figure 9: performance when varying the accelerator L1 size."""
+
+from conftest import run_once
+
+from repro.harness.fig9 import run_fig9
+
+
+def test_fig9(benchmark, quick):
+    result = run_once(benchmark, lambda: run_fig9(quick=quick))
+    print()
+    print(result.render())
+    series = result.data["series"]
+
+    smallest = min(next(iter(series.values())).keys())
+    largest = max(next(iter(series.values())).keys())
+
+    # Normalisation anchor.
+    for name, curve in series.items():
+        assert curve[largest] == 1.0
+
+    # The irregular benchmarks lose the most at 4 kB (paper: bfsqueue,
+    # spmvcrs).
+    ranked = sorted(series, key=lambda n: series[n][smallest])
+    assert set(ranked[:2]) & {"bfsqueue", "spmvcrs"}
+
+    # The low-memory-intensity benchmarks barely notice the cache size.
+    for name in ("queens", "knapsack", "uts"):
+        assert series[name][smallest] > 0.9

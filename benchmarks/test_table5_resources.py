@@ -1,0 +1,34 @@
+"""E4 — Table V: resource utilisation and the FPGA fit study."""
+
+from conftest import run_once
+
+from repro.harness.table5 import run_table5
+
+
+def test_table5(benchmark):
+    result = run_once(benchmark, run_table5)
+    print()
+    print(result.render())
+    data = result.data
+
+    # LiteArch tiles drop the P-Store/router: smaller than FlexArch tiles
+    # wherever the lite worker itself is not much larger.
+    for name in ("nw", "queens", "knapsack", "bbgemm", "bfsqueue",
+                 "spmvcrs", "stencil2d"):
+        assert data[name]["lite"]["tile"].lut < data[name]["flex"]["tile"].lut
+
+    # DSPs compose exactly: tile DSP = 4x PE DSP (caches use none).
+    for name, entry in data.items():
+        if entry["flex"] is not None:
+            assert entry["flex"]["tile"].dsp == 4 * entry["flex"]["pe"].dsp
+
+    # Fit study: the mainstream part carries 8 tiles for most benchmarks,
+    # and always at least as many as the low-cost part.
+    eight = sum(1 for e in data.values()
+                if e["flex"] is not None and e["fits"]["kintex_flex"] >= 8)
+    assert eight >= 6
+    for entry in data.values():
+        assert entry["fits"]["kintex_flex"] >= entry["fits"]["artix_flex"]
+
+    # cilksort (the largest worker) is the outlier, as in the paper.
+    assert data["cilksort"]["fits"]["kintex_flex"] < 8

@@ -1,0 +1,30 @@
+"""E7 — Tables I-III: descriptive tables from live framework metadata."""
+
+from conftest import run_once
+
+from repro.harness.tables123 import run_tables123
+
+
+def test_tables123(benchmark):
+    tables = run_once(benchmark, run_tables123)
+    for table in tables:
+        print()
+        print(table.render())
+
+    t1, t2, t3 = tables
+
+    # Table I: the architectural contrast.
+    flat = " ".join(" ".join(row) for row in t1.rows)
+    assert "Work-Stealing" in flat and "Static Distribution" in flat
+
+    # Table II: ten benchmarks, CP only for nw, irregular = the two
+    # high-MI graph/sparse kernels.
+    assert len(t2.rows) == 10
+    assert t2.data["nw"]["pa"] == "cp"
+    irregular = [n for n, d in t2.data.items()
+                 if d["memory_pattern"] == "irregular"]
+    assert sorted(irregular) == ["bfsqueue", "spmvcrs"]
+
+    # Table III reflects the Table III platform.
+    flat3 = " ".join(" ".join(row) for row in t3.rows)
+    assert "MOESI" in flat3 and "12.8" in flat3

@@ -1,0 +1,80 @@
+"""Design-space exploration with the ParallelXL flow (Section IV-C).
+
+"Design space exploration can be done easily by changing the parameters
+given to the framework, without rewriting any code."  This example sweeps
+architecture variant, PE count and cache size for one paper benchmark,
+and reports performance, FPGA resources, device fit and power for each
+point — the data a designer needs to choose a configuration.
+
+Run:  python examples/design_space_exploration.py [benchmark]
+"""
+
+import sys
+
+from repro.design import (
+    ARTIX_7A75T,
+    KINTEX_7K160T,
+    accel_power,
+    generate_accelerator,
+)
+from repro.arch import flex_config, lite_config
+from repro.harness import format_table
+from repro.workers import make_benchmark
+from repro.harness.runners import QUICK_PARAMS
+
+
+def explore(name: str):
+    rows = []
+    for arch in ("flex", "lite"):
+        for pes in (4, 8, 16):
+            for cache_kb in (8, 32):
+                bench = make_benchmark(name, **QUICK_PARAMS.get(name, {}))
+                if arch == "lite" and not bench.has_lite:
+                    continue
+                make_config = flex_config if arch == "flex" else lite_config
+                config = make_config(pes, l1_size=cache_kb * 1024)
+                worker = (bench.flex_worker() if arch == "flex"
+                          else bench.lite_worker())
+                generated = generate_accelerator(worker, config)
+                engine = generated.build_engine()
+                if hasattr(engine.memory, "warm_l2") and bench.l2_resident:
+                    engine.memory.warm_l2(bench.mem)
+                if arch == "flex":
+                    result = engine.run(bench.root_task())
+                else:
+                    result = engine.run(bench.lite_program(pes))
+                assert bench.verify(result.value), "wrong result"
+                power = accel_power(name, arch, config.num_tiles,
+                                    config.pes_per_tile, config.l1_size,
+                                    activity=result.utilization())
+                res = generated.resources
+                fit = ("kintex" if generated.fits(KINTEX_7K160T)
+                       else "none")
+                if generated.fits(ARTIX_7A75T):
+                    fit = "artix"
+                rows.append([
+                    arch, pes, f"{cache_kb}kB",
+                    f"{result.ns / 1000:.0f}us",
+                    f"{res.lut}", f"{res.bram}",
+                    f"{power.total_w:.2f}W",
+                    f"{power.energy_j(result.seconds) * 1e6:.1f}uJ",
+                    fit,
+                ])
+    return rows
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "stencil2d"
+    print(f"design space for {name!r} (quick-size workload)\n")
+    rows = explore(name)
+    print(format_table(
+        ["arch", "PEs", "L1", "time", "LUTs", "BRAMs", "power", "energy",
+         "fits"],
+        rows,
+    ))
+    print("\nPick by objective: latency -> biggest flex that fits; "
+          "energy -> smallest config that meets the deadline.")
+
+
+if __name__ == "__main__":
+    main()

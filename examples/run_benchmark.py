@@ -1,0 +1,60 @@
+"""Run any paper benchmark on any platform from the command line.
+
+Examples:
+    python examples/run_benchmark.py uts
+    python examples/run_benchmark.py nw --engine lite --pes 16
+    python examples/run_benchmark.py spmvcrs --engine cpu --pes 8
+    python examples/run_benchmark.py queens --engine zynq --pes 4 --full
+"""
+
+import argparse
+
+from repro.harness.runners import (
+    run_cpu,
+    run_flex,
+    run_lite,
+    run_zynq_cpu,
+    run_zynq_flex,
+)
+from repro.workers import PAPER_BENCHMARKS
+
+ENGINES = {
+    "flex": run_flex,
+    "lite": run_lite,
+    "cpu": run_cpu,
+    "zynq": run_zynq_flex,
+    "zynq-cpu": run_zynq_cpu,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark",
+                        choices=PAPER_BENCHMARKS + ("fib",))
+    parser.add_argument("--engine", choices=sorted(ENGINES), default="flex")
+    parser.add_argument("--pes", type=int, default=8,
+                        help="PEs (accelerators) or cores (cpu)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-size workload (default: quick)")
+    args = parser.parse_args()
+
+    runner = ENGINES[args.engine]
+    result = runner(args.benchmark, args.pes, quick=not args.full)
+
+    print(f"{result.label}: VERIFIED")
+    print(f"  cycles      : {result.cycles}")
+    print(f"  wall time   : {result.ns / 1000:.1f} us "
+          f"@ {result.clock_mhz:.0f} MHz")
+    print(f"  tasks       : {result.tasks_executed}")
+    print(f"  steals      : {result.total_steals}")
+    print(f"  utilisation : {result.utilization():.0%}")
+    if result.mem_summary:
+        interesting = {k: v for k, v in result.mem_summary.items()
+                       if v and k in ("l1_miss_rate", "l2_misses",
+                                      "dram_requests", "c2c_transfers")}
+        if interesting:
+            print(f"  memory      : {interesting}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Figure 2(a): vector-vector add by recursive decomposition.
+
+The paper's first task-graph example adds two length-256 vectors in
+chunks of 64.  It also notes that "in case where the source vectors are
+very long, it is more efficient to use recursive decomposition, where the
+vectors are recursively divided ... using multiple levels of intermediate
+tasks, rather than relying only on the root task".  This example builds
+exactly that graph with the framework's ``parallel_for`` helper (which
+lowers to the continuation passing primitives) and shows the two
+decompositions side by side.
+
+Run:  python examples/vector_add.py
+"""
+
+import numpy as np
+
+from repro.arch import FlexAccelerator, flex_config
+from repro.core import (
+    HOST_CONTINUATION,
+    ParallelForMixin,
+    Task,
+    Worker,
+    pattern_task_types,
+)
+from repro.core.patterns import split_task_type
+from repro.mem import SimMemory
+
+N = 4096
+CHUNK = 64
+
+
+class VectorAddWorker(ParallelForMixin, Worker):
+    """c[i] = a[i] + b[i] over chunk leaves (recursive decomposition)."""
+
+    name = "vvadd"
+    task_types = pattern_task_types("vv") + ("VV_FLAT",)
+    pf_grains = {"vv": CHUNK}
+
+    def __init__(self, a, b, c, base_addrs):
+        self.a, self.b, self.c = a, b, c
+        self.a_addr, self.b_addr, self.c_addr = base_addrs
+
+    def execute(self, task, ctx):
+        if task.task_type == "VV_FLAT":
+            # Figure 2(a)'s literal shape: the root task itself carves
+            # the vector into chunk tasks (no intermediate levels).
+            lo, hi = task.args
+            self._leaf(ctx, lo, hi)
+            ctx.send_arg(task.k, 0)
+            return
+        if not self.pf_dispatch(task, ctx):
+            raise AssertionError(task.task_type)
+
+    def pf_leaf_vv(self, ctx, k, lo, hi):
+        self._leaf(ctx, lo, hi)
+        return 0
+
+    def _leaf(self, ctx, lo, hi):
+        self.c[lo:hi] = self.a[lo:hi] + self.b[lo:hi]
+        n = hi - lo
+        ctx.compute(max(1, n // 4))  # 4 adds per cycle, pipelined
+        ctx.read_block(self.a_addr + 4 * lo, 4 * n)
+        ctx.read_block(self.b_addr + 4 * lo, 4 * n)
+        ctx.write_block(self.c_addr + 4 * lo, 4 * n)
+
+
+def build_worker():
+    mem = SimMemory()
+    a_r, a = mem.alloc_array("a", N)
+    b_r, b = mem.alloc_array("b", N)
+    c_r, c = mem.alloc_array("c", N)
+    rng = np.random.default_rng(0)
+    a[:] = rng.integers(0, 100, N)
+    b[:] = rng.integers(0, 100, N)
+    return VectorAddWorker(a, b, c, (a_r.base, b_r.base, c_r.base))
+
+
+def run(root_type: str) -> int:
+    worker = build_worker()
+    accel = FlexAccelerator(flex_config(8, memory="perfect"), worker)
+    if root_type == "recursive":
+        root = Task(split_task_type("vv"), HOST_CONTINUATION, (0, N))
+        result = accel.run(root)
+    else:
+        # Flat: the host enqueues every chunk task itself.
+        roots = [
+            Task("VV_FLAT", HOST_CONTINUATION.with_slot(i),
+                 (lo, min(lo + CHUNK, N)))
+            for i, lo in enumerate(range(0, N, CHUNK))
+        ]
+        result = accel.run(roots)
+    assert np.array_equal(worker.c, worker.a + worker.b), "wrong sum!"
+    return result.cycles
+
+
+def main() -> None:
+    recursive = run("recursive")
+    flat = run("flat")
+    print(f"vector add, n={N}, chunk={CHUNK}, 8 PEs")
+    print(f"  recursive decomposition : {recursive} cycles")
+    print(f"  flat (root splits all)  : {flat} cycles")
+    print("Recursive decomposition spreads the splitting work across PEs "
+          "— the paper's point about very long vectors.")
+
+
+if __name__ == "__main__":
+    main()

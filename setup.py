@@ -1,0 +1,10 @@
+"""Legacy setuptools shim so ``pip install -e .`` works offline.
+
+The execution environment has no network access and no ``wheel`` package,
+so the PEP 517 editable-install path (which builds a wheel) is unavailable;
+this shim lets pip fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

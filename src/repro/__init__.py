@@ -1,0 +1,34 @@
+"""ParallelXL reproduction.
+
+A Python reproduction of "An Architectural Framework for Accelerating
+Dynamic Parallel Algorithms on Reconfigurable Hardware" (MICRO 2018): a
+task-based computation model with explicit continuation passing, a
+cycle-approximate simulator of the FlexArch/LiteArch accelerator
+architectures, a Cilk-Plus-style multicore software baseline, the ten paper
+benchmarks, and the design methodology (resource, power, and FPGA-fit
+models).
+
+Start with :mod:`repro.core` for the computation model, :mod:`repro.arch`
+for the accelerator, and :mod:`repro.harness` for the paper's experiments.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    Continuation,
+    HOST_CONTINUATION,
+    Task,
+    Worker,
+    WorkerContext,
+    make_task,
+)
+
+__all__ = [
+    "Continuation",
+    "HOST_CONTINUATION",
+    "Task",
+    "Worker",
+    "WorkerContext",
+    "make_task",
+    "__version__",
+]

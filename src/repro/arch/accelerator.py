@@ -1,0 +1,284 @@
+"""Timed accelerator engines: FlexArch (and the shared base machinery).
+
+A :class:`FlexAccelerator` instantiates the full Section III architecture:
+tiles of PEs with TMUs, one P-Store per tile, crossbar argument and
+work-stealing networks, per-tile L1 caches under MOESI coherence, and the
+CPU interface block.  Execution is event-driven: each PE is an engine
+process, and argument/task messages are scheduled callbacks with network
+latencies.
+
+Termination uses an outstanding-work counter: every live task (queued,
+executing, or in flight), pending entry, and in-flight argument counts one;
+the run is complete when the counter reaches zero.  A positive counter that
+stops changing indicates a protocol bug and raises
+:class:`~repro.core.exceptions.DeadlockError` via the cycle limit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.arch.config import (
+    MEMORY_COHERENT,
+    MEMORY_DMA,
+    MEMORY_PERFECT,
+    MEMORY_STREAM,
+    AcceleratorConfig,
+)
+from repro.arch.interface import InterfaceBlock
+from repro.arch.network import CrossbarNetwork
+from repro.arch.pe import ProcessingElement
+from repro.arch.pstore import HardwarePStore
+from repro.arch.result import RunResult
+from repro.core.context import MemOp, Worker
+from repro.core.exceptions import ConfigError, DeadlockError
+from repro.core.task import Continuation, Task
+from repro.mem.hierarchy import MemoryHierarchy, PerfectMemory, StreamBufferMemory
+from repro.sim.engine import Engine
+
+#: Default simulation cycle budget before declaring deadlock.
+DEFAULT_MAX_CYCLES = 200_000_000
+
+
+class BaseAccelerator:
+    """Machinery shared by the FlexArch and LiteArch engines."""
+
+    #: Whether workers may spawn tasks / create successors.
+    allow_dynamic = True
+
+    #: Whether ``scratchpad`` memory ops hit worker-local BRAM (free).  The
+    #: software baseline overrides this: CPUs have no scratchpads, so those
+    #: accesses go through the cache hierarchy.
+    scratchpad_local = True
+
+    #: Optional :class:`repro.harness.trace.ExecutionTrace` recording each
+    #: executed task's PE occupancy (set via ``attach_trace``).
+    tracer = None
+
+    def __init__(self, config: AcceleratorConfig, worker: Worker) -> None:
+        self.config = config
+        self.worker = worker
+        self.engine = Engine()
+        self.net = CrossbarNetwork(config)
+        self.interface = InterfaceBlock()
+        self.memory = self._build_memory()
+        if config.shared_worker_kinds is not None:
+            from repro.arch.hetero import SharedWorkerUnits
+
+            self.worker_units = SharedWorkerUnits(config.shared_worker_kinds)
+        else:
+            self.worker_units = None
+        steal = self.allow_dynamic
+        self.pes: List[ProcessingElement] = [
+            ProcessingElement(self, i, worker, steal_enabled=steal)
+            for i in range(config.num_pes)
+        ]
+        self.outstanding = 0
+        #: Instantaneous task-space high-water mark: live tasks + pending
+        #: entries + in-flight arguments (the S_P of Section II-C).
+        self.max_outstanding = 0
+        self.done = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _build_memory(self):
+        cfg = self.config
+        if cfg.memory == MEMORY_COHERENT:
+            return MemoryHierarchy(cfg.mem_config())
+        if cfg.memory == MEMORY_STREAM:
+            return StreamBufferMemory(
+                num_requesters=cfg.num_pes,
+                buffer_lines=cfg.stream_buffer_lines,
+                acp_latency_ns=cfg.acp_latency_ns,
+                acp_bandwidth_gbps=cfg.acp_bandwidth_gbps,
+                prefetch_depth=cfg.stream_prefetch_depth,
+            )
+        if cfg.memory == MEMORY_DMA:
+            from repro.mem.dma import DmaMemory
+
+            return DmaMemory(
+                num_engines=cfg.num_tiles,
+                setup_ns=cfg.dma_setup_ns,
+                dram_access_ns=cfg.dram_access_ns,
+                dram_bandwidth_gbps=cfg.dram_bandwidth_gbps,
+            )
+        if cfg.memory == MEMORY_PERFECT:
+            return PerfectMemory(num_l1=cfg.num_tiles)
+        raise ConfigError(f"unknown memory style {cfg.memory!r}")
+
+    def _mem_requester(self, pe_id: int) -> int:
+        """Memory-port index of a PE: the tile's L1, or the PE itself in
+        stream-buffer mode."""
+        if self.config.memory == MEMORY_STREAM:
+            return pe_id
+        return self.config.tile_of(pe_id)
+
+    def mem_stall_cycles(self, pe_id: int, op: MemOp) -> int:
+        """Stall cycles (in the accelerator clock) for one memory op."""
+        now_ns = self.config.clock.cycles_to_ns(self.engine.now)
+        result = self.memory.access(
+            self._mem_requester(pe_id), op.addr, op.nbytes, op.is_write, now_ns
+        )
+        if result.stall_ns <= 0.0:
+            return 0
+        return self.config.clock.ns_to_cycles(result.stall_ns)
+
+    # -- outstanding-work accounting -------------------------------------
+    def add_work(self, amount: int = 1) -> None:
+        self.outstanding += amount
+        if self.outstanding > self.max_outstanding:
+            self.max_outstanding = self.outstanding
+
+    def sub_work(self, amount: int = 1) -> None:
+        self.outstanding -= amount
+        if self.outstanding < 0:
+            raise DeadlockError("outstanding work counter went negative")
+        if self.outstanding == 0:
+            self.done = True
+
+    def task_done(self) -> None:
+        self.sub_work()
+
+    # ------------------------------------------------------------------
+    def _start_processes(self) -> None:
+        if self._started:
+            raise ConfigError("accelerator already ran; build a fresh one")
+        self._started = True
+        for pe in self.pes:
+            self.engine.process(pe.run(), name=f"pe{pe.pe_id}")
+
+    def _finish(self, max_cycles: int, label: str) -> RunResult:
+        end = self.engine.run(until=max_cycles)
+        if not self.done:
+            raise DeadlockError(
+                f"simulation hit the {max_cycles}-cycle limit with "
+                f"{self.outstanding} work items outstanding"
+            )
+        mem_summary = self.memory.summary()
+        counters = {
+            "steal_requests": self.net.steal_stats.steal_requests,
+            "arg_messages_local": self.net.arg_stats.local_messages,
+            "arg_messages_remote": self.net.arg_stats.remote_messages,
+        }
+        return RunResult(
+            cycles=end,
+            clock_mhz=self.config.clock.freq_mhz,
+            host=self.interface.host,
+            pe_stats=[pe.stats for pe in self.pes],
+            mem_summary=mem_summary,
+            counters=counters,
+            label=label,
+        )
+
+
+class FlexAccelerator(BaseAccelerator):
+    """The FlexArch engine: work stealing + distributed P-Stores."""
+
+    allow_dynamic = True
+
+    def __init__(self, config: AcceleratorConfig, worker: Worker) -> None:
+        if not config.is_flex:
+            raise ConfigError("FlexAccelerator requires arch='flex'")
+        super().__init__(config, worker)
+        self.pstores = [
+            HardwarePStore(t, config.pstore_entries)
+            for t in range(config.num_tiles)
+        ]
+
+    # -- work-stealing victim space: all PEs plus the IF block -----------
+    @property
+    def num_victims(self) -> int:
+        return self.config.num_pes + 1
+
+    def victim_tile(self, victim_id: int) -> int:
+        """Tile of a victim; the IF block sits off-tile (full hop)."""
+        if victim_id == self.config.num_pes:
+            return -1  # never equals a PE tile => remote latency
+        return self.config.tile_of(victim_id)
+
+    def steal_from(self, victim_id: int) -> Optional[Task]:
+        if victim_id == self.config.num_pes:
+            return self.interface.steal_head()
+        deque = self.pes[victim_id].tmu.deque
+        task = (deque.steal_head() if self.config.steal_end == "head"
+                else deque.steal_tail())
+        if task is not None:
+            self.pes[victim_id].stats.tasks_stolen_from += 1
+        return task
+
+    # -- P-Store services -------------------------------------------------
+    def alloc_successor(self, pe_id: int, task_type: str, k: Continuation,
+                        njoin: int, static_args) -> Continuation:
+        tile = 0 if self.config.central_pstore else self.config.tile_of(pe_id)
+        cont = self.pstores[tile].alloc(
+            task_type, k, njoin, static_args, creator_pe=pe_id
+        )
+        self.add_work()  # the pending entry
+        return cont
+
+    def send_arg(self, pe_id: int, cont: Continuation, value) -> None:
+        """Route an argument message (fire-and-forget from the PE)."""
+        self.add_work()  # the in-flight argument
+        from_tile = self.config.tile_of(pe_id)
+        if cont.is_host:
+            latency = self.config.net_hop_cycles
+            self.engine.schedule(
+                latency, lambda: self._deliver_host(cont, value)
+            )
+            return
+        latency = self.net.arg_latency(from_tile, cont.owner)
+        local = from_tile == cont.owner
+        self.engine.schedule(
+            latency, lambda: self._deliver_arg(pe_id, cont, value, local)
+        )
+
+    def _deliver_host(self, cont: Continuation, value) -> None:
+        self.interface.deliver(cont, value)
+        self.sub_work()
+
+    def _deliver_arg(self, producer_pe: int, cont: Continuation, value,
+                     local: bool) -> None:
+        pstore = self.pstores[cont.owner]
+        creator_pe = pstore.table.entry(cont.entry).creator
+        ready = pstore.deliver(cont, value, local)
+        if ready is None:
+            self.sub_work()  # argument consumed
+            return
+        # Argument consumed (-1) and pending entry resolved (-1), but a
+        # ready task is now in flight (+1): net -1.
+        self.sub_work()
+        # Greedy scheduling: route the readied task back to the PE that
+        # produced the last argument (Section III-A).  The non-greedy
+        # ablation returns it to the entry's creator instead.
+        target_pe = producer_pe if self.config.greedy else creator_pe
+        target_tile = self.config.tile_of(target_pe)
+        latency = self.net.task_return_latency(cont.owner, target_tile)
+        self.engine.schedule(
+            latency,
+            lambda: self.pes[target_pe].tmu.push_tail(ready),
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        root: Union[Task, Sequence[Task]],
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        label: str = "",
+    ) -> RunResult:
+        """Inject the root task(s) via the IF block and simulate to
+        completion."""
+        roots = [root] if isinstance(root, Task) else list(root)
+        # Memory-mapped injection: the host writes each task descriptor
+        # into the IF block before any PE can steal it.
+        for i, task in enumerate(roots):
+            self.add_work()
+            self.engine.schedule(
+                (i + 1) * self.config.offload_inject_cycles,
+                lambda t=task: self.interface.inject(t),
+            )
+        self._start_processes()
+        result = self._finish(max_cycles,
+                              label or f"flex{self.config.num_pes}")
+        # Result readback over the memory-mapped interface.
+        result.cycles += self.config.offload_read_cycles
+        return result

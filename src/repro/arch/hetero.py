@@ -1,0 +1,171 @@
+"""Heterogeneous workers with tile-level resource sharing.
+
+Section III-A: "It is also possible to extend the architecture to use
+heterogeneous workers where each worker is designed to process a subset of
+task types.  This allows coarse-grained resource sharing at the tile
+level, that is, the hardware for a worker is shared within a tile, rather
+than dedicated to a PE."
+
+The extension has two halves:
+
+* **Functionally**, a :class:`WorkerGroup` combines several kind-specific
+  workers behind the standard worker interface, dispatching each task to
+  the worker that declares its type.
+
+* **Architecturally**, a *sharing policy* maps task types to shared
+  datapath units.  Each tile owns one unit per kind; a PE executing a task
+  of a shared kind must win the tile's unit for the task's compute
+  duration, so two PEs of the same tile running the same kind serialise —
+  the cost that buys the (pes_per_tile - 1) copies of worker logic saved
+  per tile.  :func:`shared_tile_resources` quantifies that saving.
+
+Enable sharing by building the accelerator with
+``AcceleratorConfig(shared_worker_kinds=kinds_from(...))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.core.context import Worker, WorkerContext
+from repro.core.exceptions import ConfigError
+from repro.core.task import Task
+from repro.design.resources import (
+    ResourceVector,
+    FLEX_PE_TMU,
+    FLEX_TILE_SHARED,
+    cache_resources,
+    pe_resources,
+)
+
+
+class WorkerGroup(Worker):
+    """Several kind-specific workers behind one worker interface."""
+
+    def __init__(self, workers: Sequence[Worker], name: str = "group"
+                 ) -> None:
+        self.name = name
+        self.workers = tuple(workers)
+        self._by_type: Dict[str, Worker] = {}
+        for worker in self.workers:
+            if not worker.task_types:
+                raise ConfigError(
+                    f"worker {worker.name!r} in a group must declare its "
+                    "task types"
+                )
+            for task_type in worker.task_types:
+                if task_type in self._by_type:
+                    raise ConfigError(
+                        f"task type {task_type!r} claimed by two workers"
+                    )
+                self._by_type[task_type] = worker
+        self.task_types = tuple(self._by_type)
+
+    def worker_for(self, task_type: str) -> Worker:
+        try:
+            return self._by_type[task_type]
+        except KeyError:
+            raise ConfigError(
+                f"no worker in group {self.name!r} handles {task_type!r}"
+            ) from None
+
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        self.worker_for(task.task_type).execute(task, ctx)
+
+
+class TypeFilteredWorker(Worker):
+    """View of an existing worker restricted to a subset of task types.
+
+    Lets a monolithic benchmark worker be split into kind-specific units
+    without rewriting it: each filtered view delegates execution to the
+    shared implementation but *declares* only its subset.
+    """
+
+    def __init__(self, inner: Worker, task_types: Sequence[str],
+                 name: str = "") -> None:
+        missing = set(task_types) - set(inner.task_types)
+        if missing:
+            raise ConfigError(
+                f"worker {inner.name!r} does not implement {sorted(missing)}"
+            )
+        self.inner = inner
+        self.task_types = tuple(task_types)
+        self.name = name or f"{inner.name}[{'/'.join(task_types)}]"
+
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        self.inner.execute(task, ctx)
+
+
+def partition_worker(worker: Worker, groups: Iterable[Iterable[str]],
+                     ) -> WorkerGroup:
+    """Split ``worker`` into one kind-specific unit per type group.
+
+    Types the groups do not mention get one extra shared group of their
+    own, so the returned :class:`WorkerGroup` always covers the original
+    worker's full type set.
+    """
+    groups = [tuple(g) for g in groups]
+    covered = {t for g in groups for t in g}
+    rest = tuple(t for t in worker.task_types if t not in covered)
+    if rest:
+        groups.append(rest)
+    units = [TypeFilteredWorker(worker, group) for group in groups]
+    return WorkerGroup(units, name=worker.name)
+
+
+def kinds_from(groups: Iterable[Iterable[str]]) -> Tuple[Tuple[str, int], ...]:
+    """Build a ``shared_worker_kinds`` mapping from task-type groups.
+
+    Each inner iterable is one shared unit: e.g.
+    ``kinds_from([("FIB",), ("SUM",)])`` gives FIB and SUM their own
+    tile-shared units.
+    """
+    mapping = []
+    for kind, types in enumerate(groups):
+        for task_type in types:
+            mapping.append((task_type, kind))
+    return tuple(mapping)
+
+
+class SharedWorkerUnits:
+    """Per-tile busy horizons for the shared datapath units."""
+
+    def __init__(self, kinds: Tuple[Tuple[str, int], ...]) -> None:
+        self.kind_of: Dict[str, int] = dict(kinds)
+        self._busy_until: Dict[Tuple[int, int], int] = {}
+        self.contention_cycles = 0
+        self.acquisitions = 0
+
+    def kind(self, task_type: str) -> Optional[int]:
+        """Shared-unit kind of a task type, or ``None`` for dedicated."""
+        return self.kind_of.get(task_type)
+
+    def acquire(self, tile: int, kind: int, now: int, duration: int) -> int:
+        """Reserve the unit; returns the wait before compute may start."""
+        key = (tile, kind)
+        free_at = self._busy_until.get(key, 0)
+        start = max(now, free_at)
+        self._busy_until[key] = start + duration
+        wait = start - now
+        self.acquisitions += 1
+        self.contention_cycles += wait
+        return wait
+
+
+def shared_tile_resources(
+    benchmark: str,
+    pes_per_tile: int = 4,
+    cache_bytes: int = 32 * 1024,
+    arch: str = "flex",
+) -> ResourceVector:
+    """Tile estimate with ONE shared worker instance instead of one per PE.
+
+    Each PE keeps its TMU; the worker datapath appears once.  Compare with
+    :func:`repro.design.resources.tile_resources` to quantify the saving
+    the paper's tile-level sharing buys.
+    """
+    worker_only = pe_resources(benchmark, arch) - FLEX_PE_TMU
+    return (worker_only
+            + FLEX_PE_TMU.scale(pes_per_tile)
+            + FLEX_TILE_SHARED
+            + cache_resources(cache_bytes))

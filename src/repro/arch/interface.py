@@ -1,0 +1,40 @@
+"""CPU-accelerator interface block (Section III-E).
+
+The IF block exposes a memory-mapped interface to the CPU: the host writes
+tasks in and reads results out.  In FlexArch the IF participates in the
+work-stealing network as a *victim only* — PEs steal injected root tasks
+from it.  In LiteArch the IF pushes tasks to PEs directly over the
+argument/task network using a static assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.deque import WorkStealingDeque
+from repro.core.executor import HostResult
+from repro.core.task import Continuation, Task
+
+
+class InterfaceBlock:
+    """Memory-mapped CPU interface: task injection and result pickup."""
+
+    def __init__(self) -> None:
+        self.deque: WorkStealingDeque[Task] = WorkStealingDeque(name="if")
+        self.host = HostResult()
+        self.tasks_injected = 0
+        self.results_received = 0
+
+    def inject(self, task: Task) -> None:
+        """Queue a task from the CPU, available for PEs to steal."""
+        self.deque.push_tail(task)
+        self.tasks_injected += 1
+
+    def steal_head(self) -> Optional[Task]:
+        """Work-stealing network entry point: hand over the oldest task."""
+        return self.deque.steal_head()
+
+    def deliver(self, cont: Continuation, value) -> None:
+        """Receive a result value destined for the host."""
+        self.host.deliver(cont, value)
+        self.results_received += 1

@@ -1,0 +1,75 @@
+"""On-chip network latency model (Section III-C).
+
+The accelerator has two logical networks — the argument network and the
+work-stealing network — both implemented as crossbars in the paper's
+prototype.  The model charges a fixed hop latency per crossbar traversal:
+intra-tile traffic stays on the tile buses and only pays the bus/P-Store
+port cost, while inter-tile traffic crosses the crossbar in each direction.
+Crossbars are non-blocking, so no contention is modelled (each input/output
+pair has a dedicated path); serialisation effects at the P-Store are folded
+into its access cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+
+
+@dataclass
+class NetworkStats:
+    local_messages: int = 0
+    remote_messages: int = 0
+    steal_requests: int = 0
+
+    @property
+    def messages(self) -> int:
+        return self.local_messages + self.remote_messages
+
+
+class CrossbarNetwork:
+    """Latency calculator for the argument and work-stealing networks."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self.arg_stats = NetworkStats()
+        self.steal_stats = NetworkStats()
+
+    # -- argument / task network ----------------------------------------
+    def arg_latency(self, from_tile: int, to_tile: int) -> int:
+        """Cycles for an argument message between tiles (one way)."""
+        if from_tile == to_tile:
+            self.arg_stats.local_messages += 1
+            return self.config.pstore_local_cycles
+        self.arg_stats.remote_messages += 1
+        return self.config.net_hop_cycles + self.config.pstore_local_cycles
+
+    def task_return_latency(self, from_tile: int, to_tile: int) -> int:
+        """Cycles to route a readied task back to its producer PE
+        (the greedy-scheduling path through the argument/task router)."""
+        if from_tile == to_tile:
+            self.arg_stats.local_messages += 1
+            return self.config.queue_op_cycles
+        self.arg_stats.remote_messages += 1
+        return self.config.net_hop_cycles + self.config.queue_op_cycles
+
+    # -- work stealing network -------------------------------------------
+    def steal_request_latency(self, thief_tile: int, victim_tile: int) -> int:
+        """Cycles for the steal request to reach the victim TMU."""
+        self.steal_stats.steal_requests += 1
+        if thief_tile == victim_tile:
+            self.steal_stats.local_messages += 1
+            return self.config.queue_op_cycles
+        self.steal_stats.remote_messages += 1
+        return self.config.net_hop_cycles
+
+    def steal_response_latency(self, thief_tile: int, victim_tile: int) -> int:
+        """Cycles for the response (task or NACK) to return to the thief,
+        including the victim-side head dequeue."""
+        base = self.config.queue_op_cycles
+        if thief_tile == victim_tile:
+            self.steal_stats.local_messages += 1
+            return base + self.config.queue_op_cycles
+        self.steal_stats.remote_messages += 1
+        return base + self.config.net_hop_cycles

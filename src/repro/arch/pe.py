@@ -1,0 +1,174 @@
+"""Processing element: application worker + task management unit.
+
+Each PE couples the application-specific worker datapath with a TMU that
+owns a bounded work-stealing deque (Section III-A).  The PE main loop:
+
+1. Pop a task from the local queue tail (LIFO — depth-first traversal of
+   the task graph for locality).
+2. If the queue is empty, pick a random victim with the LFSR and steal from
+   the *head* of its queue over the work-stealing network (the head task is
+   closest to the spawn-tree root, i.e. the biggest chunk of work).
+3. Execute the task: the worker runs functionally, then its recorded
+   operations are replayed with timing — compute cycles, memory-port
+   stalls, P-Store round trips for successor creation, queue pushes for
+   spawns, and fire-and-forget argument sends.
+
+LiteArch PEs use the same class with stealing disabled; their workers never
+create successors or spawn (enforced by the engine).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.context import (
+    ComputeOp,
+    MemOp,
+    SendArgOp,
+    SpawnOp,
+    SuccessorOp,
+    WorkerContext,
+)
+from repro.core.deque import WorkStealingDeque
+from repro.core.exceptions import ProtocolError
+from repro.core.lfsr import LFSR16, default_seed
+from repro.core.task import Task
+from repro.arch.result import PEStats
+from repro.sim.engine import Timeout
+
+
+class TaskManagementUnit:
+    """The TMU: a bounded deque plus steal-side bookkeeping."""
+
+    def __init__(self, pe_id: int, capacity: int) -> None:
+        self.deque: WorkStealingDeque[Task] = WorkStealingDeque(
+            capacity=capacity, name=f"tmu{pe_id}"
+        )
+
+    def push_tail(self, task: Task) -> None:
+        self.deque.push_tail(task)
+
+    def pop_tail(self) -> Optional[Task]:
+        return self.deque.pop_tail()
+
+    def steal_head(self) -> Optional[Task]:
+        return self.deque.steal_head()
+
+    @property
+    def high_water(self) -> int:
+        return self.deque.high_water
+
+
+class ProcessingElement:
+    """One PE of the accelerator (worker + TMU), as an engine process."""
+
+    def __init__(self, accel, pe_id: int, worker, steal_enabled: bool) -> None:
+        self.accel = accel
+        self.config = accel.config
+        self.pe_id = pe_id
+        self.tile_id = accel.config.tile_of(pe_id)
+        self.worker = worker
+        self.steal_enabled = steal_enabled
+        self.tmu = TaskManagementUnit(pe_id, accel.config.task_queue_entries)
+        self.lfsr = LFSR16(default_seed(pe_id))
+        self.stats = PEStats(pe_id)
+        self._busy_since: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        """Main PE loop (an engine process)."""
+        cfg = self.config
+        accel = self.accel
+        pop_local = (self.tmu.deque.pop_tail if cfg.local_order == "lifo"
+                     else self.tmu.deque.pop_head)
+        while not accel.done:
+            task = pop_local()
+            if task is not None:
+                yield Timeout(cfg.queue_op_cycles + cfg.dispatch_cycles)
+                yield from self._execute(task)
+                continue
+            if not self.steal_enabled or accel.num_victims < 2:
+                yield Timeout(cfg.idle_poll_cycles)
+                continue
+            stolen = yield from self._steal_once()
+            if stolen is None:
+                yield Timeout(cfg.steal_backoff_cycles)
+            else:
+                yield Timeout(cfg.dispatch_cycles)
+                yield from self._execute(stolen)
+
+    def _steal_once(self) -> Generator:
+        """One steal attempt over the work-stealing network."""
+        accel = self.accel
+        victim_id = self.lfsr.pick_victim(accel.num_victims, self.pe_id)
+        victim_tile = accel.victim_tile(victim_id)
+        self.stats.steal_attempts += 1
+        yield Timeout(
+            accel.net.steal_request_latency(self.tile_id, victim_tile)
+        )
+        task = accel.steal_from(victim_id)
+        yield Timeout(
+            accel.net.steal_response_latency(self.tile_id, victim_tile)
+        )
+        if task is not None:
+            self.stats.steal_hits += 1
+        return task
+
+    # ------------------------------------------------------------------
+    def _execute(self, task: Task) -> Generator:
+        """Run one task: functional execution, then timed op replay."""
+        accel = self.accel
+        cfg = self.config
+        start = accel.engine.now
+        self.stats.tasks_executed += 1
+        self.worker.check_task_type(task)
+        ctx = WorkerContext(self.pe_id, self._alloc_successor)
+        self.worker.execute(task, ctx)
+        if not accel.allow_dynamic and (ctx.spawned or any(
+                isinstance(op, SuccessorOp) for op in ctx.ops)):
+            raise ProtocolError(
+                "LiteArch workers cannot spawn tasks or create successors "
+                f"(task {task.task_type!r})"
+            )
+        # Heterogeneous workers: a shared-kind task must win its tile's
+        # shared datapath unit for its compute duration before running.
+        if accel.worker_units is not None:
+            kind = accel.worker_units.kind(task.task_type)
+            if kind is not None and ctx.compute_cycles:
+                wait = accel.worker_units.acquire(
+                    self.tile_id, kind, accel.engine.now, ctx.compute_cycles
+                )
+                if wait:
+                    yield Timeout(wait)
+        for op in ctx.ops:
+            if isinstance(op, ComputeOp):
+                self.stats.compute_cycles += op.cycles
+                yield Timeout(op.cycles)
+            elif isinstance(op, MemOp):
+                if op.scratchpad and accel.scratchpad_local:
+                    continue  # worker-local BRAM, absorbed by the pipeline
+                stall = accel.mem_stall_cycles(self.pe_id, op)
+                if stall:
+                    self.stats.mem_stall_cycles += stall
+                    yield Timeout(stall)
+            elif isinstance(op, SuccessorOp):
+                # cont_req/cont_resp round trip to the local P-Store.
+                yield Timeout(2 * cfg.pstore_local_cycles)
+            elif isinstance(op, SpawnOp):
+                yield Timeout(cfg.queue_op_cycles)
+                accel.add_work()
+                self.tmu.push_tail(op.task)
+            elif isinstance(op, SendArgOp):
+                yield Timeout(1)  # arg_out issue
+                accel.send_arg(self.pe_id, op.cont, op.value)
+        self.stats.busy_cycles += accel.engine.now - start
+        self.stats.queue_high_water = self.tmu.high_water
+        if accel.tracer is not None:
+            accel.tracer.record(self.pe_id, start, accel.engine.now,
+                                task.task_type)
+        accel.task_done()
+
+    def _alloc_successor(self, task_type, k, njoin, static_args):
+        return self.accel.alloc_successor(
+            self.pe_id, task_type, k, njoin, static_args
+        )

@@ -1,0 +1,85 @@
+"""Hardware P-Store: per-tile pending task storage (Section III-A).
+
+Wraps the functional :class:`~repro.core.pending.PendingTable` with the
+hardware organisation: a control unit with a free list, a join counter
+array, metadata and argument arrays, and statistics distinguishing local
+accesses (same tile — the common case thanks to task-graph locality) from
+remote accesses arriving over the argument network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.pending import PendingTable
+from repro.core.task import Continuation, Task
+
+
+@dataclass
+class PStoreStats:
+    allocs: int = 0
+    local_deliveries: int = 0
+    remote_deliveries: int = 0
+    tasks_readied: int = 0
+    high_water: int = 0
+
+    @property
+    def deliveries(self) -> int:
+        return self.local_deliveries + self.remote_deliveries
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.deliveries
+        return self.remote_deliveries / total if total else 0.0
+
+
+class HardwarePStore:
+    """One tile's P-Store."""
+
+    def __init__(self, tile_id: int, entries: int) -> None:
+        self.tile_id = tile_id
+        self.entries = entries
+        self.table = PendingTable(owner=tile_id, capacity=entries)
+        self.stats = PStoreStats()
+
+    def alloc(
+        self,
+        task_type: str,
+        k: Continuation,
+        njoin: int,
+        static_args: Tuple = (),
+        creator_pe: Optional[int] = None,
+    ) -> Continuation:
+        """Allocate an entry; raises PStoreFullError when the free list is
+        exhausted."""
+        cont = self.table.alloc(task_type, k, njoin, static_args, creator_pe)
+        self.stats.allocs += 1
+        self.stats.high_water = max(self.stats.high_water, len(self.table))
+        return cont
+
+    def deliver(self, cont: Continuation, value, from_local_tile: bool
+                ) -> Optional[Task]:
+        """Deliver an argument; returns the readied task if ``j`` hit zero."""
+        if from_local_tile:
+            self.stats.local_deliveries += 1
+        else:
+            self.stats.remote_deliveries += 1
+        ready = self.table.deliver(cont, value)
+        if ready is not None:
+            self.stats.tasks_readied += 1
+        return ready
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.table)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.table.is_empty
+
+    def __repr__(self) -> str:
+        return (
+            f"HardwarePStore(tile={self.tile_id}, occ={self.occupancy}/"
+            f"{self.entries})"
+        )

@@ -1,0 +1,84 @@
+"""Results of a timed accelerator (or CPU) simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.executor import HostResult
+
+
+@dataclass
+class PEStats:
+    """Per-PE counters from one run."""
+
+    pe_id: int
+    tasks_executed: int = 0
+    busy_cycles: int = 0
+    steal_attempts: int = 0
+    steal_hits: int = 0
+    tasks_stolen_from: int = 0
+    queue_high_water: int = 0
+    compute_cycles: int = 0
+    mem_stall_cycles: int = 0
+
+    @property
+    def steal_success_rate(self) -> float:
+        if not self.steal_attempts:
+            return 0.0
+        return self.steal_hits / self.steal_attempts
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation: timing, results, and statistics."""
+
+    cycles: int
+    clock_mhz: float
+    host: HostResult
+    pe_stats: List[PEStats] = field(default_factory=list)
+    mem_summary: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    label: str = ""
+
+    @property
+    def ns(self) -> float:
+        """Wall-clock duration in nanoseconds."""
+        return self.cycles * 1000.0 / self.clock_mhz
+
+    @property
+    def seconds(self) -> float:
+        return self.ns * 1e-9
+
+    @property
+    def value(self):
+        """Value the computation returned to the host (slot 0)."""
+        return self.host.value
+
+    @property
+    def tasks_executed(self) -> int:
+        return sum(p.tasks_executed for p in self.pe_stats)
+
+    @property
+    def total_steals(self) -> int:
+        return sum(p.steal_hits for p in self.pe_stats)
+
+    def utilization(self) -> float:
+        """Mean PE busy fraction."""
+        if not self.pe_stats or not self.cycles:
+            return 0.0
+        busy = sum(p.busy_cycles for p in self.pe_stats)
+        return busy / (self.cycles * len(self.pe_stats))
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Wall-clock speedup of this run relative to ``baseline``."""
+        if self.ns == 0:
+            raise ZeroDivisionError("run completed in zero time")
+        return baseline.ns / self.ns
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.label or 'run'}: {self.cycles} cycles @ "
+            f"{self.clock_mhz:.0f} MHz = {self.ns / 1000.0:.1f} us, "
+            f"{self.tasks_executed} tasks)"
+        )

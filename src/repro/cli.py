@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run <benchmark>`` — simulate one benchmark on one engine.
+* ``table1|table2|table3|table4|table5`` — regenerate a paper table.
+* ``fig6|fig7|fig8|fig9`` — regenerate a paper figure's data.
+* ``ablations`` — run the design-choice ablations.
+* ``list`` — list benchmarks and experiments.
+
+All experiment commands accept ``--full`` for paper-size workloads
+(default: quick sizes with the same shapes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.workers import PAPER_BENCHMARKS
+
+
+def _experiment_commands():
+    from repro.harness.ablations import run_all_ablations
+    from repro.harness.fig6 import run_fig6
+    from repro.harness.fig7 import run_fig7
+    from repro.harness.fig8 import run_fig8
+    from repro.harness.fig9 import run_fig9
+    from repro.harness.memstyles import run_memstyles
+    from repro.harness.sizing import run_sizing
+    from repro.harness.table4 import run_table4
+    from repro.harness.table5 import run_table5
+    from repro.harness.tables123 import run_table1, run_table2, run_table3
+
+    return {
+        "table1": lambda quick: [run_table1()],
+        "table2": lambda quick: [run_table2()],
+        "table3": lambda quick: [run_table3()],
+        "table4": lambda quick: [run_table4(quick=quick)],
+        "table5": lambda quick: [run_table5()],
+        "fig6": lambda quick: [run_fig6(quick=quick)],
+        "fig7": lambda quick: [run_fig7(quick=quick)],
+        "fig8": lambda quick: [run_fig8(quick=quick)],
+        "fig9": lambda quick: [run_fig9(quick=quick)],
+        "ablations": lambda quick: list(
+            run_all_ablations(quick=quick).values()
+        ),
+        "memstyles": lambda quick: [run_memstyles(quick=quick)],
+        "sizing": lambda quick: [run_sizing(quick=quick)],
+    }
+
+
+def _cmd_list() -> int:
+    print("benchmarks:", ", ".join(PAPER_BENCHMARKS + ("fib",)))
+    print("experiments:", ", ".join(sorted(_experiment_commands())))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness.runners import (
+        run_cpu,
+        run_flex,
+        run_lite,
+        run_zynq_cpu,
+        run_zynq_flex,
+    )
+
+    engines = {
+        "flex": run_flex,
+        "lite": run_lite,
+        "cpu": run_cpu,
+        "zynq": run_zynq_flex,
+        "zynq-cpu": run_zynq_cpu,
+    }
+    result = engines[args.engine](args.benchmark, args.pes,
+                                  quick=not args.full)
+    print(f"{result.label}: verified, {result.cycles} cycles "
+          f"({result.ns / 1000:.1f} us @ {result.clock_mhz:.0f} MHz), "
+          f"{result.tasks_executed} tasks, {result.total_steals} steals, "
+          f"{result.utilization():.0%} busy")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ParallelXL reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and experiments")
+
+    run_parser = sub.add_parser("run", help="simulate one benchmark")
+    run_parser.add_argument("benchmark",
+                            choices=PAPER_BENCHMARKS + ("fib",))
+    run_parser.add_argument("--engine", default="flex",
+                            choices=("flex", "lite", "cpu", "zynq",
+                                     "zynq-cpu"))
+    run_parser.add_argument("--pes", type=int, default=8)
+    run_parser.add_argument("--full", action="store_true",
+                            help="paper-size workload")
+
+    for name in _experiment_commands():
+        exp_parser = sub.add_parser(name, help=f"regenerate {name}")
+        exp_parser.add_argument("--full", action="store_true",
+                                help="paper-size workloads")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    runner = _experiment_commands()[args.command]
+    for result in runner(not args.full):
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""ParallelXL computation model: tasks, continuations, and scheduling.
+
+This package is the paper's primary contribution in platform-independent
+form (Section II): the task/continuation primitives, pending-task (join
+counter) semantics, work-stealing deque and LFSR victim selection, the
+``parallel_for``/``blocked_range`` patterns, functional reference executors,
+and validation tooling (strictness classes and work/span analysis).
+"""
+
+from repro.core.analysis import (
+    SpeedupPrediction,
+    analyze_worker,
+    predict,
+    saturation_pes,
+)
+from repro.core.context import (
+    ComputeOp,
+    MemOp,
+    SendArgOp,
+    SpawnOp,
+    SuccessorOp,
+    Worker,
+    WorkerContext,
+)
+from repro.core.deque import WorkStealingDeque
+from repro.core.exceptions import (
+    ConfigError,
+    DeadlockError,
+    ParallelXLError,
+    ProtocolError,
+    PStoreFullError,
+    TaskQueueOverflowError,
+)
+from repro.core.executor import (
+    ExecutionObserver,
+    ExecutionStats,
+    HostResult,
+    ReferenceScheduler,
+    SerialExecutor,
+)
+from repro.core.lfsr import LFSR16, default_seed
+from repro.core.patterns import (
+    ASYNC,
+    BlockedRange,
+    ParallelForMixin,
+    pattern_task_types,
+    static_chunks,
+)
+from repro.core.pending import PendingEntry, PendingTable
+from repro.core.task import (
+    HOST,
+    HOST_CONTINUATION,
+    MAX_TASK_ARGS,
+    Continuation,
+    Task,
+    make_task,
+)
+from repro.core.validate import (
+    GraphStats,
+    StrictnessChecker,
+    Strictness,
+    TaskGraphRecorder,
+)
+
+__all__ = [
+    "SpeedupPrediction",
+    "analyze_worker",
+    "predict",
+    "saturation_pes",
+    "ComputeOp",
+    "MemOp",
+    "SendArgOp",
+    "SpawnOp",
+    "SuccessorOp",
+    "Worker",
+    "WorkerContext",
+    "WorkStealingDeque",
+    "ConfigError",
+    "DeadlockError",
+    "ParallelXLError",
+    "ProtocolError",
+    "PStoreFullError",
+    "TaskQueueOverflowError",
+    "ExecutionObserver",
+    "ExecutionStats",
+    "HostResult",
+    "ReferenceScheduler",
+    "SerialExecutor",
+    "LFSR16",
+    "default_seed",
+    "ASYNC",
+    "BlockedRange",
+    "ParallelForMixin",
+    "pattern_task_types",
+    "static_chunks",
+    "PendingEntry",
+    "PendingTable",
+    "HOST",
+    "HOST_CONTINUATION",
+    "MAX_TASK_ARGS",
+    "Continuation",
+    "Task",
+    "make_task",
+    "GraphStats",
+    "StrictnessChecker",
+    "Strictness",
+    "TaskGraphRecorder",
+]

@@ -1,0 +1,90 @@
+"""Work/span performance analysis (Brent's bound and friends).
+
+The paper's scalability narrative (Section V-D) is classic work/span
+reasoning: quicksort's serial partition lengthens the critical path, so
+Amdahl caps it, while cilksort's parallel merges keep ``T_inf`` short.
+This module turns a recorded task graph into quantitative predictions:
+
+* ``T_1`` — total work (cycles across all tasks),
+* ``T_inf`` — the critical path,
+* Brent / greedy-scheduler bound:  ``T_P <= T_1 / P + T_inf``,
+* lower bound:                     ``T_P >= max(T_1 / P, T_inf)``,
+
+and checks simulated executions against them.  The bounds are about
+*scheduling*, so they hold for the untimed reference scheduler exactly
+(up to steal latency) and bracket the timed engines once per-cycle
+overheads are accounted for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.executor import SerialExecutor
+from repro.core.task import Task
+from repro.core.validate import GraphStats, TaskGraphRecorder
+
+
+@dataclass(frozen=True)
+class SpeedupPrediction:
+    """Predicted parallel execution bounds for one PE count."""
+
+    num_pes: int
+    work: int
+    span: int
+
+    @property
+    def upper_bound_time(self) -> float:
+        """Greedy-scheduler (Brent) bound on T_P."""
+        return self.work / self.num_pes + self.span
+
+    @property
+    def lower_bound_time(self) -> float:
+        return max(self.work / self.num_pes, self.span)
+
+    @property
+    def min_speedup(self) -> float:
+        """Speedup guaranteed by any greedy scheduler."""
+        return self.work / self.upper_bound_time
+
+    @property
+    def max_speedup(self) -> float:
+        return self.work / self.lower_bound_time
+
+    @property
+    def linear_region(self) -> bool:
+        """True while ``T_1 / P`` dominates the span (near-linear
+        scaling regime: P well below the average parallelism)."""
+        return self.work / self.num_pes >= self.span
+
+
+def predict(stats: GraphStats, num_pes: int,
+            use_cycles: bool = True) -> SpeedupPrediction:
+    """Brent-bound prediction from recorded graph statistics."""
+    if use_cycles:
+        return SpeedupPrediction(num_pes, stats.work_cycles,
+                                 stats.span_cycles)
+    return SpeedupPrediction(num_pes, stats.tasks, stats.span_tasks)
+
+
+def analyze_worker(worker, root: Task) -> GraphStats:
+    """Record the dynamic task graph of one computation and summarise it.
+
+    Runs the computation functionally once (mutating any workload data,
+    like any run does).
+    """
+    recorder = TaskGraphRecorder()
+    SerialExecutor(worker, observer=recorder).run(root)
+    return recorder.stats()
+
+
+def saturation_pes(stats: GraphStats, use_cycles: bool = True) -> float:
+    """PE count beyond which the span dominates (scaling rolls off).
+
+    This is the average parallelism ``T_1 / T_inf`` — the quantity that
+    explains Table IV: benchmarks saturate once the PE count approaches
+    it.
+    """
+    if use_cycles:
+        return stats.parallelism_cycles
+    return stats.parallelism_tasks

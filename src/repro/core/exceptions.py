@@ -1,0 +1,27 @@
+"""Exception types for the ParallelXL computation model and simulators."""
+
+from __future__ import annotations
+
+
+class ParallelXLError(Exception):
+    """Base class for all framework errors."""
+
+
+class ProtocolError(ParallelXLError):
+    """A worker or component violated the task/continuation protocol."""
+
+
+class PStoreFullError(ParallelXLError):
+    """A pending-task store ran out of entries."""
+
+
+class TaskQueueOverflowError(ParallelXLError):
+    """A hardware task queue exceeded its configured capacity."""
+
+
+class DeadlockError(ParallelXLError):
+    """The computation stopped making progress before completing."""
+
+
+class ConfigError(ParallelXLError):
+    """An accelerator or platform configuration is invalid."""

@@ -1,0 +1,326 @@
+"""Functional (untimed) executors for the continuation passing model.
+
+These executors define the *semantics* of the model independently of any
+timing: :class:`SerialExecutor` runs the computation depth-first on one
+logical processing element (measuring the serial space ``S_1``), and
+:class:`ReferenceScheduler` runs it on ``P`` logical PEs at task granularity
+with the exact scheduling policy of Section II-C — LIFO local deques,
+steal-from-head with LFSR victim selection, and greedy placement of readied
+successors on the PE that produced the last argument.
+
+The timed engines (:mod:`repro.arch` for hardware, :mod:`repro.cpu` for the
+software baseline) implement the same policy with latencies; the executors
+here are their correctness oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.context import WorkerContext, Worker, SendArgOp, SpawnOp
+from repro.core.deque import WorkStealingDeque
+from repro.core.exceptions import DeadlockError, ProtocolError
+from repro.core.lfsr import LFSR16, default_seed
+from repro.core.pending import PendingTable
+from repro.core.task import HOST, Continuation, Task
+
+
+class HostResult:
+    """Values delivered to the host interface (the root continuation)."""
+
+    def __init__(self) -> None:
+        self.slots: Dict[int, object] = {}
+
+    def deliver(self, cont: Continuation, value) -> None:
+        if not cont.is_host:
+            raise ProtocolError(f"host received non-host continuation {cont!r}")
+        if cont.slot in self.slots:
+            raise ProtocolError(f"host slot {cont.slot} delivered twice")
+        self.slots[cont.slot] = value
+
+    @property
+    def value(self):
+        """The value delivered to slot 0 (the conventional return value)."""
+        return self.slots.get(0)
+
+    def __repr__(self) -> str:
+        return f"HostResult({self.slots})"
+
+
+class ExecutionObserver:
+    """Callback hooks for instrumenting an execution (validation, tracing)."""
+
+    def on_execute(self, pe_id: int, task: Task) -> None:
+        """A PE began executing ``task``."""
+
+    def on_spawn(self, pe_id: int, parent: Task, child: Task) -> None:
+        """``parent`` spawned ``child``."""
+
+    def on_successor(self, pe_id: int, parent: Task, cont: Continuation,
+                     njoin: int) -> None:
+        """``parent`` created a pending successor reachable via ``cont``."""
+
+    def on_send(self, pe_id: int, sender: Task, cont: Continuation,
+                value) -> None:
+        """``sender`` sent ``value`` to ``cont``."""
+
+    def on_ready(self, pe_id: int, task: Task) -> None:
+        """A pending task became ready on PE ``pe_id``."""
+
+    def on_steal(self, thief: int, victim: int, task: Task) -> None:
+        """``thief`` stole ``task`` from ``victim``."""
+
+    def on_complete(self, pe_id: int, task: Task, ctx: WorkerContext) -> None:
+        """``task`` finished; ``ctx`` holds its recorded operations."""
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate counters from a functional execution."""
+
+    tasks_executed: int = 0
+    spawns: int = 0
+    successors: int = 0
+    args_sent: int = 0
+    steps: int = 0
+    steal_attempts: int = 0
+    steal_hits: int = 0
+    max_space: int = 0
+    tasks_by_type: Dict[str, int] = field(default_factory=dict)
+
+    def count_task(self, task: Task) -> None:
+        self.tasks_executed += 1
+        self.tasks_by_type[task.task_type] = (
+            self.tasks_by_type.get(task.task_type, 0) + 1
+        )
+
+
+def _as_task_list(root: Union[Task, Sequence[Task]]) -> List[Task]:
+    if isinstance(root, Task):
+        return [root]
+    return list(root)
+
+
+class SerialExecutor:
+    """Depth-first serial execution on one logical PE.
+
+    Matches a single PE operating on the tail of its own queue, which is
+    also the space-reference execution: :attr:`stats.max_space` is the
+    ``S_1`` of the space bound ``S_P <= S_1 * P``.
+    """
+
+    def __init__(
+        self,
+        worker: Worker,
+        observer: Optional[ExecutionObserver] = None,
+        max_tasks: Optional[int] = None,
+    ) -> None:
+        self.worker = worker
+        self.observer = observer or ExecutionObserver()
+        self.max_tasks = max_tasks
+        self.pending = PendingTable(owner=0)
+        self.stats = ExecutionStats()
+        self.host = HostResult()
+
+    def run(self, root: Union[Task, Sequence[Task]]) -> HostResult:
+        """Execute from the root task(s) until the computation drains."""
+        stack: List[Task] = []
+        for task in _as_task_list(root):
+            stack.append(task)
+        while stack:
+            task = stack.pop()
+            self._execute_one(task, stack)
+            space = len(stack) + len(self.pending) + 1
+            self.stats.max_space = max(self.stats.max_space, space)
+            if self.max_tasks is not None and (
+                self.stats.tasks_executed > self.max_tasks
+            ):
+                raise DeadlockError(
+                    f"exceeded max_tasks={self.max_tasks}; runaway spawn?"
+                )
+        if not self.pending.is_empty:
+            raise DeadlockError(
+                f"{len(self.pending)} pending tasks never received all "
+                "arguments"
+            )
+        return self.host
+
+    def _execute_one(self, task: Task, stack: List[Task]) -> None:
+        self.worker.check_task_type(task)
+        self.observer.on_execute(0, task)
+        self.stats.count_task(task)
+        ctx = WorkerContext(0, self._alloc_successor)
+        self._current = task
+        self.worker.execute(task, ctx)
+        self.observer.on_complete(0, task, ctx)
+        for op in ctx.ops:
+            if isinstance(op, SpawnOp):
+                self.stats.spawns += 1
+                self.observer.on_spawn(0, task, op.task)
+                stack.append(op.task)
+            elif isinstance(op, SendArgOp):
+                self.stats.args_sent += 1
+                self.observer.on_send(0, task, op.cont, op.value)
+                if op.cont.is_host:
+                    self.host.deliver(op.cont, op.value)
+                    continue
+                ready = self.pending.deliver(op.cont, op.value)
+                if ready is not None:
+                    self.observer.on_ready(0, ready)
+                    stack.append(ready)
+
+    def _alloc_successor(self, task_type: str, k: Continuation, njoin: int,
+                         static_args) -> Continuation:
+        cont = self.pending.alloc(task_type, k, njoin, static_args, creator=0)
+        self.stats.successors += 1
+        self.observer.on_successor(0, self._current, cont, njoin)
+        return cont
+
+
+class _RefPE:
+    """Per-PE state of the reference scheduler."""
+
+    __slots__ = ("pe_id", "deque", "lfsr", "current")
+
+    def __init__(self, pe_id: int, seed: Optional[int]) -> None:
+        self.pe_id = pe_id
+        self.deque: WorkStealingDeque[Task] = WorkStealingDeque(
+            name=f"pe{pe_id}"
+        )
+        self.lfsr = LFSR16(seed if seed is not None else default_seed(pe_id))
+        self.current: Optional[Task] = None
+
+
+class ReferenceScheduler:
+    """Untimed ``P``-PE work-stealing execution (one task per PE per step).
+
+    Deterministic: PEs act in id order within a step and victim selection
+    uses per-PE LFSRs.  :attr:`stats.max_space` measures the parallel space
+    ``S_P`` (queued + pending + executing tasks, summed over PEs).
+    """
+
+    def __init__(
+        self,
+        worker: Worker,
+        num_pes: int,
+        observer: Optional[ExecutionObserver] = None,
+        pstore_capacity: Optional[int] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        if num_pes < 1:
+            raise ValueError(f"need at least one PE: {num_pes}")
+        self.worker = worker
+        self.num_pes = num_pes
+        self.observer = observer or ExecutionObserver()
+        self.max_steps = max_steps
+        self.pes = [_RefPE(i, None) for i in range(num_pes)]
+        self.pending = [
+            PendingTable(owner=i, capacity=pstore_capacity)
+            for i in range(num_pes)
+        ]
+        self.stats = ExecutionStats()
+        self.host = HostResult()
+        self._executing_pe = 0
+
+    def run(self, root: Union[Task, Sequence[Task]]) -> HostResult:
+        """Execute from the root task(s) until the computation drains."""
+        for i, task in enumerate(_as_task_list(root)):
+            self.pes[i % self.num_pes].deque.push_tail(task)
+        while True:
+            progressed = self._step()
+            self.stats.steps += 1
+            self._record_space()
+            if self._drained():
+                break
+            if not progressed:
+                raise DeadlockError(
+                    "no PE made progress with work outstanding"
+                )
+            if self.max_steps is not None and self.stats.steps > self.max_steps:
+                raise DeadlockError(f"exceeded max_steps={self.max_steps}")
+        for table in self.pending:
+            if not table.is_empty:
+                raise DeadlockError("pending tasks never became ready")
+        return self.host
+
+    # ------------------------------------------------------------------
+    def _step(self) -> bool:
+        progressed = False
+        # Phase 1: every busy PE completes its current task.
+        for pe in self.pes:
+            if pe.current is not None:
+                task, pe.current = pe.current, None
+                self._execute_one(pe, task)
+                progressed = True
+        # Phase 2: idle PEs fetch work — local tail first, then steal.
+        for pe in self.pes:
+            if pe.current is not None:
+                continue
+            task = pe.deque.pop_tail()
+            if task is None and self.num_pes > 1:
+                task = self._try_steal(pe)
+            if task is not None:
+                pe.current = task
+                progressed = True
+        return progressed
+
+    def _try_steal(self, thief: _RefPE) -> Optional[Task]:
+        self.stats.steal_attempts += 1
+        victim = self.pes[thief.lfsr.pick_victim(self.num_pes, thief.pe_id)]
+        task = victim.deque.steal_head()
+        if task is not None:
+            self.stats.steal_hits += 1
+            self.observer.on_steal(thief.pe_id, victim.pe_id, task)
+        return task
+
+    def _execute_one(self, pe: _RefPE, task: Task) -> None:
+        self.worker.check_task_type(task)
+        self.observer.on_execute(pe.pe_id, task)
+        self.stats.count_task(task)
+        self._executing_pe = pe.pe_id
+        self._current = task
+        ctx = WorkerContext(pe.pe_id, self._alloc_successor)
+        self.worker.execute(task, ctx)
+        self.observer.on_complete(pe.pe_id, task, ctx)
+        for op in ctx.ops:
+            if isinstance(op, SpawnOp):
+                self.stats.spawns += 1
+                self.observer.on_spawn(pe.pe_id, task, op.task)
+                pe.deque.push_tail(op.task)
+            elif isinstance(op, SendArgOp):
+                self.stats.args_sent += 1
+                self.observer.on_send(pe.pe_id, task, op.cont, op.value)
+                if op.cont.is_host:
+                    self.host.deliver(op.cont, op.value)
+                    continue
+                ready = self.pending[op.cont.owner].deliver(op.cont, op.value)
+                if ready is not None:
+                    # Greedy scheduling: the PE that produced the last
+                    # argument continues with the successor task.
+                    self.observer.on_ready(pe.pe_id, ready)
+                    pe.deque.push_tail(ready)
+
+    def _alloc_successor(self, task_type: str, k: Continuation, njoin: int,
+                         static_args) -> Continuation:
+        pe_id = self._executing_pe
+        cont = self.pending[pe_id].alloc(
+            task_type, k, njoin, static_args, creator=pe_id
+        )
+        self.stats.successors += 1
+        self.observer.on_successor(pe_id, self._current, cont, njoin)
+        return cont
+
+    # ------------------------------------------------------------------
+    def _record_space(self) -> None:
+        space = sum(len(pe.deque) for pe in self.pes)
+        space += sum(len(t) for t in self.pending)
+        space += sum(1 for pe in self.pes if pe.current is not None)
+        self.stats.max_space = max(self.stats.max_space, space)
+
+    def _drained(self) -> bool:
+        if any(pe.current is not None for pe in self.pes):
+            return False
+        if any(not pe.deque.is_empty for pe in self.pes):
+            return False
+        return all(t.is_empty for t in self.pending)

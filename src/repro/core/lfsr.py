@@ -1,0 +1,53 @@
+"""Linear feedback shift register used for steal-victim selection.
+
+The TMU picks a random victim PE with an LFSR (Section III-A).  We implement
+the classic 16-bit Fibonacci LFSR with taps at bits 16, 15, 13 and 4
+(polynomial x^16 + x^14 + x^13 + x^11 + 1), which has a maximal period of
+65535.  Seeding each PE with a distinct nonzero state keeps the selection
+cheap, deterministic and well-distributed — exactly the hardware trade-off.
+"""
+
+from __future__ import annotations
+
+
+class LFSR16:
+    """16-bit maximal-period Fibonacci LFSR."""
+
+    PERIOD = 65535
+
+    def __init__(self, seed: int = 0xACE1) -> None:
+        seed &= 0xFFFF
+        if seed == 0:
+            raise ValueError("LFSR seed must be nonzero")
+        self.state = seed
+
+    def next(self) -> int:
+        """Advance one step and return the new 16-bit state."""
+        lfsr = self.state
+        bit = ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1
+        self.state = (lfsr >> 1) | (bit << 15)
+        return self.state
+
+    def pick(self, n: int) -> int:
+        """Return a value in ``[0, n)`` from the next LFSR state."""
+        if n <= 0:
+            raise ValueError(f"cannot pick from {n} choices")
+        return self.next() % n
+
+    def pick_victim(self, n: int, self_id: int) -> int:
+        """Pick a victim PE id in ``[0, n)`` different from ``self_id``.
+
+        Matches the hardware behaviour: draw from the other ``n - 1`` PEs so
+        a thief never targets itself.
+        """
+        if n < 2:
+            raise ValueError("need at least two PEs to steal")
+        victim = self.pick(n - 1)
+        if victim >= self_id:
+            victim += 1
+        return victim
+
+
+def default_seed(pe_id: int) -> int:
+    """Distinct nonzero per-PE seed (a fixed odd stride avoids zero)."""
+    return ((pe_id * 0x9E37 + 0xACE1) & 0xFFFF) or 0xACE1

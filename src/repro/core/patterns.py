@@ -1,0 +1,200 @@
+"""Higher-level parallel patterns built on continuation passing.
+
+The computation model's only primitives are spawn, successor creation and
+argument sends; every higher-level pattern (data-parallel loops, fork-join)
+is ultimately lowered onto those primitives (Section II-B).  This module
+provides the ``parallel_for`` helper and TBB-style ``blocked_range`` that
+the CPPWD format offers (Section IV-B): a loop is decomposed by *recursive
+splitting* — each split task halves its range and forks the two halves with
+a join successor — until ranges are at most the grain size, at which point a
+leaf body runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.context import WorkerContext
+from repro.core.exceptions import ProtocolError
+from repro.core.task import Continuation, Task
+
+#: Sentinel a leaf body returns when it has taken ownership of the
+#: continuation (e.g. to start a nested parallel loop) and will arrange for
+#: the value to be sent later.
+ASYNC = object()
+
+_PF_PREFIX = "__pf:"
+
+
+@dataclass(frozen=True)
+class BlockedRange:
+    """Half-open index range ``[begin, end)`` with a splitting grain size."""
+
+    begin: int
+    end: int
+    grainsize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.grainsize < 1:
+            raise ValueError(f"grainsize must be >= 1: {self.grainsize}")
+        if self.end < self.begin:
+            raise ValueError(f"empty-negative range [{self.begin}, {self.end})")
+
+    def __len__(self) -> int:
+        return self.end - self.begin
+
+    @property
+    def is_divisible(self) -> bool:
+        """True if the range is larger than the grain and can be split."""
+        return len(self) > self.grainsize
+
+    def split(self) -> Tuple["BlockedRange", "BlockedRange"]:
+        """Split into two halves (left gets the smaller half on odd sizes)."""
+        if not self.is_divisible:
+            raise ValueError(f"range {self} is not divisible")
+        mid = self.begin + len(self) // 2
+        return (
+            BlockedRange(self.begin, mid, self.grainsize),
+            BlockedRange(mid, self.end, self.grainsize),
+        )
+
+
+def split_task_type(tag: str) -> str:
+    """Task type tag for the split tasks of loop ``tag``."""
+    return f"{_PF_PREFIX}{tag}:split"
+
+
+def join_task_type(tag: str) -> str:
+    """Task type tag for the join (reduction) tasks of loop ``tag``."""
+    return f"{_PF_PREFIX}{tag}:join"
+
+
+def pattern_task_types(*tags: str) -> Tuple[str, ...]:
+    """All task types a worker must accept to run the named loops."""
+    types = []
+    for tag in tags:
+        types.append(split_task_type(tag))
+        types.append(join_task_type(tag))
+    return tuple(types)
+
+
+class ParallelForMixin:
+    """Mixin giving a worker TBB-style ``parallel_for`` loops.
+
+    A worker declares its loops by implementing ``pf_leaf_<tag>(ctx, k, lo,
+    hi, *extra)`` for each loop tag.  The leaf either returns a value (sent
+    to ``k`` with a default sum reduction at joins) or :data:`ASYNC` if it
+    sends to ``k`` itself (used for nesting loops).  A custom reduction can
+    be supplied as ``pf_reduce_<tag>(a, b)``.  Grain sizes are looked up in
+    the ``pf_grains`` mapping (default 1).
+
+    Unknown task types should be routed to :meth:`pf_dispatch` from the
+    worker's ``execute``; it returns ``False`` for non-pattern tasks.
+    """
+
+    #: Loop tag → grain size.  Subclasses override.
+    pf_grains: dict = {}
+
+    #: Cycles charged to a split / join task on the datapath (task
+    #: management itself is charged by the TMU model, this is just the
+    #: range arithmetic).
+    pf_split_cycles: int = 2
+    pf_join_cycles: int = 1
+
+    def pf_start(
+        self,
+        ctx: WorkerContext,
+        tag: str,
+        lo: int,
+        hi: int,
+        k: Continuation,
+        *extra,
+    ) -> None:
+        """Spawn the root split task of loop ``tag`` over ``[lo, hi)``.
+
+        The loop's reduced value is eventually sent to ``k``.  ``extra``
+        arguments are threaded unchanged to every leaf invocation, which is
+        how nested loops receive their outer indices.
+        """
+        if hi < lo:
+            raise ProtocolError(f"parallel_for over negative range [{lo},{hi})")
+        ctx.spawn(Task(split_task_type(tag), k, (lo, hi) + tuple(extra)))
+
+    def pf_grain(self, tag: str) -> int:
+        return self.pf_grains.get(tag, 1)
+
+    def pf_dispatch(self, task: Task, ctx: WorkerContext) -> bool:
+        """Execute ``task`` if it belongs to a parallel loop."""
+        if not task.task_type.startswith(_PF_PREFIX):
+            return False
+        body = task.task_type[len(_PF_PREFIX):]
+        tag, _, kind = body.rpartition(":")
+        if kind == "split":
+            self._pf_split(tag, task, ctx)
+        elif kind == "join":
+            self._pf_join(tag, task, ctx)
+        else:
+            raise ProtocolError(f"malformed pattern task type {task.task_type!r}")
+        return True
+
+    def _pf_split(self, tag: str, task: Task, ctx: WorkerContext) -> None:
+        lo, hi = task.args[0], task.args[1]
+        extra = task.args[2:]
+        rng = BlockedRange(lo, hi, self.pf_grain(tag))
+        if rng.is_divisible:
+            ctx.compute(self.pf_split_cycles)
+            left, right = rng.split()
+            join_k = ctx.make_successor(join_task_type(tag), task.k, 2)
+            split_type = split_task_type(tag)
+            # Spawn right first so the owner's LIFO pop runs left first,
+            # matching a depth-first left-to-right traversal.
+            ctx.spawn(Task(split_type, join_k.with_slot(1),
+                           (right.begin, right.end) + extra))
+            ctx.spawn(Task(split_type, join_k.with_slot(0),
+                           (left.begin, left.end) + extra))
+            return
+        leaf = getattr(self, f"pf_leaf_{tag}", None)
+        if leaf is None:
+            raise ProtocolError(f"worker has no leaf body pf_leaf_{tag}")
+        value = leaf(ctx, task.k, lo, hi, *extra)
+        if value is not ASYNC:
+            ctx.send_arg(task.k, value)
+
+    def _pf_join(self, tag: str, task: Task, ctx: WorkerContext) -> None:
+        ctx.compute(self.pf_join_cycles)
+        reduce = getattr(self, f"pf_reduce_{tag}", None)
+        a, b = task.args[0], task.args[1]
+        value = reduce(a, b) if reduce is not None else _default_reduce(a, b)
+        ctx.send_arg(task.k, value)
+
+
+def _default_reduce(a, b):
+    """Default join reduction: sum, treating ``None`` as an identity."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a + b
+
+
+def static_chunks(lo: int, hi: int, n_chunks: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``[lo, hi)`` into ``n_chunks`` contiguous near-equal pieces.
+
+    Used by LiteArch's static task distribution, where the host splits the
+    range and assigns one chunk per PE (Section III-B).  Chunks may be empty
+    when the range is smaller than ``n_chunks``.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"need at least one chunk: {n_chunks}")
+    total = hi - lo
+    if total < 0:
+        raise ValueError(f"negative range [{lo}, {hi})")
+    base, rem = divmod(total, n_chunks)
+    chunks = []
+    start = lo
+    for i in range(n_chunks):
+        size = base + (1 if i < rem else 0)
+        chunks.append((start, start + size))
+        start += size
+    return tuple(chunks)

@@ -1,0 +1,87 @@
+"""Task and continuation primitives of the explicit continuation passing model.
+
+A *task* is a tuple ``(f, args, k)`` — here ``(task_type, args, k)`` — where
+``k`` is a :class:`Continuation` pointing at one argument slot of a pending
+task that should receive this task's return value (Section II-A of the
+paper).  The host interface is addressed by the reserved owner id
+:data:`HOST`, so the root task's continuation delivers the final result back
+to the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Reserved continuation owner id for the CPU-accelerator interface block.
+HOST = -1
+
+#: Default number of argument slots in a hardware task message.  The paper's
+#: FibTaskType carries the type, a continuation, a slot index, and a small
+#: fixed number of data words; four matches the widest benchmark worker.
+MAX_TASK_ARGS = 4
+
+
+@dataclass(frozen=True)
+class Continuation:
+    """Pointer to one argument slot of a pending task.
+
+    ``owner`` identifies which pending-task store holds the entry (one per
+    tile in FlexArch, or :data:`HOST` for the interface block), ``entry`` is
+    the index inside that store, and ``slot`` selects which missing argument
+    this continuation fills.
+    """
+
+    owner: int
+    entry: int
+    slot: int = 0
+
+    def with_slot(self, slot: int) -> "Continuation":
+        """Return the same continuation aimed at a different argument slot."""
+        return Continuation(self.owner, self.entry, slot)
+
+    @property
+    def is_host(self) -> bool:
+        """True if this continuation returns its value to the host."""
+        return self.owner == HOST
+
+    def __repr__(self) -> str:
+        target = "host" if self.is_host else f"pstore{self.owner}[{self.entry}]"
+        return f"K({target}.{self.slot})"
+
+
+#: Continuation of the root task: slot 0 of the host interface.
+HOST_CONTINUATION = Continuation(HOST, 0, 0)
+
+
+@dataclass(frozen=True)
+class Task:
+    """A unit of computation: a type tag, argument words, and a continuation.
+
+    ``task_type`` corresponds to the ``f`` of the computation model — the
+    hardware's type field that homogeneous workers dispatch on.  ``args`` are
+    the argument words (integers in hardware; any hashable value here).
+    """
+
+    task_type: str
+    k: Continuation
+    args: Tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    def arg(self, index: int, default=0):
+        """Return argument word ``index``, or ``default`` past the end."""
+        if 0 <= index < len(self.args):
+            return self.args[index]
+        return default
+
+    def __repr__(self) -> str:
+        args = ",".join(repr(a) for a in self.args)
+        return f"Task({self.task_type}[{args}] -> {self.k!r})"
+
+
+def make_task(task_type: str, k: Continuation, *args) -> Task:
+    """Convenience constructor mirroring the CPPWD task constructors."""
+    return Task(task_type, k, tuple(args))

@@ -1,0 +1,255 @@
+"""Validation and analysis of continuation passing computations.
+
+Two tools, both implemented as :class:`~repro.core.executor.ExecutionObserver`
+instances driven by a functional execution:
+
+* :class:`StrictnessChecker` classifies the computation as fully strict,
+  strict, or non-strict.  The space bound ``S_P <= S_1 * P`` and the
+  equivalence with Cilk's provably efficient scheduler hold for *fully
+  strict* computations, where every task sends its result only to its
+  parent's successor (Section II-C).  Fork-join programs (fib, quicksort,
+  uts, ...) are fully strict; general continuation passing programs such as
+  the nw wavefront are not, which is exactly why FlexArch supports the more
+  general pattern.
+
+* :class:`TaskGraphRecorder` reconstructs the dynamic task graph and
+  computes work/span statistics: total work ``T1`` (task count or compute
+  cycles), critical path ``T_inf``, and average parallelism ``T1/T_inf`` —
+  the quantity that explains why cilksort keeps scaling at 32 PEs while
+  quicksort's serial partition caps it (Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.context import WorkerContext
+from repro.core.executor import ExecutionObserver
+from repro.core.task import Continuation, Task
+
+
+class Strictness(Enum):
+    """Strictness classes of a continuation passing computation."""
+
+    FULLY_STRICT = "fully-strict"
+    STRICT = "strict"
+    NONSTRICT = "non-strict"
+
+
+@dataclass
+class SendEdge:
+    """One argument-send edge, annotated with its strictness analysis."""
+
+    sender_proc: int
+    target_proc: Optional[int]  # proc that created the target entry
+    to_host: bool
+    fully_strict: bool
+    strict: bool
+
+
+class StrictnessChecker(ExecutionObserver):
+    """Classifies a computation by watching a functional execution.
+
+    Procedures are identified with spawned tasks; a task that becomes ready
+    from a pending entry *continues* the procedure that created the entry.
+    A send is fully strict if it targets an entry created by the sender's
+    parent procedure (or the host, for the root procedure); it is strict if
+    the creator is any proper ancestor.
+    """
+
+    def __init__(self) -> None:
+        # proc ids are ints; 0 is the root procedure.
+        self._next_proc = 1
+        self._proc_of_task: Dict[int, int] = {}
+        self._parent_of_proc: Dict[int, Optional[int]] = {0: None}
+        self._entry_creator: Dict[Tuple[int, int], int] = {}
+        self._keepalive: List[Task] = []
+        self._pending_ready_proc: Optional[int] = None
+        self.edges: List[SendEdge] = []
+
+    # -- observer hooks --------------------------------------------------
+    def on_execute(self, pe_id: int, task: Task) -> None:
+        if id(task) not in self._proc_of_task:
+            # Root task (never observed via spawn/ready): the root proc.
+            self._bind(task, 0)
+
+    def on_spawn(self, pe_id: int, parent: Task, child: Task) -> None:
+        parent_proc = self._proc_of_task[id(parent)]
+        proc = self._next_proc
+        self._next_proc += 1
+        self._parent_of_proc[proc] = parent_proc
+        self._bind(child, proc)
+
+    def on_successor(self, pe_id: int, parent: Task, cont: Continuation,
+                     njoin: int) -> None:
+        proc = self._proc_of_task[id(parent)]
+        self._entry_creator[(cont.owner, cont.entry)] = proc
+
+    def on_send(self, pe_id: int, sender: Task, cont: Continuation,
+                value) -> None:
+        sender_proc = self._proc_of_task[id(sender)]
+        if cont.is_host:
+            fully = self._parent_of_proc[sender_proc] is None
+            self.edges.append(SendEdge(sender_proc, None, True, fully, True))
+            return
+        creator = self._entry_creator.get((cont.owner, cont.entry))
+        parent = self._parent_of_proc[sender_proc]
+        fully = creator is not None and creator == parent
+        strict = creator is not None and self._is_ancestor(creator, sender_proc)
+        self.edges.append(
+            SendEdge(sender_proc, creator, False, fully, strict)
+        )
+        # The entry this send completed may produce a ready task next; the
+        # ready task continues the creator's procedure.
+        self._pending_ready_proc = creator
+
+    def on_ready(self, pe_id: int, task: Task) -> None:
+        proc = self._pending_ready_proc
+        self._bind(task, proc if proc is not None else 0)
+
+    # -- analysis ----------------------------------------------------------
+    def _bind(self, task: Task, proc: int) -> None:
+        self._proc_of_task[id(task)] = proc
+        self._keepalive.append(task)  # keep id() stable
+
+    def _is_ancestor(self, candidate: int, proc: int) -> bool:
+        node: Optional[int] = self._parent_of_proc.get(proc)
+        while node is not None:
+            if node == candidate:
+                return True
+            node = self._parent_of_proc.get(node)
+        return False
+
+    def classification(self) -> Strictness:
+        """Overall strictness class of the observed computation."""
+        if all(e.fully_strict for e in self.edges):
+            return Strictness.FULLY_STRICT
+        if all(e.strict for e in self.edges):
+            return Strictness.STRICT
+        return Strictness.NONSTRICT
+
+
+@dataclass
+class GraphStats:
+    """Work/span summary of a dynamic task graph."""
+
+    tasks: int
+    work_cycles: int
+    span_tasks: int
+    span_cycles: int
+
+    @property
+    def parallelism_tasks(self) -> float:
+        """Average parallelism counted in tasks (T1 / T_inf)."""
+        return self.tasks / self.span_tasks if self.span_tasks else 0.0
+
+    @property
+    def parallelism_cycles(self) -> float:
+        """Average parallelism weighted by per-task compute cycles."""
+        return self.work_cycles / self.span_cycles if self.span_cycles else 0.0
+
+
+class TaskGraphRecorder(ExecutionObserver):
+    """Reconstructs the dynamic task graph during a functional execution.
+
+    Nodes are executed task instances.  Edges are spawn edges (parent →
+    child) and data edges (argument producer → the task readied by the
+    completing send).  The recorded graph is a DAG, so work/span follow
+    from a longest-path computation.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[int, int] = {}
+        self._keepalive: List[Task] = []
+        self.node_tasks: List[Task] = []
+        self.node_cycles: List[int] = []
+        self.edges: List[Tuple[int, int]] = []
+        # Senders into each pending entry; flushed when the entry readies.
+        self._entry_senders: Dict[Tuple[int, int], List[int]] = {}
+        self._entry_creator_node: Dict[Tuple[int, int], int] = {}
+
+    # -- observer hooks --------------------------------------------------
+    def _node(self, task: Task) -> int:
+        key = id(task)
+        if key not in self._ids:
+            self._ids[key] = len(self.node_tasks)
+            self.node_tasks.append(task)
+            self.node_cycles.append(0)
+            self._keepalive.append(task)
+        return self._ids[key]
+
+    def on_execute(self, pe_id: int, task: Task) -> None:
+        self._node(task)
+
+    def on_complete(self, pe_id: int, task: Task, ctx: WorkerContext) -> None:
+        self.node_cycles[self._node(task)] = max(1, ctx.compute_cycles)
+
+    def on_spawn(self, pe_id: int, parent: Task, child: Task) -> None:
+        self.edges.append((self._node(parent), self._node(child)))
+
+    def on_successor(self, pe_id: int, parent: Task, cont: Continuation,
+                     njoin: int) -> None:
+        key = (cont.owner, cont.entry)
+        self._entry_senders[key] = []
+        self._entry_creator_node[key] = self._node(parent)
+
+    def on_send(self, pe_id: int, sender: Task, cont: Continuation,
+                value) -> None:
+        if cont.is_host:
+            return
+        key = (cont.owner, cont.entry)
+        self._entry_senders.setdefault(key, []).append(self._node(sender))
+        self._last_completed_entry = key
+
+    def on_ready(self, pe_id: int, task: Task) -> None:
+        node = self._node(task)
+        key = self._last_completed_entry
+        for sender in self._entry_senders.pop(key, []):
+            self.edges.append((sender, node))
+
+    # -- analysis ----------------------------------------------------------
+    def stats(self) -> GraphStats:
+        """Longest-path work/span statistics over the recorded DAG."""
+        n = len(self.node_tasks)
+        adj: List[List[int]] = [[] for _ in range(n)]
+        indeg = [0] * n
+        for u, v in self.edges:
+            adj[u].append(v)
+            indeg[v] += 1
+        # Kahn topological order.
+        order = [i for i in range(n) if indeg[i] == 0]
+        head = 0
+        dist_tasks = [1] * n
+        dist_cycles = [max(1, c) for c in self.node_cycles]
+        while head < len(order):
+            u = order[head]
+            head += 1
+            for v in adj[u]:
+                dist_tasks[v] = max(dist_tasks[v], dist_tasks[u] + 1)
+                dist_cycles[v] = max(
+                    dist_cycles[v], dist_cycles[u] + max(1, self.node_cycles[v])
+                )
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    order.append(v)
+        if len(order) != n:
+            raise ValueError("recorded task graph contains a cycle")
+        return GraphStats(
+            tasks=n,
+            work_cycles=sum(max(1, c) for c in self.node_cycles),
+            span_tasks=max(dist_tasks) if n else 0,
+            span_cycles=max(dist_cycles) if n else 0,
+        )
+
+    def to_networkx(self):
+        """Export the task graph as a ``networkx.DiGraph`` (lazy import)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for i, task in enumerate(self.node_tasks):
+            graph.add_node(i, task_type=task.task_type,
+                           cycles=self.node_cycles[i])
+        graph.add_edges_from(self.edges)
+        return graph

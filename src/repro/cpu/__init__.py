@@ -1,0 +1,22 @@
+"""Software baseline: multicore OOO CPU with a Cilk-style runtime."""
+
+from repro.cpu.multicore import (
+    CPU_MEM_LATENCIES,
+    MulticoreCPU,
+    cpu_config,
+    make_multicore,
+)
+from repro.cpu.runtime import RuntimeCostModel, SoftwareRuntimeNetwork
+from repro.cpu.zynq import A9_CPI_FACTOR, ZYNQ_MEM_LATENCIES, zynq_cpu_config
+
+__all__ = [
+    "CPU_MEM_LATENCIES",
+    "MulticoreCPU",
+    "cpu_config",
+    "make_multicore",
+    "RuntimeCostModel",
+    "SoftwareRuntimeNetwork",
+    "A9_CPI_FACTOR",
+    "ZYNQ_MEM_LATENCIES",
+    "zynq_cpu_config",
+]

@@ -1,0 +1,73 @@
+"""Design methodology: the Figure 4 flow plus resource/power/fit models."""
+
+from repro.design.flow import (
+    GeneratedAccelerator,
+    SynthesisReport,
+    WorkerDescription,
+    describe_worker,
+    elaborate_hierarchy,
+    generate_accelerator,
+    synthesize_worker,
+)
+from repro.design.fpga import (
+    ARTIX_7A75T,
+    DEFAULT_UTILIZATION,
+    KINTEX_7K160T,
+    FpgaDevice,
+    fit_table,
+    max_tiles,
+)
+from repro.design.report import datasheet
+from repro.design.power import (
+    PowerReport,
+    accel_power,
+    cpu_power,
+    energy_efficiency_ratio,
+)
+from repro.design.resources import (
+    CACHE_32KB,
+    FLEX_PE_TMU,
+    FLEX_TILE_SHARED,
+    LITE_PE_TMU,
+    LITE_TILE_SHARED,
+    PAPER_PE_RESOURCES,
+    ResourceVector,
+    accelerator_resources,
+    cache_resources,
+    pe_resources,
+    tile_resources,
+    worker_resources,
+)
+
+__all__ = [
+    "datasheet",
+    "GeneratedAccelerator",
+    "SynthesisReport",
+    "WorkerDescription",
+    "describe_worker",
+    "elaborate_hierarchy",
+    "generate_accelerator",
+    "synthesize_worker",
+    "ARTIX_7A75T",
+    "DEFAULT_UTILIZATION",
+    "KINTEX_7K160T",
+    "FpgaDevice",
+    "fit_table",
+    "max_tiles",
+    "PowerReport",
+    "accel_power",
+    "cpu_power",
+    "energy_efficiency_ratio",
+    "CACHE_32KB",
+    "FLEX_PE_TMU",
+    "FLEX_TILE_SHARED",
+    "LITE_PE_TMU",
+    "LITE_TILE_SHARED",
+    "PAPER_PE_RESOURCES",
+    "ResourceVector",
+    "accelerator_resources",
+    "cache_resources",
+    "pe_resources",
+    "tile_resources",
+    "worker_resources",
+]

@@ -1,0 +1,144 @@
+"""The ParallelXL design flow (Figure 4).
+
+The paper's flow: the designer writes a C++-based worker description
+(CPPWD), HLS synthesises the worker RTL, and the framework combines it
+with the parameterised architecture template (PyMTL) to emit the final
+accelerator RTL.  The Python analogue generates a *simulatable*
+accelerator instead of RTL, but walks the same stages:
+
+1. :func:`describe_worker` — extract the CPPWD-level interface description
+   (task types, ports) from a worker.
+2. :func:`synthesize_worker` — the "HLS" stage: a resource estimate for
+   the worker datapath (calibrated per benchmark).
+3. :func:`generate_accelerator` — template elaboration: instantiate the
+   tile/PE hierarchy for the chosen parameters, attach the worker, and
+   return a :class:`GeneratedAccelerator` with its resource report and a
+   runnable engine.
+
+Design-space exploration is then a loop over configurations, "without
+rewriting any code" (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.arch.accelerator import FlexAccelerator
+from repro.arch.config import AcceleratorConfig
+from repro.arch.lite import LiteAccelerator
+from repro.core.context import Worker
+from repro.core.exceptions import ConfigError
+from repro.design.fpga import FpgaDevice
+from repro.design.resources import (
+    ResourceVector,
+    accelerator_resources,
+    pe_resources,
+    worker_resources,
+)
+
+#: The CPPWD worker ports of Figure 5.
+WORKER_PORTS = ("task_in", "task_out", "cont_req", "cont_resp", "arg_out",
+                "mem")
+
+
+@dataclass(frozen=True)
+class WorkerDescription:
+    """CPPWD-level description of a worker."""
+
+    name: str
+    task_types: Tuple[str, ...]
+    ports: Tuple[str, ...] = WORKER_PORTS
+
+    def __str__(self) -> str:
+        types = ", ".join(self.task_types)
+        return f"worker {self.name}({', '.join(self.ports)}) types=[{types}]"
+
+
+def describe_worker(worker: Worker) -> WorkerDescription:
+    """Extract the interface description from a worker instance."""
+    return WorkerDescription(worker.name, tuple(worker.task_types))
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Output of the "HLS" stage for one worker."""
+
+    description: WorkerDescription
+    resources: ResourceVector
+    target_mhz: float = 200.0
+
+
+def synthesize_worker(worker: Worker, arch: str = "flex") -> SynthesisReport:
+    """Estimate the worker datapath's resources (the HLS stage)."""
+    return SynthesisReport(
+        describe_worker(worker), worker_resources(worker.name, arch)
+    )
+
+
+@dataclass
+class GeneratedAccelerator:
+    """Result of template elaboration: configuration + reports + engine."""
+
+    config: AcceleratorConfig
+    worker: Worker
+    synthesis: SynthesisReport
+    resources: ResourceVector
+    hierarchy: List[str] = field(default_factory=list)
+
+    def build_engine(self):
+        """Instantiate a fresh simulation engine for this accelerator."""
+        if self.config.is_flex:
+            return FlexAccelerator(self.config, self.worker)
+        return LiteAccelerator(self.config, self.worker)
+
+    def fits(self, device: FpgaDevice, utilization: float = 0.85) -> bool:
+        """Whether this accelerator fits on ``device``."""
+        return self.resources.fits_within(device.budget(utilization))
+
+
+def elaborate_hierarchy(config: AcceleratorConfig) -> List[str]:
+    """Structural module listing of the elaborated template (one line per
+    instance), mirroring PyMTL elaboration output."""
+    lines = [f"accelerator ({config.arch}, {config.num_tiles} tiles)"]
+    lines.append("  interface_block")
+    if config.is_flex:
+        lines.append("  crossbar: argument_network")
+        lines.append("  crossbar: work_stealing_network")
+    else:
+        lines.append("  crossbar: task_network")
+    for tile in range(config.num_tiles):
+        lines.append(f"  tile[{tile}]")
+        lines.append(f"    l1_cache ({config.l1_size >> 10}kB)")
+        if config.is_flex:
+            lines.append(f"    pstore ({config.pstore_entries} entries)")
+            lines.append("    arg_task_router")
+        for pe in range(config.pes_per_tile):
+            pid = tile * config.pes_per_tile + pe
+            lines.append(f"    pe[{pid}]")
+            lines.append(f"      tmu (queue={config.task_queue_entries})")
+            lines.append("      worker")
+    return lines
+
+
+def generate_accelerator(worker: Worker, config: AcceleratorConfig
+                         ) -> GeneratedAccelerator:
+    """Run the full Figure 4 flow for ``worker`` at ``config``."""
+    if not worker.task_types:
+        raise ConfigError(f"worker {worker.name!r} declares no task types")
+    synthesis = synthesize_worker(worker, config.arch)
+    resources = accelerator_resources(
+        worker.name, config.arch, config.num_tiles, config.pes_per_tile,
+        config.l1_size,
+    )
+    # Consistency check: the composed estimate must cover the PEs alone.
+    pe_total = pe_resources(worker.name, config.arch).scale(config.num_pes)
+    if not pe_total.fits_within(resources):
+        raise ConfigError("resource composition lost PE contributions")
+    return GeneratedAccelerator(
+        config=config,
+        worker=worker,
+        synthesis=synthesis,
+        resources=resources,
+        hierarchy=elaborate_hierarchy(config),
+    )

@@ -1,0 +1,78 @@
+"""FPGA device models and the tile-fit study (Section V-E).
+
+The paper checks how many tiles map onto a low-cost Artix-7 (XC7A75T,
+Zedboard-class) and a mainstream Kintex-7 (XC7K160T): on average 4 Flex /
+5 Lite tiles on the Artix, and 8 tiles on the Kintex for most benchmarks
+(cilksort excepted).  Fitting uses a practical place-and-route utilisation
+ceiling below 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.design.resources import ResourceVector, accelerator_resources
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """A 7-series device's usable resources."""
+
+    name: str
+    lut: int
+    ff: int
+    dsp: int
+    bram: int  # RAM18 units
+
+    def budget(self, utilization: float) -> ResourceVector:
+        """Resources usable at a given utilisation ceiling."""
+        return ResourceVector(
+            int(self.lut * utilization),
+            int(self.ff * utilization),
+            int(self.dsp * utilization),
+            int(self.bram * utilization),
+        )
+
+
+#: Low-cost part, similar to the Zedboard's Artix-class fabric.
+ARTIX_7A75T = FpgaDevice("XC7A75T", lut=47200, ff=94400, dsp=180, bram=210)
+#: Mainstream part.
+KINTEX_7K160T = FpgaDevice("XC7K160T", lut=101400, ff=202800, dsp=600,
+                           bram=650)
+
+#: Utilisation ceiling for the fit study.  The paper counts tiles against
+#: the full device capacity (its Table V per-tile numbers divide the
+#: XC7A75T's 210 RAM18s almost exactly into its reported tile counts).
+DEFAULT_UTILIZATION = 1.0
+
+
+def max_tiles(device: FpgaDevice, benchmark: str, arch: str,
+              pes_per_tile: int = 4, cache_bytes: int = 32 * 1024,
+              utilization: float = DEFAULT_UTILIZATION,
+              limit: int = 64) -> int:
+    """Largest tile count whose accelerator fits on ``device``."""
+    budget = device.budget(utilization)
+    fit = 0
+    for tiles in range(1, limit + 1):
+        need = accelerator_resources(benchmark, arch, tiles, pes_per_tile,
+                                     cache_bytes)
+        if need.fits_within(budget):
+            fit = tiles
+        else:
+            break
+    return fit
+
+
+def fit_table(benchmarks, arch: str, device: FpgaDevice,
+              **kwargs) -> Dict[str, int]:
+    """Tile-fit counts per benchmark (0 where no implementation exists)."""
+    from repro.core.exceptions import ConfigError
+
+    out: Dict[str, int] = {}
+    for name in benchmarks:
+        try:
+            out[name] = max_tiles(device, name, arch, **kwargs)
+        except ConfigError:
+            out[name] = 0
+    return out

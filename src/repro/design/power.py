@@ -1,0 +1,89 @@
+"""Power and energy models (Section V-F, Figure 8).
+
+The paper estimates accelerator power with Vivado's power tool (activity
+from RTL simulation) and core power with McPAT at 28 nm.  Here both are
+activity-scaled analytic models:
+
+* Accelerator dynamic power is proportional to resource use x clock x
+  activity (per-resource-unit coefficients are typical 28 nm FPGA values:
+  a toggling LUT+net costs on the order of tens of nW/MHz), plus a static
+  floor per tile.
+* CPU power uses McPAT-like constants for a 28 nm four-issue OOO core at
+  1 GHz: ~0.75 W dynamic at full load and ~0.12 W leakage per core, plus a
+  shared L2.
+
+Energy for a run is simply power x simulated time; Figure 8 plots
+normalised performance against normalised energy efficiency (1/energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design.resources import ResourceVector, tile_resources
+
+# -- accelerator (FPGA) coefficients, in watts per unit per MHz ----------
+LUT_W_PER_MHZ = 4.8e-8
+FF_W_PER_MHZ = 1.9e-8
+DSP_W_PER_MHZ = 5.6e-7
+BRAM_W_PER_MHZ = 6.4e-7   # per RAM18
+#: Static power per tile (clock tree + leakage share).
+TILE_STATIC_W = 0.09
+#: Interface block + global clocking static floor.
+ACCEL_STATIC_W = 0.16
+
+# -- CPU (McPAT-like, 28 nm) ---------------------------------------------
+CORE_DYNAMIC_W = 0.75     # four-issue OOO at 1 GHz, full load
+CORE_STATIC_W = 0.12
+L2_POWER_W = 0.55         # 2 MB shared L2 (dynamic + leakage)
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power breakdown of one platform configuration."""
+
+    dynamic_w: float
+    static_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.static_w
+
+    def energy_j(self, seconds: float) -> float:
+        """Energy of a run lasting ``seconds``."""
+        return self.total_w * seconds
+
+
+def accel_power(benchmark: str, arch: str, num_tiles: int,
+                pes_per_tile: int = 4, cache_bytes: int = 32 * 1024,
+                freq_mhz: float = 200.0, activity: float = 1.0
+                ) -> PowerReport:
+    """Accelerator power for a benchmark configuration.
+
+    ``activity`` is the mean PE busy fraction from the simulation
+    (:meth:`repro.arch.result.RunResult.utilization`).
+    """
+    tile = tile_resources(benchmark, arch, pes_per_tile, cache_bytes)
+    total: ResourceVector = tile.scale(num_tiles)
+    dynamic = freq_mhz * activity * (
+        total.lut * LUT_W_PER_MHZ
+        + total.ff * FF_W_PER_MHZ
+        + total.dsp * DSP_W_PER_MHZ
+        + total.bram * BRAM_W_PER_MHZ
+    )
+    static = ACCEL_STATIC_W + TILE_STATIC_W * num_tiles
+    return PowerReport(dynamic, static)
+
+
+def cpu_power(num_cores: int, activity: float = 1.0) -> PowerReport:
+    """Multicore CPU power (cores + shared L2)."""
+    dynamic = num_cores * CORE_DYNAMIC_W * activity
+    static = num_cores * CORE_STATIC_W + L2_POWER_W
+    return PowerReport(dynamic, static)
+
+
+def energy_efficiency_ratio(cpu_energy_j: float, accel_energy_j: float
+                            ) -> float:
+    """How many times less energy the accelerator uses (Figure 8's
+    normalised energy efficiency)."""
+    return cpu_energy_j / accel_energy_j

@@ -1,0 +1,62 @@
+"""Accelerator datasheet: one text report per generated design.
+
+Bundles everything a designer reviews before committing a configuration:
+the CPPWD interface, template parameters, elaborated module hierarchy,
+resource estimate with device fits, and the power envelope — the
+human-readable artifact at the end of the Figure 4 flow.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.design.flow import GeneratedAccelerator
+from repro.design.fpga import ARTIX_7A75T, KINTEX_7K160T, FpgaDevice
+from repro.design.power import accel_power
+
+#: Devices reported against by default.
+DEFAULT_DEVICES = (ARTIX_7A75T, KINTEX_7K160T)
+
+
+def datasheet(generated: GeneratedAccelerator,
+              devices: tuple = DEFAULT_DEVICES,
+              activity: float = 0.8) -> str:
+    """Render the design report for a generated accelerator."""
+    config = generated.config
+    lines: List[str] = []
+    lines.append(f"=== {generated.worker.name} accelerator datasheet ===")
+    lines.append("")
+    lines.append("[interface]")
+    lines.append(f"  {generated.synthesis.description}")
+    lines.append("")
+    lines.append("[template parameters]")
+    lines.append(f"  architecture    : {config.arch}")
+    lines.append(f"  tiles x PEs     : {config.num_tiles} x "
+                 f"{config.pes_per_tile} = {config.num_pes} PEs")
+    lines.append(f"  clock           : {config.clock.freq_mhz:.0f} MHz")
+    lines.append(f"  task queue      : {config.task_queue_entries} entries")
+    if config.is_flex:
+        lines.append(f"  P-Store         : {config.pstore_entries} "
+                     "entries/tile")
+    lines.append(f"  L1 cache        : {config.l1_size >> 10} kB/tile "
+                 f"({config.memory})")
+    lines.append("")
+    lines.append("[resources]")
+    res = generated.resources
+    lines.append(f"  LUT {res.lut}  FF {res.ff}  DSP {res.dsp}  "
+                 f"RAM18 {res.bram}")
+    for device in devices:
+        verdict = "fits" if generated.fits(device) else "does NOT fit"
+        lines.append(f"  {device.name:<10s}: {verdict}")
+    lines.append("")
+    lines.append("[power]")
+    power = accel_power(generated.worker.name, config.arch,
+                        config.num_tiles, config.pes_per_tile,
+                        config.l1_size, config.clock.freq_mhz, activity)
+    lines.append(f"  dynamic {power.dynamic_w:.2f} W @ activity "
+                 f"{activity:.0%}, static {power.static_w:.2f} W, "
+                 f"total {power.total_w:.2f} W")
+    lines.append("")
+    lines.append("[module hierarchy]")
+    lines.extend(f"  {line}" for line in generated.hierarchy)
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+One module per artifact (see DESIGN.md's experiment index):
+
+* :mod:`repro.harness.fig6` — Zedboard prototype speedups
+* :mod:`repro.harness.table4` — scalability matrix
+* :mod:`repro.harness.fig7` — performance normalised to one OOO core
+* :mod:`repro.harness.table5` — resources + FPGA fit study
+* :mod:`repro.harness.fig8` — performance vs energy efficiency
+* :mod:`repro.harness.fig9` — cache-size sweep
+* :mod:`repro.harness.tables123` — descriptive Tables I-III
+* :mod:`repro.harness.ablations` — design-choice ablations
+"""
+
+from repro.harness.common import ExperimentResult, format_table
+from repro.harness.runners import (
+    QUICK_PARAMS,
+    VerificationError,
+    run_cpu,
+    run_flex,
+    run_lite,
+    run_zynq_cpu,
+    run_zynq_flex,
+)
+from repro.harness.paper_data import geomean
+from repro.harness.results_io import load_result, save_result
+from repro.harness.sweep import pareto_front, sweep, tabulate
+from repro.harness.trace import ExecutionTrace, attach_trace
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "QUICK_PARAMS",
+    "VerificationError",
+    "run_cpu",
+    "run_flex",
+    "run_lite",
+    "run_zynq_cpu",
+    "run_zynq_flex",
+    "geomean",
+    "load_result",
+    "save_result",
+    "pareto_front",
+    "sweep",
+    "tabulate",
+    "ExecutionTrace",
+    "attach_trace",
+]

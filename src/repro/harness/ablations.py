@@ -1,0 +1,209 @@
+"""Ablation studies for the design choices the paper calls out.
+
+Section III-A motivates several micro-architectural decisions; each
+ablation flips one of them and measures the slowdown on benchmarks that
+exercise it:
+
+* **LIFO local queue order** — "LIFO order ... results in much better task
+  locality ... by traversing the task graph in a depth-first manner".
+  Flipping the owner's end to FIFO also explodes the space footprint
+  (breadth-first frontier).
+* **Steal from the head** — "stealing a larger chunk of work with each
+  request (the task at the head is closer to the root of the spawn tree)".
+* **Greedy successor placement** — readied tasks return to the last-arg
+  producer; required for the space bound and good locality.
+* **Distributed P-Store** — "a centralized structure ... would lead to
+  severe contention"; the central variant pays remote argument latency
+  from every tile but tile 0.
+* **Steal latency** — hardware work stealing costs a few cycles; sweeping
+  the network hop latency toward software-like costs shows why the
+  hardware mechanism matters (uts's load balancing decays).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.harness.common import ExperimentResult
+from repro.harness.runners import run_flex
+
+#: Benchmarks exercising dynamic scheduling hardest.
+DEFAULT_BENCHMARKS = ("uts", "cilksort", "nw")
+NUM_PES = 16
+
+
+def _cycles(name: str, quick: bool, **overrides) -> int:
+    return run_flex(name, NUM_PES, quick=quick, **overrides).cycles
+
+
+def run_ablation_queue_order(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                             quick: bool = True,
+                             num_pes: int = NUM_PES) -> ExperimentResult:
+    """LIFO vs FIFO owner queue discipline.
+
+    The space effect (FIFO walks the task graph breadth-first, so queues
+    hold whole frontiers) is clearest at low PE counts, where one queue
+    carries the full frontier.
+    """
+    rows, data = [], {}
+    for name in benchmarks:
+        lifo = run_flex(name, num_pes, quick=quick, local_order="lifo")
+        fifo = run_flex(name, num_pes, quick=quick, local_order="fifo",
+                        task_queue_entries=65536, pstore_entries=65536)
+        queue_growth = (max(p.queue_high_water for p in fifo.pe_stats)
+                        / max(1, max(p.queue_high_water
+                                     for p in lifo.pe_stats)))
+        data[name] = {
+            "slowdown": fifo.cycles / lifo.cycles,
+            "queue_growth": queue_growth,
+        }
+        rows.append([name, f"{data[name]['slowdown']:.2f}x",
+                     f"{queue_growth:.1f}x"])
+    return ExperimentResult(
+        experiment="Ablation: queue order",
+        title="FIFO owner discipline vs the paper's LIFO",
+        headers=["benchmark", "fifo slowdown", "queue high-water growth"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run_ablation_steal_end(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                           quick: bool = True) -> ExperimentResult:
+    """Steal-from-head vs steal-from-tail."""
+    rows, data = [], {}
+    for name in benchmarks:
+        head = run_flex(name, NUM_PES, quick=quick, steal_end="head")
+        tail = run_flex(name, NUM_PES, quick=quick, steal_end="tail")
+        steals_ratio = (tail.total_steals / max(1, head.total_steals))
+        data[name] = {
+            "slowdown": tail.cycles / head.cycles,
+            "steal_ratio": steals_ratio,
+        }
+        rows.append([name, f"{data[name]['slowdown']:.2f}x",
+                     f"{steals_ratio:.1f}x"])
+    return ExperimentResult(
+        experiment="Ablation: steal end",
+        title="Stealing the newest task vs the paper's oldest-task steal",
+        headers=["benchmark", "tail-steal slowdown", "steal count ratio"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run_ablation_greedy(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                        quick: bool = True) -> ExperimentResult:
+    """Greedy vs creator-returned successor placement."""
+    rows, data = [], {}
+    for name in benchmarks:
+        greedy = _cycles(name, quick, greedy=True)
+        lazy = _cycles(name, quick, greedy=False)
+        data[name] = {"slowdown": lazy / greedy}
+        rows.append([name, f"{data[name]['slowdown']:.2f}x"])
+    return ExperimentResult(
+        experiment="Ablation: greedy placement",
+        title="Returning readied tasks to their creator vs the last-arg "
+              "producer",
+        headers=["benchmark", "non-greedy slowdown"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run_ablation_pstore(benchmarks: Sequence[str] = ("nw", "cilksort"),
+                        quick: bool = True) -> ExperimentResult:
+    """Distributed per-tile P-Store vs one central P-Store."""
+    rows, data = [], {}
+    for name in benchmarks:
+        dist = run_flex(name, NUM_PES, quick=quick, central_pstore=False)
+        cent = run_flex(name, NUM_PES, quick=quick, central_pstore=True,
+                        pstore_entries=65536)
+        remote_dist = dist.counters["arg_messages_remote"]
+        remote_cent = cent.counters["arg_messages_remote"]
+        data[name] = {
+            "slowdown": cent.cycles / dist.cycles,
+            "remote_growth": remote_cent / max(1, remote_dist),
+        }
+        rows.append([name, f"{data[name]['slowdown']:.2f}x",
+                     f"{data[name]['remote_growth']:.1f}x"])
+    return ExperimentResult(
+        experiment="Ablation: P-Store placement",
+        title="Central P-Store vs the paper's distributed per-tile design",
+        headers=["benchmark", "central slowdown", "remote-arg growth"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run_ablation_steal_latency(
+    benchmark: str = "uts",
+    hop_cycles: Sequence[int] = (4, 16, 64, 256),
+    quick: bool = True,
+) -> ExperimentResult:
+    """Sweep the work-stealing network latency toward software costs."""
+    rows, data = [], {}
+    base = None
+    for hops in hop_cycles:
+        cycles = _cycles(benchmark, quick, net_hop_cycles=hops)
+        if base is None:
+            base = cycles
+        data[hops] = {"cycles": cycles, "slowdown": cycles / base}
+        rows.append([f"{hops}", f"{cycles}", f"{cycles / base:.2f}x"])
+    return ExperimentResult(
+        experiment="Ablation: steal latency",
+        title=f"{benchmark} ({NUM_PES} PEs) vs work-stealing hop latency",
+        headers=["hop cycles", "total cycles", "slowdown"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run_ablation_worker_sharing(
+    benchmarks: Sequence[str] = ("fib", "cilksort", "uts"),
+    quick: bool = True,
+) -> ExperimentResult:
+    """Heterogeneous workers: tile-shared datapath vs dedicated per-PE.
+
+    The Section III-A extension: sharing one worker instance per tile
+    saves (pes_per_tile - 1) copies of worker logic but serialises
+    same-tile tasks on the shared unit.  Reports the performance cost and
+    the LUT saving side by side.
+    """
+    from repro.arch.hetero import kinds_from, shared_tile_resources
+    from repro.design.resources import tile_resources
+    from repro.workers import make_benchmark
+
+    rows, data = [], {}
+    for name in benchmarks:
+        bench = make_benchmark(name)
+        kinds = kinds_from([tuple(bench.flex_worker().task_types)])
+        dedicated = run_flex(name, NUM_PES, quick=quick)
+        shared = run_flex(name, NUM_PES, quick=quick,
+                          shared_worker_kinds=kinds)
+        lut_saving = 1.0 - (shared_tile_resources(name).lut
+                            / tile_resources(name, "flex").lut)
+        data[name] = {
+            "slowdown": shared.cycles / dedicated.cycles,
+            "lut_saving": lut_saving,
+        }
+        rows.append([name, f"{data[name]['slowdown']:.2f}x",
+                     f"{100 * lut_saving:.0f}%"])
+    return ExperimentResult(
+        experiment="Ablation: worker sharing",
+        title="Tile-shared worker datapath vs dedicated per-PE workers",
+        headers=["benchmark", "shared slowdown", "tile LUT saving"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run_all_ablations(quick: bool = True) -> Dict[str, ExperimentResult]:
+    """All ablations keyed by short name."""
+    return {
+        "queue_order": run_ablation_queue_order(quick=quick),
+        "steal_end": run_ablation_steal_end(quick=quick),
+        "greedy": run_ablation_greedy(quick=quick),
+        "pstore": run_ablation_pstore(quick=quick),
+        "steal_latency": run_ablation_steal_latency(quick=quick),
+        "worker_sharing": run_ablation_worker_sharing(quick=quick),
+    }

@@ -1,0 +1,47 @@
+"""Shared experiment-result container and text-table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]
+                 ) -> str:
+    """Monospace table with column alignment."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in rows]
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure: rendered text + raw data."""
+
+    experiment: str
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    data: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment}: {self.title} =="]
+        if self.headers:
+            parts.append(format_table(self.headers, self.rows))
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

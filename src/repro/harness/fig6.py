@@ -1,0 +1,69 @@
+"""Figure 6 — hardware prototype on today's FPGA (Section V-B).
+
+Zedboard study: FlexArch accelerators with 4 and 8 PEs on the 100 MHz
+fabric, using stream buffers over the single bandwidth-limited ACP port,
+against the parallel CilkPlus software on the two 667 MHz Cortex-A9 cores.
+The paper's headlines: 4-PE up to 5.9x (geomean 1.8x), 8-PE up to 11.7x
+(geomean 2.5x); the memory-bound spmvcrs *slows down* because the fabric's
+memory bandwidth is below the cores'.  Benchmarks needing fine-grained
+coherent sharing (bfsqueue, knapsack) were not implemented on the board.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.harness import paper_data
+from repro.harness.common import ExperimentResult
+from repro.harness.runners import run_zynq_cpu, run_zynq_flex
+from repro.workers import PAPER_BENCHMARKS
+
+
+def zedboard_benchmarks() -> tuple:
+    """The Table II benchmarks that run on the Zedboard prototype."""
+    return tuple(b for b in PAPER_BENCHMARKS
+                 if b not in paper_data.FIG6_EXCLUDED)
+
+
+def run_fig6(
+    benchmarks: Sequence[str] = None,
+    pe_counts: Sequence[int] = (4, 8),
+    quick: bool = True,
+) -> ExperimentResult:
+    """Regenerate the Figure 6 bars (speedup over 2-core ARM software)."""
+    if benchmarks is None:
+        benchmarks = zedboard_benchmarks()
+    data: Dict[str, Dict[int, float]] = {}
+    for name in benchmarks:
+        sw_ns = run_zynq_cpu(name, 2, quick=quick).ns
+        data[name] = {
+            p: sw_ns / run_zynq_flex(name, p, quick=quick).ns
+            for p in pe_counts
+        }
+
+    headers = ["benchmark"] + [f"accel{p}pe" for p in pe_counts]
+    rows = [[name] + [f"{data[name][p]:.2f}" for p in pe_counts]
+            for name in benchmarks]
+    summary = {
+        p: paper_data.geomean([data[n][p] for n in benchmarks])
+        for p in pe_counts
+    }
+    result = ExperimentResult(
+        experiment="Figure 6",
+        title="Zedboard accelerators vs parallel software (2x Cortex-A9)",
+        headers=headers,
+        rows=rows,
+        data={"speedups": data, "geomeans": summary},
+    )
+    for p in pe_counts:
+        paper_geo = {4: paper_data.FIG6_4PE_GEOMEAN,
+                     8: paper_data.FIG6_8PE_GEOMEAN}.get(p)
+        note = f"{p}-PE geomean {summary[p]:.2f}"
+        if paper_geo is not None:
+            note += f" (paper {paper_geo:.1f})"
+        result.notes.append(note)
+    result.notes.append(
+        "excluded (needs fine-grained coherent sharing): "
+        + ", ".join(paper_data.FIG6_EXCLUDED)
+    )
+    return result

@@ -1,0 +1,82 @@
+"""Figure 7 — accelerator performance normalised to a single OOO core.
+
+For each benchmark: FlexArch and LiteArch performance at 1-32 PEs divided
+by the single-core software time, with the 8-core CilkPlus time as the
+reference line.  Headline paper numbers: 32-PE FlexArch is 4.0x (geomean)
+over eight cores and 24.1x over one core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.harness import paper_data
+from repro.harness.common import ExperimentResult
+from repro.harness.runners import run_cpu, run_flex, run_lite
+from repro.workers import PAPER_BENCHMARKS
+
+
+def run_fig7(
+    benchmarks: Sequence[str] = PAPER_BENCHMARKS,
+    pe_counts: Sequence[int] = paper_data.ACCEL_PES,
+    quick: bool = True,
+) -> ExperimentResult:
+    """Regenerate the Figure 7 series."""
+    data: Dict[str, Dict] = {}
+    for name in benchmarks:
+        one_core = run_cpu(name, 1, quick=quick).ns
+        eight_core = run_cpu(name, 8, quick=quick).ns
+        flex = [one_core / run_flex(name, p, quick=quick).ns
+                for p in pe_counts]
+        lite: Optional[list] = None
+        try:
+            lite = [one_core / run_lite(name, p, quick=quick).ns
+                    for p in pe_counts]
+        except ValueError:
+            pass
+        data[name] = {
+            "flex": flex,
+            "lite": lite,
+            "sw8_line": one_core / eight_core,
+        }
+
+    headers = (["benchmark", "sw8"]
+               + [f"flex{p}" for p in pe_counts]
+               + [f"lite{p}" for p in pe_counts])
+    rows = []
+    for name in benchmarks:
+        d = data[name]
+        row = [name, f"{d['sw8_line']:.2f}"]
+        row += [f"{v:.2f}" for v in d["flex"]]
+        row += (["N/A"] * len(pe_counts) if d["lite"] is None
+                else [f"{v:.2f}" for v in d["lite"]])
+        rows.append(row)
+
+    flex_top = [data[n]["flex"][-1] for n in benchmarks]
+    sw8 = [data[n]["sw8_line"] for n in benchmarks]
+    vs_8core = [f / s for f, s in zip(flex_top, sw8)]
+    summary = {
+        "flex_top_vs_1core_geomean": paper_data.geomean(flex_top),
+        "flex_top_vs_1core_max": max(flex_top),
+        "flex_top_vs_8core_geomean": paper_data.geomean(vs_8core),
+        "flex_top_vs_8core_max": max(vs_8core),
+    }
+
+    result = ExperimentResult(
+        experiment="Figure 7",
+        title="Performance normalised to a single OOO core",
+        headers=headers,
+        rows=rows,
+        data={"series": data, "summary": summary},
+    )
+    result.notes.append(
+        "measured: flex{}x vs 1 core geomean {:.1f} (paper {:.1f}), "
+        "vs 8 cores geomean {:.1f} (paper {:.1f})".format(
+            pe_counts[-1],
+            summary["flex_top_vs_1core_geomean"],
+            paper_data.FIG7_FLEX32_VS_1CORE_GEOMEAN,
+            summary["flex_top_vs_8core_geomean"],
+            paper_data.FIG7_FLEX32_VS_8CORE_GEOMEAN,
+        )
+    )
+    return result

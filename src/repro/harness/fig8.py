@@ -1,0 +1,94 @@
+"""Figure 8 — performance vs energy efficiency (Section V-F).
+
+16-PE FlexArch and LiteArch accelerators against the 8-core CilkPlus
+software: normalised performance (x) vs normalised energy efficiency (y,
+inverse energy).  Paper headlines: every benchmark lands in the
+lower-power region; FlexArch averages 11.8x energy efficiency, LiteArch
+15.3x (Lite trades performance for efficiency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.design.power import accel_power, cpu_power
+from repro.harness import paper_data
+from repro.harness.common import ExperimentResult
+from repro.harness.runners import run_cpu, run_flex, run_lite
+from repro.workers import PAPER_BENCHMARKS
+
+#: Figure 8 configuration: 16 PEs = 4 tiles of 4.
+NUM_PES = 16
+NUM_TILES = 4
+NUM_CORES = 8
+
+
+def run_fig8(benchmarks: Sequence[str] = PAPER_BENCHMARKS,
+             quick: bool = True) -> ExperimentResult:
+    """Regenerate the Figure 8 scatter points."""
+    data: Dict[str, Dict] = {}
+    for name in benchmarks:
+        sw = run_cpu(name, NUM_CORES, quick=quick)
+        sw_power = cpu_power(NUM_CORES, activity=sw.utilization())
+        sw_energy = sw_power.energy_j(sw.seconds)
+        entry = {"sw_power_w": sw_power.total_w, "sw_energy_j": sw_energy}
+        for arch, runner in (("flex", run_flex), ("lite", run_lite)):
+            try:
+                run = runner(name, NUM_PES, quick=quick)
+            except ValueError:
+                entry[arch] = None
+                continue
+            power = accel_power(name, arch, NUM_TILES,
+                                activity=run.utilization())
+            energy = power.energy_j(run.seconds)
+            entry[arch] = {
+                "perf_norm": sw.ns / run.ns,
+                "eff_norm": sw_energy / energy,
+                "power_w": power.total_w,
+                "power_norm": power.total_w / sw_power.total_w,
+            }
+        data[name] = entry
+
+    headers = ["benchmark", "flex.perf", "flex.eff", "flex.power",
+               "lite.perf", "lite.eff", "lite.power"]
+    rows = []
+    for name in benchmarks:
+        entry = data[name]
+        row = [name]
+        for arch in ("flex", "lite"):
+            point = entry[arch]
+            if point is None:
+                row += ["N/A"] * 3
+            else:
+                row += [f"{point['perf_norm']:.2f}",
+                        f"{point['eff_norm']:.1f}",
+                        f"{point['power_w']:.2f}W"]
+        rows.append(row)
+
+    summary = {}
+    for arch in ("flex", "lite"):
+        effs = [data[n][arch]["eff_norm"] for n in benchmarks
+                if data[n][arch] is not None]
+        summary[f"{arch}_eff_geomean"] = paper_data.geomean(effs)
+        summary[f"{arch}_all_lower_power"] = all(
+            data[n][arch]["power_norm"] < 1.0 for n in benchmarks
+            if data[n][arch] is not None
+        )
+
+    result = ExperimentResult(
+        experiment="Figure 8",
+        title="Performance vs energy efficiency (16 PEs vs 8 OOO cores)",
+        headers=headers,
+        rows=rows,
+        data={"points": data, "summary": summary},
+    )
+    result.notes.append(
+        "energy-efficiency geomeans: flex {:.1f} (paper {:.1f}), "
+        "lite {:.1f} (paper {:.1f})".format(
+            summary["flex_eff_geomean"],
+            paper_data.FIG8_FLEX_EFFICIENCY_GEOMEAN,
+            summary["lite_eff_geomean"],
+            paper_data.FIG8_LITE_EFFICIENCY_GEOMEAN,
+        )
+    )
+    return result

@@ -1,0 +1,58 @@
+"""Figure 9 — performance when varying the accelerator L1 cache size.
+
+FlexArch with 16 PEs, tile caches swept from 4 kB to 32 kB, performance
+normalised to the 32 kB point.  Paper observations: the irregular
+benchmarks (bfsqueue, spmvcrs) lose the most at small caches; nw and
+bbgemm lose some temporal reuse; the others hold up because of good
+locality or low memory intensity — which is what makes the cache size a
+worthwhile per-application customisation knob (Section V-G).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.harness import paper_data
+from repro.harness.common import ExperimentResult
+from repro.harness.runners import run_flex
+from repro.workers import PAPER_BENCHMARKS
+
+NUM_PES = 16
+
+
+def run_fig9(
+    benchmarks: Sequence[str] = PAPER_BENCHMARKS,
+    cache_sizes: Sequence[int] = paper_data.FIG9_CACHE_SIZES,
+    quick: bool = True,
+) -> ExperimentResult:
+    """Regenerate the Figure 9 series (performance vs 32 kB baseline)."""
+    data: Dict[str, Dict[int, float]] = {}
+    for name in benchmarks:
+        times = {
+            size: run_flex(name, NUM_PES, quick=quick, l1_size=size).ns
+            for size in cache_sizes
+        }
+        base = times[max(cache_sizes)]
+        data[name] = {size: base / t for size, t in times.items()}
+
+    headers = ["benchmark"] + [f"{s >> 10}kB" for s in cache_sizes]
+    rows = [[name] + [f"{data[name][s]:.2f}" for s in cache_sizes]
+            for name in benchmarks]
+
+    smallest = min(cache_sizes)
+    ranked = sorted(benchmarks, key=lambda n: data[n][smallest])
+    result = ExperimentResult(
+        experiment="Figure 9",
+        title=f"FlexArch {NUM_PES}-PE performance vs L1 size "
+              "(normalised to 32kB)",
+        headers=headers,
+        rows=rows,
+        data={"series": data, "most_sensitive": ranked[:2]},
+    )
+    result.notes.append(
+        "most sensitive at {}kB: {} (paper: {})".format(
+            smallest >> 10, ", ".join(ranked[:2]),
+            ", ".join(paper_data.FIG9_MOST_SENSITIVE),
+        )
+    )
+    return result

@@ -1,0 +1,99 @@
+"""Published numbers from the paper, for side-by-side comparison.
+
+Absolute match is not expected (the substrate is a different simulator);
+the harness reports paper values next to measured values so EXPERIMENTS.md
+can record shape agreement.
+"""
+
+from __future__ import annotations
+
+#: Table IV — speedup of n cores/PEs over one core/PE.
+CPU_CORES = (1, 2, 4, 8)
+ACCEL_PES = (1, 2, 4, 8, 16, 32)
+
+TABLE4_CPU = {
+    "nw":        (1.00, 1.74, 3.21, 5.54),
+    "quicksort": (1.00, 1.91, 3.42, 5.40),
+    "cilksort":  (1.00, 1.98, 3.78, 7.05),
+    "queens":    (1.00, 1.99, 3.92, 7.65),
+    "knapsack":  (1.00, 2.05, 3.92, 8.20),
+    "uts":       (1.00, 1.75, 2.81, 3.91),
+    "bbgemm":    (1.00, 1.99, 3.85, 7.04),
+    "bfsqueue":  (1.00, 1.77, 3.11, 4.64),
+    "spmvcrs":   (1.00, 1.95, 3.50, 5.45),
+    "stencil2d": (1.00, 1.99, 3.85, 7.04),
+}
+
+TABLE4_FLEX = {
+    "nw":        (1.00, 1.98, 3.69, 7.11, 13.23, 21.19),
+    "quicksort": (1.00, 1.89, 3.24, 5.15, 6.52, 6.81),
+    "cilksort":  (1.00, 1.99, 3.50, 6.94, 13.66, 26.20),
+    "queens":    (1.00, 1.89, 3.10, 6.20, 12.12, 24.20),
+    "knapsack":  (1.00, 1.97, 3.22, 6.13, 12.55, 23.94),
+    "uts":       (1.00, 1.95, 3.66, 6.50, 11.32, 15.64),
+    "bbgemm":    (1.00, 1.99, 3.88, 7.50, 13.38, 17.48),
+    "bfsqueue":  (1.00, 1.78, 3.36, 6.13, 9.93, 12.40),
+    "spmvcrs":   (1.00, 1.99, 3.59, 6.86, 13.16, 16.51),
+    "stencil2d": (1.00, 1.99, 3.17, 6.22, 12.12, 20.13),
+}
+
+TABLE4_LITE = {
+    "nw":        (1.00, 1.81, 3.09, 5.10, 7.54, 9.90),
+    "quicksort": (1.00, 1.61, 2.54, 3.46, 4.55, 5.17),
+    "cilksort":  None,
+    "queens":    (1.00, 2.00, 3.96, 7.45, 12.08, 13.21),
+    "knapsack":  (1.00, 1.93, 3.80, 7.64, 15.15, 29.99),
+    "uts":       (1.00, 1.92, 3.52, 5.76, 7.51, 7.44),
+    "bbgemm":    (1.00, 1.95, 3.42, 6.39, 11.29, 18.27),
+    "bfsqueue":  (1.00, 1.56, 4.23, 6.95, 9.99, 12.55),
+    "spmvcrs":   (1.00, 1.93, 2.91, 5.52, 10.16, 17.42),
+    "stencil2d": (1.00, 1.98, 2.73, 5.36, 10.32, 17.35),
+}
+
+TABLE4_GEOMEAN = {
+    "cpu": (1.00, 1.91, 3.52, 6.04),
+    "flex": (1.00, 1.94, 3.43, 6.44, 11.57, 17.35),
+    "lite": (1.00, 1.85, 3.31, 5.82, 9.37, 12.98),
+}
+
+#: Figure 7 headline numbers (32-PE FlexArch vs software).
+FIG7_FLEX32_VS_8CORE_GEOMEAN = 4.0
+FIG7_FLEX32_VS_8CORE_MAX = 9.1
+FIG7_FLEX32_VS_1CORE_GEOMEAN = 24.1
+FIG7_FLEX32_VS_1CORE_MAX = 69.5
+
+#: Figure 6 headline numbers (Zedboard prototype vs 2-core ARM software).
+FIG6_4PE_GEOMEAN = 1.8
+FIG6_4PE_MAX = 5.9
+FIG6_8PE_GEOMEAN = 2.5
+FIG6_8PE_MAX = 11.7
+#: Benchmarks the paper could not run on the Zedboard (they need
+#: fine-grained coherent cache accesses the ACP path cannot provide).
+FIG6_EXCLUDED = ("bfsqueue", "knapsack")
+
+#: Figure 8 headline numbers (16-PE accelerators vs 8 OOO cores).
+FIG8_FLEX_EFFICIENCY_GEOMEAN = 11.8
+FIG8_LITE_EFFICIENCY_GEOMEAN = 15.3
+
+#: Figure 9: benchmarks with the largest loss at small caches.
+FIG9_MOST_SENSITIVE = ("bfsqueue", "spmvcrs")
+FIG9_SOMEWHAT_SENSITIVE = ("nw", "bbgemm")
+FIG9_CACHE_SIZES = (4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024)
+
+#: Section V-E fit-study claims.
+ARTIX_FLEX_TILES_AVG = 4
+ARTIX_LITE_TILES_AVG = 5
+KINTEX_TILES_MOST = 8
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean needs positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

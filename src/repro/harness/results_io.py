@@ -1,0 +1,62 @@
+"""Persisting experiment results to JSON.
+
+Experiment runs are minutes-long at full size; saving their rendered
+tables and raw data lets EXPERIMENTS.md updates, plotting, and regression
+comparisons work from files instead of re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.harness.common import ExperimentResult
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment data to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "__dict__"):
+        return {k: _jsonable(v) for k, v in vars(value).items()
+                if not k.startswith("_")}
+    return repr(value)
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write one experiment result (rendered text + raw data) to JSON."""
+    path = Path(path)
+    payload = {
+        "experiment": result.experiment,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "notes": result.notes,
+        "data": _jsonable(result.data),
+        "rendered": result.render(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Reload a saved experiment result.
+
+    The raw ``data`` comes back as plain JSON types (dicts/lists), which
+    is enough for comparisons and plotting.
+    """
+    payload = json.loads(Path(path).read_text())
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        title=payload["title"],
+        headers=payload["headers"],
+        rows=[list(row) for row in payload["rows"]],
+        notes=list(payload["notes"]),
+        data=payload["data"],
+    )

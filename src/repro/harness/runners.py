@@ -1,0 +1,129 @@
+"""Simulation run helpers used by every experiment.
+
+Each helper builds a *fresh* benchmark instance (runs mutate workload
+data), constructs the requested engine, runs to completion, verifies the
+result against the benchmark's reference, and returns the
+:class:`~repro.arch.result.RunResult`.
+
+``quick=True`` selects smaller workload instances (QUICK_PARAMS) so the
+full experiment suite runs in seconds; the default sizes reproduce the
+paper's scaling shapes up to 32 PEs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.arch.accelerator import FlexAccelerator
+from repro.arch.config import flex_config, lite_config
+from repro.arch.lite import LiteAccelerator
+from repro.arch.result import RunResult
+from repro.cpu.multicore import MulticoreCPU, cpu_config
+from repro.cpu.zynq import A9_CPI_FACTOR, zynq_cpu_config
+from repro.sim.timing import ZYNQ_FABRIC_CLOCK
+from repro.workers import make_benchmark
+
+#: Reduced workload sizes for fast test/bench runs.
+QUICK_PARAMS: Dict[str, dict] = {
+    "nw": dict(n=128, block=8),
+    "quicksort": dict(n=4096, cutoff=64),
+    "cilksort": dict(n=4096, sort_cutoff=128, merge_cutoff=128),
+    "queens": dict(n=9, serial_depth=5),
+    "knapsack": dict(n=16, serial_items=8),
+    "uts": dict(root_children=80, q=0.22),
+    "bbgemm": dict(n=128, block=32),
+    "bfsqueue": dict(num_nodes=1024, avg_degree=8),
+    "spmvcrs": dict(num_rows=512, nnz_per_row=16),
+    "stencil2d": dict(height=96, width=96),
+    "fib": dict(n=14),
+}
+
+
+class VerificationError(AssertionError):
+    """A simulation produced an incorrect result."""
+
+
+def bench_params(name: str, quick: bool, overrides: Optional[dict] = None
+                 ) -> dict:
+    params = dict(QUICK_PARAMS.get(name, {})) if quick else {}
+    if overrides:
+        params.update(overrides)
+    return params
+
+
+def _warm(engine, bench) -> None:
+    """Model CPU-initialised data: pre-load the workload into the shared
+    L2 for benchmarks whose dataset fits (``l2_resident``)."""
+    memory = engine.memory
+    if bench.l2_resident and hasattr(memory, "warm_l2"):
+        memory.warm_l2(bench.mem)
+
+
+def _verify(bench, result: RunResult, label: str) -> RunResult:
+    if not bench.verify(result.value):
+        raise VerificationError(
+            f"{label}: wrong result {result.value!r} "
+            f"(expected {bench.expected()!r})"
+        )
+    return result
+
+
+def run_flex(name: str, num_pes: int, *, quick: bool = False,
+             params: Optional[dict] = None, platform: str = "accel",
+             **config_overrides) -> RunResult:
+    """FlexArch accelerator run."""
+    bench = make_benchmark(name, **bench_params(name, quick, params))
+    config = flex_config(num_pes, **config_overrides)
+    engine = FlexAccelerator(config, bench.flex_worker(platform))
+    _warm(engine, bench)
+    result = engine.run(bench.root_task(), label=f"{name}-flex{num_pes}")
+    return _verify(bench, result, result.label)
+
+
+def run_lite(name: str, num_pes: int, *, quick: bool = False,
+             params: Optional[dict] = None, platform: str = "accel",
+             **config_overrides) -> RunResult:
+    """LiteArch accelerator run (benchmark must have a lite port)."""
+    bench = make_benchmark(name, **bench_params(name, quick, params))
+    if not bench.has_lite:
+        raise ValueError(f"{name} has no LiteArch implementation")
+    config = lite_config(num_pes, **config_overrides)
+    engine = LiteAccelerator(config, bench.lite_worker(platform))
+    _warm(engine, bench)
+    result = engine.run(bench.lite_program(num_pes),
+                        label=f"{name}-lite{num_pes}")
+    return _verify(bench, result, result.label)
+
+
+def run_cpu(name: str, num_cores: int, *, quick: bool = False,
+            params: Optional[dict] = None, **config_overrides) -> RunResult:
+    """Software baseline run (Cilk-style runtime on OOO cores)."""
+    bench = make_benchmark(name, **bench_params(name, quick, params))
+    config = cpu_config(num_cores, **config_overrides)
+    engine = MulticoreCPU(config, bench.flex_worker("cpu"))
+    _warm(engine, bench)
+    result = engine.run(bench.root_task(), label=f"{name}-cpu{num_cores}")
+    return _verify(bench, result, result.label)
+
+
+def run_zynq_flex(name: str, num_pes: int, *, quick: bool = False,
+                  params: Optional[dict] = None) -> RunResult:
+    """Zedboard prototype accelerator: 100 MHz fabric, stream buffers over
+    the single ACP port instead of coherent L1 caches (Section V-B)."""
+    return run_flex(
+        name, num_pes, quick=quick, params=params,
+        clock=ZYNQ_FABRIC_CLOCK, memory="stream",
+    )
+
+
+def run_zynq_cpu(name: str, num_cores: int = 2, *, quick: bool = False,
+                 params: Optional[dict] = None) -> RunResult:
+    """Zedboard's two Cortex-A9 cores running the parallel software."""
+    bench = make_benchmark(name, **bench_params(name, quick, params))
+    config = zynq_cpu_config(num_cores)
+    worker = bench.flex_worker("cpu")
+    worker.costs = worker.costs.scaled(A9_CPI_FACTOR)
+    engine = MulticoreCPU(config, worker)
+    _warm(engine, bench)
+    result = engine.run(bench.root_task(), label=f"{name}-a9x{num_cores}")
+    return _verify(bench, result, result.label)

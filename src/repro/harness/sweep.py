@@ -1,0 +1,115 @@
+"""Generic design-space sweeps (Section IV-C as a library function).
+
+"Design space exploration can be done easily by changing the parameters
+given to the framework, without rewriting any code" — :func:`sweep`
+makes that a one-liner: give it a benchmark, an engine, and per-parameter
+value lists, and it simulates the cartesian product, returning one record
+per point with timing, resource, and power columns.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.exceptions import ConfigError
+from repro.harness.common import format_table
+from repro.harness.runners import run_flex, run_lite
+
+RUNNERS: Dict[str, Callable] = {"flex": run_flex, "lite": run_lite}
+
+
+def sweep(
+    benchmark: str,
+    engine: str = "flex",
+    num_pes: Sequence[int] = (4,),
+    quick: bool = True,
+    with_design_models: bool = True,
+    **param_grid: Sequence,
+) -> List[Dict]:
+    """Simulate the cartesian product of configuration values.
+
+    ``param_grid`` values are sequences of AcceleratorConfig overrides,
+    e.g. ``l1_size=(8192, 32768), net_hop_cycles=(4, 16)``.  Returns one
+    dict per point with the configuration, ``cycles``/``ns``/
+    ``utilization``, and — when ``with_design_models`` — ``lut``/``bram``/
+    ``power_w``/``energy_j`` from the design-stage models.
+    """
+    runner = RUNNERS.get(engine)
+    if runner is None:
+        raise ConfigError(f"unknown engine {engine!r} (flex or lite)")
+    names = list(param_grid)
+    records: List[Dict] = []
+    for pes in num_pes:
+        for values in itertools.product(*(param_grid[n] for n in names)):
+            overrides = dict(zip(names, values))
+            result = runner(benchmark, pes, quick=quick, **overrides)
+            record: Dict = {"num_pes": pes, **overrides}
+            record.update(
+                cycles=result.cycles,
+                ns=result.ns,
+                utilization=result.utilization(),
+                tasks=result.tasks_executed,
+            )
+            if with_design_models:
+                from repro.design.power import accel_power
+                from repro.design.resources import accelerator_resources
+
+                num_tiles = max(1, pes // 4)
+                cache = overrides.get("l1_size", 32 * 1024)
+                resources = accelerator_resources(
+                    benchmark, engine, num_tiles,
+                    min(pes, 4), cache,
+                )
+                power = accel_power(benchmark, engine, num_tiles,
+                                    min(pes, 4), cache,
+                                    activity=result.utilization())
+                record.update(
+                    lut=resources.lut,
+                    bram=resources.bram,
+                    power_w=power.total_w,
+                    energy_j=power.energy_j(result.seconds),
+                )
+            records.append(record)
+    return records
+
+
+def tabulate(records: Sequence[Dict], columns: Sequence[str] = None) -> str:
+    """Render sweep records as an aligned text table."""
+    if not records:
+        return "(no records)"
+    columns = list(columns) if columns else list(records[0])
+    rows = []
+    for record in records:
+        row = []
+        for column in columns:
+            value = record.get(column, "")
+            if isinstance(value, float):
+                value = f"{value:.3g}"
+            row.append(str(value))
+        rows.append(row)
+    return format_table(columns, rows)
+
+
+def pareto_front(records: Sequence[Dict], minimize: Sequence[str]
+                 ) -> List[Dict]:
+    """Records not dominated on the given minimisation objectives.
+
+    A record is dominated if another is no worse on every objective and
+    strictly better on at least one — e.g. ``minimize=("ns", "energy_j")``
+    gives the latency/energy trade-off curve.
+    """
+    front = []
+    for candidate in records:
+        dominated = False
+        for other in records:
+            if other is candidate:
+                continue
+            no_worse = all(other[m] <= candidate[m] for m in minimize)
+            better = any(other[m] < candidate[m] for m in minimize)
+            if no_worse and better:
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front

@@ -1,0 +1,97 @@
+"""Table IV — benchmark scalability (Section V-D1).
+
+Speedup of n cores/PEs over one core/PE, for the CilkPlus CPU baseline
+(1-8 cores), FlexArch (1-32 PEs) and LiteArch (1-32 PEs; cilksort N/A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness import paper_data
+from repro.harness.common import ExperimentResult
+from repro.harness.runners import run_cpu, run_flex, run_lite
+from repro.workers import PAPER_BENCHMARKS
+
+
+def _speedups(times_ns: Sequence[float]) -> Tuple[float, ...]:
+    base = times_ns[0]
+    return tuple(base / t for t in times_ns)
+
+
+def scalability_row(name: str, engine: str, counts: Sequence[int],
+                    quick: bool) -> Optional[Tuple[float, ...]]:
+    """Self-relative speedups for one benchmark on one engine."""
+    runner = {"cpu": run_cpu, "flex": run_flex, "lite": run_lite}[engine]
+    times: List[float] = []
+    for count in counts:
+        try:
+            times.append(runner(name, count, quick=quick).ns)
+        except ValueError:
+            return None  # no LiteArch port
+    return _speedups(times)
+
+
+def run_table4(
+    benchmarks: Sequence[str] = PAPER_BENCHMARKS,
+    cpu_counts: Sequence[int] = paper_data.CPU_CORES,
+    accel_counts: Sequence[int] = paper_data.ACCEL_PES,
+    quick: bool = True,
+) -> ExperimentResult:
+    """Regenerate Table IV.
+
+    ``quick`` shrinks the workloads; the paper-shape comparison holds in
+    both modes, with more headroom at full size.
+    """
+    data: Dict[str, Dict[str, Optional[Tuple[float, ...]]]] = {
+        "cpu": {}, "flex": {}, "lite": {},
+    }
+    for name in benchmarks:
+        data["cpu"][name] = scalability_row(name, "cpu", cpu_counts, quick)
+        data["flex"][name] = scalability_row(name, "flex", accel_counts,
+                                             quick)
+        data["lite"][name] = scalability_row(name, "lite", accel_counts,
+                                             quick)
+
+    headers = (["benchmark"]
+               + [f"cpu{c}" for c in cpu_counts]
+               + [f"flex{p}" for p in accel_counts]
+               + [f"lite{p}" for p in accel_counts])
+    rows = []
+    for name in benchmarks:
+        row = [name]
+        for engine, counts in (("cpu", cpu_counts), ("flex", accel_counts),
+                               ("lite", accel_counts)):
+            values = data[engine][name]
+            if values is None:
+                row += ["N/A"] * len(counts)
+            else:
+                row += [f"{v:.2f}" for v in values]
+        rows.append(row)
+
+    # Geomeans over benchmarks (lite skips the N/A entry, as in the paper).
+    geo_row = ["geomean"]
+    for engine, counts in (("cpu", cpu_counts), ("flex", accel_counts),
+                           ("lite", accel_counts)):
+        series = [v for v in data[engine].values() if v is not None]
+        for i in range(len(counts)):
+            geo_row.append(
+                f"{paper_data.geomean([s[i] for s in series]):.2f}"
+            )
+    rows.append(geo_row)
+
+    result = ExperimentResult(
+        experiment="Table IV",
+        title="Benchmark scalability (speedup over one core/PE)",
+        headers=headers,
+        rows=rows,
+        data=data,
+    )
+    result.notes.append(
+        "paper geomeans: cpu8={:.2f} flex32={:.2f} lite32={:.2f}".format(
+            paper_data.TABLE4_GEOMEAN["cpu"][-1],
+            paper_data.TABLE4_GEOMEAN["flex"][-1],
+            paper_data.TABLE4_GEOMEAN["lite"][-1],
+        )
+    )
+    return result

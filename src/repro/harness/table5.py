@@ -1,0 +1,88 @@
+"""Table V — accelerator resource utilisation, plus the FPGA fit study.
+
+Per-PE and per-tile LUT/FF/DSP/BRAM for FlexArch and LiteArch.  The per-PE
+numbers are the calibrated synthesis results; the per-tile numbers are
+*composed* by the template model (4 PEs + tile-shared logic + cache), so
+this experiment also checks that the composition reproduces the paper's
+tile-level deltas.  The fit study reproduces Section V-E: tiles that fit
+on a low-cost Artix-7 and a mainstream Kintex-7.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.exceptions import ConfigError
+from repro.design.fpga import ARTIX_7A75T, KINTEX_7K160T, max_tiles
+from repro.design.resources import pe_resources, tile_resources
+from repro.harness.common import ExperimentResult
+from repro.workers import PAPER_BENCHMARKS
+
+
+def run_table5(benchmarks: Sequence[str] = PAPER_BENCHMARKS
+               ) -> ExperimentResult:
+    """Regenerate Table V and the device fit counts."""
+    headers = ["benchmark",
+               "flexPE.lut", "flexPE.ff", "flexPE.dsp", "flexPE.ram",
+               "flexTile.lut", "flexTile.ff", "flexTile.dsp", "flexTile.ram",
+               "litePE.lut", "litePE.ff", "litePE.dsp", "litePE.ram",
+               "liteTile.lut", "liteTile.ff", "liteTile.dsp", "liteTile.ram",
+               "artixFlex", "artixLite", "kintexFlex", "kintexLite"]
+    rows = []
+    data = {}
+    for name in benchmarks:
+        row = [name]
+        entry = {}
+        for arch in ("flex", "lite"):
+            try:
+                pe = pe_resources(name, arch)
+                tile = tile_resources(name, arch)
+                row += [str(pe.lut), str(pe.ff), str(pe.dsp), str(pe.bram)]
+                row += [str(tile.lut), str(tile.ff), str(tile.dsp),
+                        str(tile.bram)]
+                entry[arch] = {"pe": pe, "tile": tile}
+            except ConfigError:
+                row += ["N/A"] * 8
+                entry[arch] = None
+        fits = {}
+        for device, label in ((ARTIX_7A75T, "artix"),
+                              (KINTEX_7K160T, "kintex")):
+            for arch in ("flex", "lite"):
+                try:
+                    # Capped at 8 tiles — the largest configuration the
+                    # paper builds (32 PEs).
+                    fits[f"{label}_{arch}"] = max_tiles(
+                        device, name, arch, limit=8
+                    )
+                except ConfigError:
+                    fits[f"{label}_{arch}"] = 0
+        row += [str(fits["artix_flex"]), str(fits["artix_lite"]),
+                str(fits["kintex_flex"]), str(fits["kintex_lite"])]
+        entry["fits"] = fits
+        rows.append(row)
+        data[name] = entry
+
+    result = ExperimentResult(
+        experiment="Table V",
+        title="Resource utilisation per PE / per tile, and device fit",
+        headers=headers,
+        rows=rows,
+        data=data,
+    )
+    flex_fits = [d["fits"]["artix_flex"] for d in data.values()
+                 if d["flex"] is not None]
+    lite_fits = [d["fits"]["artix_lite"] for d in data.values()
+                 if d["lite"] is not None]
+    result.notes.append(
+        "Artix-7 average tiles: flex {:.1f} (paper ~4), lite {:.1f} "
+        "(paper ~5)".format(sum(flex_fits) / len(flex_fits),
+                            sum(lite_fits) / len(lite_fits))
+    )
+    kintex8 = sum(1 for d in data.values()
+                  if d["flex"] is not None
+                  and d["fits"]["kintex_flex"] >= 8)
+    result.notes.append(
+        f"Kintex-7 fits >=8 flex tiles for {kintex8}/{len(data)} "
+        "benchmarks (paper: all but cilksort)"
+    )
+    return result

@@ -1,0 +1,103 @@
+"""Execution tracing: per-PE busy intervals and ASCII timelines.
+
+Attach an :class:`ExecutionTrace` to an accelerator before running and it
+records one interval per executed task (PE, start/end cycle, task type).
+The trace renders as a terminal timeline — the quickest way to *see* load
+imbalance, steal-driven rebalancing, or a serial bottleneck:
+
+    pe0 |##########____########|
+    pe1 |____##################|
+    ...
+
+Use :func:`attach_trace`, run the engine, then ``print(trace.render())``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TaskInterval:
+    """One executed task's occupancy of a PE."""
+
+    pe_id: int
+    start: int
+    end: int
+    task_type: str
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class ExecutionTrace:
+    """Recorder + renderer for per-PE activity."""
+
+    def __init__(self) -> None:
+        self.intervals: List[TaskInterval] = []
+
+    # Called by the PE after each task completes.
+    def record(self, pe_id: int, start: int, end: int, task_type: str
+               ) -> None:
+        self.intervals.append(TaskInterval(pe_id, start, end, task_type))
+
+    @property
+    def num_pes(self) -> int:
+        return 1 + max((i.pe_id for i in self.intervals), default=-1)
+
+    @property
+    def end_cycle(self) -> int:
+        return max((i.end for i in self.intervals), default=0)
+
+    def busy_cycles(self, pe_id: int) -> int:
+        return sum(i.duration for i in self.intervals if i.pe_id == pe_id)
+
+    def by_type(self) -> Dict[str, int]:
+        """Total busy cycles per task type (where the time went)."""
+        totals: Dict[str, int] = {}
+        for interval in self.intervals:
+            totals[interval.task_type] = (
+                totals.get(interval.task_type, 0) + interval.duration
+            )
+        return totals
+
+    def render(self, width: int = 72) -> str:
+        """ASCII timeline: '#' busy, '_' idle, one row per PE."""
+        end = self.end_cycle
+        if end == 0 or not self.intervals:
+            return "(empty trace)"
+        scale = end / width
+        rows = []
+        for pe in range(self.num_pes):
+            cells = [0.0] * width
+            for interval in self.intervals:
+                if interval.pe_id != pe:
+                    continue
+                first = int(interval.start / scale)
+                last = min(width - 1, int(max(interval.start,
+                                              interval.end - 1) / scale))
+                for cell in range(first, last + 1):
+                    cells[cell] += 1.0
+            line = "".join("#" if c > 0 else "_" for c in cells)
+            busy = self.busy_cycles(pe)
+            rows.append(f"pe{pe:<3d}|{line}| {100.0 * busy / end:3.0f}%")
+        header = f"cycles 0..{end} ({scale:.1f} cycles/char)"
+        return "\n".join([header] + rows)
+
+    def utilization(self) -> float:
+        """Mean busy fraction across PEs over the traced window."""
+        end = self.end_cycle
+        pes = self.num_pes
+        if not end or not pes:
+            return 0.0
+        busy = sum(i.duration for i in self.intervals)
+        return busy / (end * pes)
+
+
+def attach_trace(accelerator) -> ExecutionTrace:
+    """Create a trace and attach it to an accelerator before ``run``."""
+    trace = ExecutionTrace()
+    accelerator.tracer = trace
+    return trace

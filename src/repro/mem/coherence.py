@@ -1,0 +1,326 @@
+"""MOESI snooping coherence across the L1 caches and the shared L2.
+
+One :class:`CoherenceDomain` spans all L1 caches (accelerator tile caches
+and/or CPU core caches) plus the inclusive shared L2 and DRAM.  The model
+resolves each line access to a stall time:
+
+* L1 hits cost no stall — 1-cycle hits are absorbed by the pipelined worker
+  datapath (or the OOO core), per Table III.
+* Read misses snoop the peers: a dirty peer (M/O) supplies the line
+  cache-to-cache and keeps ownership (M→O); otherwise the L2/DRAM supplies
+  it and the requester takes E (no other sharer) or S.
+* Write hits in S/O need a bus upgrade that invalidates the peers; write
+  misses invalidate peers and fetch the line in M.
+* Dirty evictions write back to the L2; L2 evictions back-invalidate the
+  L1s (inclusion) and write dirty data to DRAM as background bandwidth.
+* A next-line prefetcher fills ``line + line_size`` on every L1 *read*
+  (hit or miss) without stalling the requester (background DRAM bandwidth
+  only), so streaming reads settle into all-hit behaviour after the first
+  miss — matching a pipelined HLS worker with a stream prefetcher.
+* Writes are posted: write misses and upgrades perform all state changes
+  and consume DRAM bandwidth, but do not stall the requester (store
+  buffers on the CPU, decoupled store queues in the accelerator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.mem.cache import Cache, State
+from repro.mem.dram import DRAM
+from repro.mem.memory import lines_touched
+
+
+@dataclass(frozen=True)
+class MemLatencies:
+    """Stall contributions in nanoseconds (Table III, converted)."""
+
+    l1_hit_ns: float = 2.5      # 1 cycle at the 400 MHz accelerator L1
+    l2_hit_ns: float = 10.0     # 10 cycles at 1 GHz
+    c2c_ns: float = 15.0        # snoop + cache-to-cache transfer
+    upgrade_ns: float = 8.0     # bus invalidation round
+    dram_ns: float = 50.0       # row access before bandwidth service
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a (possibly multi-line) memory access."""
+
+    stall_ns: float = 0.0
+    line_hits: int = 0
+    line_misses: int = 0
+
+    def merge(self, other: "AccessResult") -> None:
+        self.stall_ns += other.stall_ns
+        self.line_hits += other.line_hits
+        self.line_misses += other.line_misses
+
+
+@dataclass
+class DomainStats:
+    c2c_transfers: int = 0
+    upgrades: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l1_writebacks: int = 0
+    l2_writebacks: int = 0
+    back_invalidations: int = 0
+    prefetch_issued: int = 0
+
+
+class CoherenceDomain:
+    """All L1s + inclusive shared L2 + DRAM under MOESI snooping."""
+
+    def __init__(
+        self,
+        l1s: List[Cache],
+        l2: Cache,
+        dram: DRAM,
+        latencies: MemLatencies = MemLatencies(),
+        prefetch: bool = True,
+        line_size: int = 64,
+        l2_bandwidth_gbps: Optional[float] = 32.0,
+    ) -> None:
+        self.l1s = l1s
+        self.l2 = l2
+        self.dram = dram
+        self.lat = latencies
+        self.prefetch = prefetch
+        self.line_size = line_size
+        # Shared-L2 port bandwidth (GB/s == bytes/ns); None = unlimited.
+        self.l2_bytes_per_ns = l2_bandwidth_gbps
+        self._l2_next_free = 0.0
+        self.stats = DomainStats()
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        requester: int,
+        addr: int,
+        nbytes: int,
+        is_write: bool,
+        now_ns: float,
+    ) -> AccessResult:
+        """Perform an access from L1 ``requester``; returns stall/hit info.
+
+        All lines of one access are issued together (the worker's memory
+        port streams a block with full memory-level parallelism), so the
+        op's stall is the *slowest* line, not the sum — the L2 and DRAM
+        port horizons still serialise the individual line services, so a
+        long burst's last line naturally queues behind the earlier ones.
+        Dependent accesses (e.g. spmv's x gathers) are separate ops and
+        therefore still serialise against each other.
+        """
+        result = AccessResult()
+        max_stall = 0.0
+        for line in lines_touched(addr, nbytes, self.line_size):
+            one = self._access_line(requester, line, is_write, now_ns)
+            result.line_hits += one.line_hits
+            result.line_misses += one.line_misses
+            max_stall = max(max_stall, one.stall_ns)
+        result.stall_ns = max_stall
+        return result
+
+    # ------------------------------------------------------------------
+    def _access_line(
+        self, requester: int, line: int, is_write: bool, now_ns: float
+    ) -> AccessResult:
+        l1 = self.l1s[requester]
+        state = l1.lookup(line)
+        if state.is_valid:
+            l1.touch(line)
+            if not is_write:
+                l1.stats.read_hits += 1
+                if self.prefetch:
+                    self._prefetch_line(requester, line + self.line_size,
+                                        now_ns)
+                return AccessResult(0.0, 1, 0)
+            if state.can_write:
+                l1.stats.write_hits += 1
+                l1.set_state(line, State.MODIFIED)
+                return AccessResult(0.0, 1, 0)
+            # Write hit on a Shared/Owned line: bus upgrade (posted — the
+            # store buffer hides it from the requester).
+            l1.stats.write_hits += 1
+            l1.stats.upgrades += 1
+            self.stats.upgrades += 1
+            self._invalidate_peers(requester, line)
+            l1.set_state(line, State.MODIFIED)
+            return AccessResult(0.0, 1, 0)
+        # Miss.
+        if is_write:
+            l1.stats.write_misses += 1
+        else:
+            l1.stats.read_misses += 1
+        stall = self._fetch_line(requester, line, is_write, now_ns)
+        if self.prefetch and not is_write:
+            self._prefetch_line(requester, line + self.line_size, now_ns)
+        if is_write:
+            stall = 0.0  # posted write: state changes done, no stall
+        return AccessResult(stall, 0, 1)
+
+    def _fetch_line(
+        self, requester: int, line: int, is_write: bool, now_ns: float
+    ) -> float:
+        """Fetch ``line`` into the requester's L1, resolving coherence."""
+        l1 = self.l1s[requester]
+        dirty_peer, clean_peer = self._snoop(requester, line)
+        if is_write:
+            # Invalidate every other copy; dirty data is handed over c2c.
+            self._invalidate_peers(requester, line)
+            if dirty_peer is not None:
+                self.stats.c2c_transfers += 1
+                stall = self.lat.c2c_ns
+            else:
+                stall = self._from_l2(line, now_ns, for_write=True)
+            self._fill_l1(requester, line, State.MODIFIED, now_ns)
+            # L2 copy becomes stale relative to the M line; mark it so an
+            # inclusion eviction knows to expect the dirty writeback.
+            self._l2_note_modified(line)
+            return stall
+        # Read miss.
+        if dirty_peer is not None:
+            peer = self.l1s[dirty_peer]
+            peer.stats.snoop_hits += 1
+            if peer.lookup(line) is State.MODIFIED:
+                peer.set_state(line, State.OWNED)
+            self.stats.c2c_transfers += 1
+            self._fill_l1(requester, line, State.SHARED, now_ns)
+            return self.lat.c2c_ns
+        if clean_peer is not None:
+            peer = self.l1s[clean_peer]
+            peer.stats.snoop_hits += 1
+            if peer.lookup(line) is State.EXCLUSIVE:
+                peer.set_state(line, State.SHARED)
+            stall = self._from_l2(line, now_ns, for_write=False)
+            self._fill_l1(requester, line, State.SHARED, now_ns)
+            return stall
+        stall = self._from_l2(line, now_ns, for_write=False)
+        self._fill_l1(requester, line, State.EXCLUSIVE, now_ns)
+        return stall
+
+    # ------------------------------------------------------------------
+    def _snoop(self, requester: int, line: int):
+        """Return (index of a dirty holder, index of a clean holder)."""
+        dirty = clean = None
+        for i, peer in enumerate(self.l1s):
+            if i == requester:
+                continue
+            state = peer.lookup(line)
+            if state.is_dirty:
+                dirty = i
+            elif state.is_valid and clean is None:
+                clean = i
+        return dirty, clean
+
+    def _invalidate_peers(self, requester: int, line: int) -> None:
+        for i, peer in enumerate(self.l1s):
+            if i != requester:
+                peer.invalidate(line)
+
+    def _fill_l1(self, requester: int, line: int, state: State,
+                 now_ns: float) -> None:
+        victim = self.l1s[requester].fill(line, state)
+        if victim is not None:
+            victim_line, victim_state = victim
+            if victim_state.is_dirty:
+                self.l1s[requester].stats.writebacks += 1
+                self.stats.l1_writebacks += 1
+                self._l2_note_modified(victim_line, fill_if_absent=True,
+                                       now_ns=now_ns)
+
+    def _l2_port_delay(self, now_ns: float) -> float:
+        """Queue time behind other requesters at the shared L2 port."""
+        if self.l2_bytes_per_ns is None:
+            return 0.0
+        service = self.line_size / self.l2_bytes_per_ns
+        start = max(now_ns, self._l2_next_free)
+        self._l2_next_free = start + service
+        return start - now_ns
+
+    def _from_l2(self, line: int, now_ns: float, for_write: bool) -> float:
+        """Stall for supplying a line from the L2, fetching DRAM on miss."""
+        queue_ns = self._l2_port_delay(now_ns)
+        now_ns += queue_ns
+        if self.l2.lookup(line).is_valid:
+            self.l2.touch(line)
+            self.l2.stats.read_hits += 1
+            self.stats.l2_hits += 1
+            return queue_ns + self.lat.l2_hit_ns
+        self.l2.stats.read_misses += 1
+        self.stats.l2_misses += 1
+        dram_ns = self.dram.access(now_ns + self.lat.l2_hit_ns)
+        self._fill_l2(line, State.EXCLUSIVE, now_ns)
+        return queue_ns + self.lat.l2_hit_ns + dram_ns
+
+    def _fill_l2(self, line: int, state: State, now_ns: float) -> None:
+        victim = self.l2.fill(line, state)
+        if victim is not None:
+            victim_line, victim_state = victim
+            # Inclusion: evicting from L2 removes the line from all L1s;
+            # a dirty L1 copy is folded into the writeback.
+            dirty = victim_state.is_dirty
+            for l1 in self.l1s:
+                if l1.invalidate(victim_line).is_dirty:
+                    dirty = True
+                    self.stats.back_invalidations += 1
+            if dirty:
+                self.l2.stats.writebacks += 1
+                self.stats.l2_writebacks += 1
+                self.dram.record_background(now_ns)
+
+    def _l2_note_modified(self, line: int, fill_if_absent: bool = False,
+                          now_ns: float = 0.0) -> None:
+        if self.l2.lookup(line).is_valid:
+            self.l2.set_state(line, State.MODIFIED)
+            self.l2.touch(line)
+        elif fill_if_absent:
+            self._fill_l2(line, State.MODIFIED, now_ns)
+
+    def _prefetch_line(self, requester: int, line: int, now_ns: float) -> None:
+        """Next-line prefetch into the requester's L1 without stalling."""
+        l1 = self.l1s[requester]
+        if l1.lookup(line).is_valid:
+            return
+        # Skip if any peer holds the line: a prefetch must not steal
+        # ownership or force invalidations.
+        for i, peer in enumerate(self.l1s):
+            if i != requester and peer.lookup(line).is_valid:
+                return
+        self.stats.prefetch_issued += 1
+        l1.stats.prefetch_fills += 1
+        if not self.l2.lookup(line).is_valid:
+            self.dram.record_background(now_ns)
+            self._fill_l2(line, State.EXCLUSIVE, now_ns)
+        else:
+            self.l2.touch(line)
+        self._fill_l1(requester, line, State.EXCLUSIVE, now_ns)
+
+    # ------------------------------------------------------------------
+    def check_inclusion(self) -> bool:
+        """Inclusion invariant: every valid L1 line is present in the L2."""
+        l2_lines = set(self.l2.contents())
+        for l1 in self.l1s:
+            for line in l1.contents():
+                if line not in l2_lines:
+                    return False
+        return True
+
+    def check_coherence(self) -> bool:
+        """Single-writer invariant: at most one M/E holder per line, and
+        no other valid copies may coexist with an M or E copy."""
+        holders: dict = {}
+        for i, l1 in enumerate(self.l1s):
+            for line, state in l1.contents().items():
+                holders.setdefault(line, []).append(state)
+        for line, states in holders.items():
+            exclusive = sum(1 for s in states
+                            if s in (State.MODIFIED, State.EXCLUSIVE))
+            if exclusive > 1:
+                return False
+            if exclusive == 1 and len(states) > 1:
+                return False
+            if sum(1 for s in states if s.is_dirty) > 1:
+                return False
+        return True

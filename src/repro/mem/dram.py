@@ -1,0 +1,74 @@
+"""DRAM timing model: fixed access latency plus a shared bandwidth queue.
+
+Table III's memory is 64-bit DDR3-1600 with 12.8 GB/s peak bandwidth.  The
+model serves one cache line per request; requests queue on a single
+``next_free`` horizon so that concurrent requesters contend for bandwidth —
+this is what saturates the memory-bound benchmarks (spmvcrs, stencil2d) as
+PE count grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DRAMStats:
+    requests: int = 0
+    bytes_transferred: int = 0
+    queue_delay_ns: float = 0.0
+
+    def bandwidth_gbps(self, elapsed_ns: float) -> float:
+        """Achieved bandwidth over ``elapsed_ns`` in GB/s."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.bytes_transferred / elapsed_ns
+
+
+class DRAM:
+    """Single-channel DRAM with fixed latency and peak-bandwidth queueing."""
+
+    def __init__(
+        self,
+        access_ns: float = 50.0,
+        bandwidth_gbps: float = 12.8,
+        line_size: int = 64,
+    ) -> None:
+        if bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_gbps}")
+        self.access_ns = access_ns
+        self.bytes_per_ns = bandwidth_gbps  # GB/s == bytes/ns
+        self.line_size = line_size
+        self._next_free = 0.0
+        self.stats = DRAMStats()
+
+    def access(self, now_ns: float, nbytes: int = None) -> float:
+        """Serve one line (or ``nbytes``) request issued at ``now_ns``.
+
+        Returns the request latency in ns, including any time spent queued
+        behind earlier requests for bandwidth.
+        """
+        nbytes = self.line_size if nbytes is None else nbytes
+        service_ns = nbytes / self.bytes_per_ns
+        start = max(now_ns, self._next_free)
+        self._next_free = start + service_ns
+        queue_delay = start - now_ns
+        self.stats.requests += 1
+        self.stats.bytes_transferred += nbytes
+        self.stats.queue_delay_ns += queue_delay
+        return queue_delay + self.access_ns + service_ns
+
+    def record_background(self, now_ns: float, nbytes: int = None) -> None:
+        """Consume bandwidth without a requester stall (writebacks,
+        prefetch fills): the transfer occupies the channel but nobody
+        waits on it."""
+        nbytes = self.line_size if nbytes is None else nbytes
+        service_ns = nbytes / self.bytes_per_ns
+        start = max(now_ns, self._next_free)
+        self._next_free = start + service_ns
+        self.stats.requests += 1
+        self.stats.bytes_transferred += nbytes
+
+    @property
+    def busy_until_ns(self) -> float:
+        return self._next_free

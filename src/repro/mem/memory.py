@@ -1,0 +1,97 @@
+"""Simulated flat memory: address allocation and typed numpy views.
+
+Functional data and timing are decoupled (DESIGN.md): workloads store their
+real data in numpy arrays obtained from :class:`SimMemory`, while the cache
+models only ever see the *addresses*.  Each allocation reserves an aligned
+address range so that traces from different arrays never overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Cache line size used throughout the platform (Table III).
+LINE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, allocated address range."""
+
+    name: str
+    base: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    def addr(self, index: int, itemsize: int = 4) -> int:
+        """Address of element ``index`` for an ``itemsize``-byte element."""
+        offset = index * itemsize
+        if not (0 <= offset < self.nbytes):
+            raise IndexError(
+                f"element {index} (offset {offset}) outside region "
+                f"{self.name!r} of {self.nbytes} bytes"
+            )
+        return self.base + offset
+
+
+class SimMemory:
+    """Bump allocator for simulated address space with numpy array views."""
+
+    def __init__(self, base: int = 0x1000_0000, alignment: int = LINE_SIZE) -> None:
+        if alignment & (alignment - 1):
+            raise ValueError(f"alignment must be a power of two: {alignment}")
+        self._next = base
+        self.alignment = alignment
+        self.regions: Dict[str, Region] = {}
+
+    def alloc(self, name: str, nbytes: int) -> Region:
+        """Reserve ``nbytes`` (line-aligned) under ``name``."""
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if nbytes <= 0:
+            raise ValueError(f"allocation must be positive: {nbytes}")
+        mask = self.alignment - 1
+        base = (self._next + mask) & ~mask
+        self._next = base + nbytes
+        region = Region(name, base, nbytes)
+        self.regions[name] = region
+        return region
+
+    def alloc_array(
+        self, name: str, count: int, dtype=np.int32
+    ) -> Tuple[Region, np.ndarray]:
+        """Allocate a region and return it with a zeroed numpy array view."""
+        itemsize = np.dtype(dtype).itemsize
+        region = self.alloc(name, count * itemsize)
+        return region, np.zeros(count, dtype=dtype)
+
+    def region_of(self, addr: int) -> Region:
+        """Find the region containing ``addr`` (for debugging traces)."""
+        for region in self.regions.values():
+            if region.base <= addr < region.end:
+                return region
+        raise KeyError(f"address {addr:#x} is not in any region")
+
+    @property
+    def bytes_allocated(self) -> int:
+        return sum(r.nbytes for r in self.regions.values())
+
+
+def line_of(addr: int, line_size: int = LINE_SIZE) -> int:
+    """Line-aligned base address of ``addr``."""
+    return addr & ~(line_size - 1)
+
+
+def lines_touched(addr: int, nbytes: int, line_size: int = LINE_SIZE) -> range:
+    """Line base addresses covered by ``[addr, addr + nbytes)``."""
+    if nbytes <= 0:
+        raise ValueError(f"access must cover at least one byte: {nbytes}")
+    first = line_of(addr, line_size)
+    last = line_of(addr + nbytes - 1, line_size)
+    return range(first, last + line_size, line_size)

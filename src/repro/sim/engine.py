@@ -1,0 +1,219 @@
+"""Core discrete-event engine.
+
+The engine keeps a heap of ``(time, sequence, action)`` entries.  Actions are
+either plain callbacks or process resumptions.  Processes are generators that
+yield request objects:
+
+``Timeout(delay)``
+    Resume the process ``delay`` ticks from now.
+
+``Get(channel)``
+    Resume the process with the next item that arrives on ``channel``.
+
+``Event``
+    Resume the process when the event is triggered; the process receives the
+    event's payload.
+
+A process may also yield another process (the value returned by
+:meth:`Engine.process`) to join on its completion, receiving the child's
+return value.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Timeout:
+    """Request to sleep for a fixed number of ticks."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.delay = int(delay)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay})"
+
+
+class Event:
+    """One-shot event that processes can wait on.
+
+    Triggering an event resumes every waiter with the trigger payload.  An
+    event may only be triggered once; waiting on an already-triggered event
+    resumes immediately.
+    """
+
+    __slots__ = ("engine", "_waiters", "triggered", "payload", "name")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.triggered = False
+        self.payload: Any = None
+
+    def trigger(self, payload: Any = None) -> None:
+        """Fire the event, resuming all waiters at the current time."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.payload = payload
+        for proc in self._waiters:
+            self.engine._schedule_resume(proc, 0, payload)
+        self._waiters.clear()
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            self.engine._schedule_resume(proc, 0, self.payload)
+        else:
+            self._waiters.append(proc)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Get:
+    """Request for the next item from a channel."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: Any) -> None:
+        self.channel = channel
+
+    def __repr__(self) -> str:
+        return f"Get({self.channel!r})"
+
+
+class Process:
+    """A running generator process managed by the engine."""
+
+    __slots__ = ("engine", "generator", "name", "done", "result", "_joiners")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str) -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self._joiners: List["Process"] = []
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        for joiner in self._joiners:
+            self.engine._schedule_resume(joiner, 0, result)
+        self._joiners.clear()
+
+    def _add_joiner(self, proc: "Process") -> None:
+        if self.done:
+            self.engine._schedule_resume(proc, 0, self.result)
+        else:
+            self._joiners.append(proc)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Engine:
+    """Discrete-event simulation engine with an integer tick clock."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._live_processes = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + int(delay), self._seq, fn))
+
+    def event(self, name: str = "") -> Event:
+        """Create a new one-shot :class:`Event`."""
+        return Event(self, name)
+
+    def process(self, generator: Generator, name: str = "proc") -> Process:
+        """Register ``generator`` as a process and start it immediately."""
+        proc = Process(self, generator, name)
+        self._live_processes += 1
+        self._schedule_start(proc)
+        return proc
+
+    def _schedule_start(self, proc: Process) -> None:
+        self.schedule(0, lambda: self._step(proc, None))
+
+    def _schedule_resume(self, proc: Process, delay: int, value: Any) -> None:
+        self.schedule(delay, lambda: self._step(proc, value))
+
+    def _step(self, proc: Process, value: Any) -> None:
+        try:
+            request = proc.generator.send(value)
+        except StopIteration as stop:
+            self._live_processes -= 1
+            proc._finish(getattr(stop, "value", None))
+            return
+        self._dispatch(proc, request)
+
+    def _dispatch(self, proc: Process, request: Any) -> None:
+        if isinstance(request, Timeout):
+            self._schedule_resume(proc, request.delay, None)
+        elif isinstance(request, Get):
+            request.channel._add_getter(proc)
+        elif isinstance(request, Event):
+            request._add_waiter(proc)
+        elif isinstance(request, Process):
+            request._add_joiner(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unsupported request {request!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the event heap drains (or ``until`` ticks / ``max_events``).
+
+        Returns the final simulation time.  ``until`` is an absolute tick
+        bound; ``max_events`` guards against runaway simulations.
+        """
+        events = 0
+        while self._heap:
+            time, _seq, fn = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            if time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time
+            fn()
+            events += 1
+            if max_events is not None and events >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        self._finished = True
+        return self.now
+
+    @property
+    def live_processes(self) -> int:
+        """Number of processes that have started but not finished."""
+        return self._live_processes
+
+    def __repr__(self) -> str:
+        return f"Engine(now={self.now}, pending={len(self._heap)})"

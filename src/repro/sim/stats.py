@@ -1,0 +1,124 @@
+"""Lightweight statistics collection for simulated components."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Records samples and reports simple summary statistics."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[int] = None
+        self.maximum: Optional[int] = None
+
+    def record(self, sample: int) -> None:
+        self.count += 1
+        self.total += sample
+        if self.minimum is None or sample < self.minimum:
+            self.minimum = sample
+        if self.maximum is None or sample > self.maximum:
+            self.maximum = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count}, mean={self.mean:.2f}, "
+            f"min={self.minimum}, max={self.maximum})"
+        )
+
+
+class UtilizationTracker:
+    """Tracks the fraction of time a component spends busy.
+
+    Components call :meth:`set_busy` / :meth:`set_idle` as their state
+    changes; :meth:`utilization` integrates busy time over the observation
+    window.
+    """
+
+    __slots__ = ("name", "_busy_since", "_busy_total", "_engine")
+
+    def __init__(self, engine, name: str) -> None:
+        self._engine = engine
+        self.name = name
+        self._busy_since: Optional[int] = None
+        self._busy_total = 0
+
+    def set_busy(self) -> None:
+        if self._busy_since is None:
+            self._busy_since = self._engine.now
+
+    def set_idle(self) -> None:
+        if self._busy_since is not None:
+            self._busy_total += self._engine.now - self._busy_since
+            self._busy_since = None
+
+    def busy_time(self) -> int:
+        total = self._busy_total
+        if self._busy_since is not None:
+            total += self._engine.now - self._busy_since
+        return total
+
+    def utilization(self) -> float:
+        """Busy fraction over ``[0, now]``; 0.0 if no time has elapsed."""
+        if self._engine.now == 0:
+            return 0.0
+        return self.busy_time() / self._engine.now
+
+
+class StatsRegistry:
+    """Named collection of counters and histograms for one simulation."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten all statistics into a name → value mapping."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        for name, hist in self.histograms.items():
+            out[f"{name}.count"] = hist.count
+            out[f"{name}.mean"] = hist.mean
+        return out
+
+    def report(self) -> List[str]:
+        """Human-readable lines, sorted by statistic name."""
+        lines = [f"{n} = {c.value}" for n, c in sorted(self.counters.items())]
+        lines += [repr(h) for _, h in sorted(self.histograms.items())]
+        return lines

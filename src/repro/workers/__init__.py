@@ -1,0 +1,54 @@
+"""The paper's benchmark suite (Table II) plus the fib running example.
+
+Importing this package registers every benchmark; construct fresh
+instances per run with :func:`make_benchmark`.
+"""
+
+from repro.workers.base import (
+    ACCEL,
+    CPU,
+    Benchmark,
+    Costs,
+    benchmark_names,
+    make_benchmark,
+    register,
+)
+
+# Importing the modules registers the benchmarks (order = Table II order,
+# with fib appended as the running example).
+from repro.workers import nw as _nw                      # noqa: F401
+from repro.workers import quicksort as _quicksort        # noqa: F401
+from repro.workers import cilksort as _cilksort          # noqa: F401
+from repro.workers import queens as _queens              # noqa: F401
+from repro.workers import knapsack as _knapsack          # noqa: F401
+from repro.workers import uts as _uts                    # noqa: F401
+from repro.workers import bbgemm as _bbgemm              # noqa: F401
+from repro.workers import bfsqueue as _bfsqueue          # noqa: F401
+from repro.workers import spmvcrs as _spmvcrs            # noqa: F401
+from repro.workers import stencil2d as _stencil2d        # noqa: F401
+from repro.workers import fib as _fib                    # noqa: F401
+
+#: The ten benchmarks of Table II, in paper order.
+PAPER_BENCHMARKS = (
+    "nw",
+    "quicksort",
+    "cilksort",
+    "queens",
+    "knapsack",
+    "uts",
+    "bbgemm",
+    "bfsqueue",
+    "spmvcrs",
+    "stencil2d",
+)
+
+__all__ = [
+    "ACCEL",
+    "CPU",
+    "Benchmark",
+    "Costs",
+    "benchmark_names",
+    "make_benchmark",
+    "register",
+    "PAPER_BENCHMARKS",
+]

@@ -1,0 +1,135 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module provides one :class:`Benchmark` subclass bundling:
+
+* the workload data (generated deterministically into a
+  :class:`~repro.mem.memory.SimMemory` so traces have stable addresses),
+* a FlexArch worker (the CPPWD description, Section IV-B) whose per-task
+  cycle charges come from a :class:`Costs` table — one table per platform
+  (``accel`` for the HLS-generated datapath, ``cpu`` for `-O3` + NEON code
+  on the OOO core, scaled for the Zedboard A9),
+* optionally a LiteArch program (the parallel-for port, Section V-A), and
+* a verification predicate checked against an independently computed
+  reference result.
+
+A single worker implementation serves every platform: the *functional*
+behaviour is identical (that is the point of the unified computation
+model); only the cost table and the engine differ.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Type
+
+from repro.arch.lite import LiteProgram
+from repro.core.context import Worker
+from repro.core.task import Task
+from repro.mem.memory import SimMemory
+
+#: Cost-table platforms.
+ACCEL = "accel"
+CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class Costs:
+    """Base class for per-benchmark cycle-cost tables.
+
+    Subclasses add fields (all numeric).  :meth:`scaled` uniformly scales
+    every cost — used to derive the Cortex-A9 table from the OOO one.
+    """
+
+    def scaled(self, factor: float) -> "Costs":
+        updates = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, (int, float)):
+                updates[field.name] = type(value)(
+                    max(1, round(value * factor))
+                    if isinstance(value, int) else value * factor
+                )
+        return dataclasses.replace(self, **updates)
+
+
+class Benchmark:
+    """One paper benchmark: data + workers + programs + verification."""
+
+    #: Benchmark name as it appears in Table II.
+    name: str = "benchmark"
+    #: Parallelization approach: "cp", "fj" or "pf" (Table II).
+    parallelization: str = "fj"
+    #: Table II characteristics.
+    recursive_nested: bool = True
+    data_dependent: bool = True
+    memory_pattern: str = "regular"       # "regular" | "irregular"
+    memory_intensity: str = "medium"      # "low" | "medium" | "high"
+    #: Whether the paper implemented a LiteArch (parallel-for) version.
+    has_lite: bool = True
+    #: Whether the working set fits in (and is pre-loaded into) the shared
+    #: L2: the CPU initialises the data, so it starts in the LLC.  The two
+    #: irregular high-MI benchmarks (bfsqueue, spmvcrs) model the paper's
+    #: larger-than-LLC datasets and run cold (DRAM-bandwidth-bound).
+    l2_resident: bool = True
+
+    def __init__(self) -> None:
+        self.mem = SimMemory()
+
+    # -- to be provided by subclasses -------------------------------------
+    def flex_worker(self, platform: str = ACCEL) -> Worker:
+        """Worker for the FlexArch engine (or the CPU software baseline)."""
+        raise NotImplementedError
+
+    def root_task(self) -> Task:
+        """Root task the host injects through the IF block."""
+        raise NotImplementedError
+
+    def lite_program(self, num_pes: int) -> LiteProgram:
+        """LiteArch host program; only when :attr:`has_lite`."""
+        raise NotImplementedError(f"{self.name} has no LiteArch version")
+
+    def lite_worker(self, platform: str = ACCEL) -> Worker:
+        """Worker for the LiteArch engine; defaults to the flex worker."""
+        return self.flex_worker(platform)
+
+    def verify(self, host_value) -> bool:
+        """Check the run produced the correct result.
+
+        ``host_value`` is the value returned to the host; benchmarks whose
+        result lives in memory check their arrays instead.
+        """
+        raise NotImplementedError
+
+    def expected(self):
+        """Reference result (for reporting)."""
+        return None
+
+
+_REGISTRY: Dict[str, Type[Benchmark]] = {}
+
+
+def register(cls: Type[Benchmark]) -> Type[Benchmark]:
+    """Class decorator registering a benchmark under its ``name``."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def benchmark_names() -> Sequence[str]:
+    """All registered benchmark names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def make_benchmark(name: str, **params) -> Benchmark:
+    """Instantiate a fresh benchmark (fresh data) by name.
+
+    A new instance must be created for every simulation run, because runs
+    mutate the functional data (sorting sorts, BFS marks visited...).
+    """
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name](**params)

@@ -1,0 +1,156 @@
+"""bbgemm — blocked matrix multiplication (MachSuite), nested parallel-for.
+
+``C = A x B`` with cache-friendly blocking (Lam et al.); the paper uses a
+block size of 32 and parallelises the loop nest with *two nested*
+parallel-for loops, exercising nesting of the data-parallel pattern.  The
+accelerator worker streams A/B tiles into BRAM scratchpads and performs
+parallel MACs on DSP slices (Table V shows 15 DSPs per bbgemm PE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+import numpy as np
+
+from repro.arch.lite import LiteProgram
+from repro.core.context import Worker, WorkerContext
+from repro.core.patterns import ASYNC, ParallelForMixin, pattern_task_types
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.base import ACCEL, Benchmark, Costs, register
+
+BLOCK_LITE = "GEMM_BLOCK_LITE"
+
+
+@dataclass(frozen=True)
+class BbgemmCosts(Costs):
+    macs_per_cycle: int   # DSP-level parallelism inside one PE
+    block_fixed: int
+
+
+#: 16 parallel MACs (the DSP budget of Table V) in a pipelined tile loop.
+ACCEL_COSTS = BbgemmCosts(macs_per_cycle=32, block_fixed=40)
+#: NEON auto-vectorised: ~4 MACs/cycle sustained.
+CPU_COSTS = BbgemmCosts(macs_per_cycle=4, block_fixed=120)
+
+
+class BbgemmWorker(ParallelForMixin, Worker):
+    """Nested parallel-for blocked GEMM worker."""
+
+    name = "bbgemm"
+    task_types = pattern_task_types("rows", "cols") + (BLOCK_LITE,)
+    pf_grains = {"rows": 1, "cols": 1}
+
+    def __init__(self, bench: "BbgemmBenchmark", costs: BbgemmCosts) -> None:
+        self.bench = bench
+        self.costs = costs
+
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        if task.task_type == BLOCK_LITE:
+            bi, bj = task.args
+            self._compute_block(ctx, bi, bj)
+            ctx.send_arg(task.k, 0)
+            return
+        if not self.pf_dispatch(task, ctx):
+            raise AssertionError(f"unhandled task {task.task_type!r}")
+
+    # Outer loop: one leaf per block row, which *nests* the inner loop.
+    def pf_leaf_rows(self, ctx: WorkerContext, k, lo: int, hi: int):
+        for bi in range(lo, hi):
+            self.pf_start(ctx, "cols", 0, self.bench.nb, k, bi)
+        if hi - lo != 1:
+            raise AssertionError("outer grain must be 1 for a single nest")
+        return ASYNC  # the nested loop will deliver to k
+
+    # Inner loop: one leaf per (bi, bj) block.
+    def pf_leaf_cols(self, ctx: WorkerContext, k, lo: int, hi: int, bi: int):
+        for bj in range(lo, hi):
+            self._compute_block(ctx, bi, bj)
+        return 0
+
+    def _compute_block(self, ctx: WorkerContext, bi: int, bj: int) -> None:
+        bench, costs = self.bench, self.costs
+        b, n = bench.block, bench.n
+        r0, c0 = bi * b, bj * b
+        a_rows = bench.a[r0:r0 + b, :]
+        b_cols = bench.b[:, c0:c0 + b]
+        bench.c[r0:r0 + b, c0:c0 + b] = a_rows @ b_cols
+        macs = b * b * n
+        ctx.compute(costs.block_fixed + macs // costs.macs_per_cycle)
+        # Stream A row-block and B tiles into the scratchpads, write C back.
+        row_bytes = 4 * n
+        for i in range(b):
+            ctx.read_block(bench.a_region.base + (r0 + i) * row_bytes,
+                           row_bytes)
+        for kk in range(n):
+            ctx.read_block(bench.b_region.base + kk * row_bytes + 4 * c0,
+                           4 * b)
+        for i in range(b):
+            ctx.write_block(bench.c_region.base + (r0 + i) * row_bytes
+                            + 4 * c0, 4 * b)
+
+
+class BbgemmLite(LiteProgram):
+    """Single-round static parallel-for over all blocks."""
+
+    name = "bbgemm-lite"
+
+    def __init__(self, bench: "BbgemmBenchmark") -> None:
+        self.bench = bench
+
+    def rounds(self) -> Generator[List[Task], List, None]:
+        nb = self.bench.nb
+        blocks = [(bi, bj) for bi in range(nb) for bj in range(nb)]
+        yield [Task(BLOCK_LITE, self.host_k(i), block)
+               for i, block in enumerate(blocks)]
+
+    def result(self):
+        return 0
+
+
+@register
+class BbgemmBenchmark(Benchmark):
+    """Blocked GEMM on random int32 matrices."""
+
+    name = "bbgemm"
+    parallelization = "pf"
+    recursive_nested = True
+    data_dependent = False
+    memory_pattern = "regular"
+    memory_intensity = "medium"
+    has_lite = True
+
+    def __init__(self, n: int = 256, block: int = 32, seed: int = 5) -> None:
+        super().__init__()
+        if n % block:
+            raise ValueError(f"matrix size {n} not divisible by {block}")
+        self.n = n
+        self.block = block
+        self.nb = n // block
+        rng = np.random.default_rng(seed)
+        self.a_region = self.mem.alloc("a", 4 * n * n)
+        self.b_region = self.mem.alloc("b", 4 * n * n)
+        self.c_region = self.mem.alloc("c", 4 * n * n)
+        self.a = rng.integers(-8, 8, size=(n, n)).astype(np.int32)
+        self.b = rng.integers(-8, 8, size=(n, n)).astype(np.int32)
+        self.c = np.zeros((n, n), dtype=np.int32)
+        self._expected = self.a @ self.b
+
+    def flex_worker(self, platform: str = ACCEL) -> Worker:
+        costs = ACCEL_COSTS if platform == ACCEL else CPU_COSTS
+        return BbgemmWorker(self, costs)
+
+    def root_task(self) -> Task:
+        from repro.core.patterns import split_task_type
+
+        return Task(split_task_type("rows"), HOST_CONTINUATION, (0, self.nb))
+
+    def lite_program(self, num_pes: int) -> LiteProgram:
+        return BbgemmLite(self)
+
+    def verify(self, host_value) -> bool:
+        return bool(np.array_equal(self.c, self._expected))
+
+    def expected(self):
+        return "C = A @ B"

@@ -1,0 +1,275 @@
+"""bfsqueue — breadth-first search with a frontier queue (MachSuite).
+
+Level-synchronous BFS: each level runs a parallel-for across the current
+frontier; leaves gather the unvisited neighbours of their chunk, a
+list-concatenating reduction collects the candidates, and a NEXT task
+deduplicates them, marks them visited, and launches the next level.  The
+irregular neighbour/visited accesses make this a high-memory-intensity,
+irregular benchmark (Table II).
+
+Leaves test-and-set the visited flags as they gather (in real hardware two
+PEs could race on a flag and produce a duplicate frontier entry — benign
+and rare; the simulator's execute-at-dispatch model serialises the
+functional updates, so the frontier sets and the final count are
+schedule-independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Tuple
+
+import numpy as np
+
+from repro.arch.lite import LiteProgram
+from repro.core.context import Worker, WorkerContext
+from repro.core.patterns import ASYNC, ParallelForMixin, pattern_task_types
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.base import ACCEL, Benchmark, Costs, register
+
+LEVEL = "BFS_LEVEL"
+NEXT = "BFS_NEXT"
+CHUNK_LITE = "BFS_CHUNK_LITE"
+
+
+@dataclass(frozen=True)
+class BfsCosts(Costs):
+    per_edge: int     # neighbour fetch + visited check
+    per_node: int     # frontier element handling
+    dedupe_per_cand: int
+
+
+ACCEL_COSTS = BfsCosts(per_edge=4, per_node=2, dedupe_per_cand=1)
+CPU_COSTS = BfsCosts(per_edge=5, per_node=8, dedupe_per_cand=4)
+
+
+def make_graph(num_nodes: int, avg_degree: int, seed: int,
+               topology: str = "uniform"
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Directed graph in CSR form (row_ptr, cols).
+
+    Topologies:
+
+    * ``uniform`` — Poisson degrees, uniformly random targets (the
+      default irregular workload);
+    * ``powerlaw`` — Zipf-ish degrees and hub-biased targets: a few hubs
+      concentrate the frontier, stressing load balance;
+    * ``grid`` — a 2D lattice: regular neighbourhoods with high locality,
+      long BFS diameter (many thin levels).
+    """
+    rng = np.random.default_rng(seed)
+    if topology == "uniform":
+        degrees = rng.poisson(avg_degree, size=num_nodes).clip(
+            0, 4 * avg_degree
+        )
+        row_ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        row_ptr[1:] = np.cumsum(degrees)
+        cols = rng.integers(0, num_nodes, size=int(row_ptr[-1]),
+                            dtype=np.int64)
+        return row_ptr, cols
+    if topology == "powerlaw":
+        ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+        weights = 1.0 / ranks
+        weights /= weights.sum()
+        degrees = np.minimum(
+            (avg_degree * num_nodes * weights).astype(np.int64),
+            num_nodes // 2,
+        )
+        rng.shuffle(degrees)
+        row_ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        row_ptr[1:] = np.cumsum(degrees)
+        # Targets biased toward the same hubs.
+        hub_ids = rng.permutation(num_nodes)
+        picks = rng.choice(num_nodes, size=int(row_ptr[-1]), p=weights)
+        cols = hub_ids[picks].astype(np.int64)
+        return row_ptr, cols
+    if topology == "grid":
+        side = int(num_nodes ** 0.5)
+        if side * side != num_nodes:
+            raise ValueError(
+                f"grid topology needs a square node count, got {num_nodes}"
+            )
+        row_ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        cols_list = []
+        for node in range(num_nodes):
+            r, c = divmod(node, side)
+            neighbours = []
+            if r > 0:
+                neighbours.append(node - side)
+            if r < side - 1:
+                neighbours.append(node + side)
+            if c > 0:
+                neighbours.append(node - 1)
+            if c < side - 1:
+                neighbours.append(node + 1)
+            cols_list.extend(neighbours)
+            row_ptr[node + 1] = len(cols_list)
+        return row_ptr, np.array(cols_list, dtype=np.int64)
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def reference_bfs(row_ptr: np.ndarray, cols: np.ndarray, root: int) -> int:
+    """Number of nodes reachable from ``root`` (including it)."""
+    visited = np.zeros(len(row_ptr) - 1, dtype=bool)
+    visited[root] = True
+    frontier = [root]
+    count = 1
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for j in range(row_ptr[node], row_ptr[node + 1]):
+                neighbour = int(cols[j])
+                if not visited[neighbour]:
+                    visited[neighbour] = True
+                    nxt.append(neighbour)
+        count += len(nxt)
+        frontier = nxt
+    return count
+
+
+class BfsWorker(ParallelForMixin, Worker):
+    """Frontier-expansion BFS worker."""
+
+    name = "bfsqueue"
+    task_types = (LEVEL, NEXT, CHUNK_LITE) + pattern_task_types("expand")
+    pf_grains = {"expand": 32}
+
+    def __init__(self, bench: "BfsBenchmark", costs: BfsCosts) -> None:
+        self.bench = bench
+        self.costs = costs
+
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        if task.task_type == LEVEL:
+            self._level(task, ctx)
+        elif task.task_type == NEXT:
+            self._next(task, ctx)
+        elif task.task_type == CHUNK_LITE:
+            frontier = task.args[0]
+            found = self._expand(ctx, frontier, 0, len(frontier))
+            ctx.send_arg(task.k, found)
+        elif not self.pf_dispatch(task, ctx):
+            raise AssertionError(f"unhandled task {task.task_type!r}")
+
+    # -- level orchestration ----------------------------------------------
+    def _level(self, task: Task, ctx: WorkerContext) -> None:
+        frontier, count = task.args
+        if not frontier:
+            ctx.send_arg(task.k, count)
+            return
+        succ = ctx.make_successor(NEXT, task.k, 1, count)
+        self.pf_start(ctx, "expand", 0, len(frontier), succ, frontier)
+
+    def _next(self, task: Task, ctx: WorkerContext) -> None:
+        fresh, count = task.args[0], task.args[1]
+        ctx.compute(self.costs.dedupe_per_cand)
+        ctx.spawn(Task(LEVEL, task.k, (tuple(fresh), count + len(fresh))))
+
+    # -- frontier expansion -------------------------------------------------
+    def pf_leaf_expand(self, ctx: WorkerContext, k, lo: int, hi: int,
+                       frontier: Tuple[int, ...]):
+        return self._expand(ctx, frontier, lo, hi)
+
+    def pf_reduce_expand(self, a, b):
+        return tuple(a) + tuple(b)
+
+    def _expand(self, ctx: WorkerContext, frontier: Tuple[int, ...],
+                lo: int, hi: int) -> Tuple[int, ...]:
+        bench, costs = self.bench, self.costs
+        row_ptr, cols, visited = bench.row_ptr, bench.cols, bench.visited
+        found: List[int] = []
+        edges = 0
+        for idx in range(lo, hi):
+            node = frontier[idx]
+            ctx.read(bench.row_ptr_region.addr(node, 8), 8)
+            start, end = int(row_ptr[node]), int(row_ptr[node + 1])
+            if end > start:
+                ctx.read_block(bench.cols_region.addr(start, 8),
+                               8 * (end - start))
+            for j in range(start, end):
+                neighbour = int(cols[j])
+                ctx.read(bench.visited_region.addr(neighbour, 1), 1)
+                if not visited[neighbour]:
+                    visited[neighbour] = True
+                    found.append(neighbour)
+                    ctx.write(bench.visited_region.addr(neighbour, 1), 1)
+                edges += 1
+        ctx.compute(costs.per_node * (hi - lo) + costs.per_edge * edges)
+        return tuple(found)
+
+
+class BfsLite(LiteProgram):
+    """One round per BFS level; the host dedupes and marks visited."""
+
+    name = "bfsqueue-lite"
+
+    def __init__(self, bench: "BfsBenchmark", num_pes: int) -> None:
+        self.bench = bench
+        self.num_pes = num_pes
+        self._count = 0
+
+    def rounds(self) -> Generator[List[Task], List, None]:
+        bench = self.bench
+        frontier: Tuple[int, ...] = (bench.root,)
+        bench.visited[bench.root] = True
+        self._count = 1
+        round_id = 0
+        chunk = 32
+        while frontier:
+            chunks = [frontier[i:i + chunk]
+                      for i in range(0, len(frontier), chunk)]
+            tasks = [Task(CHUNK_LITE, self.host_k(i, round_id), (c,))
+                     for i, c in enumerate(chunks)]
+            values = yield tasks
+            fresh = [node for found in values for node in found]
+            self._count += len(fresh)
+            frontier = tuple(fresh)
+            round_id += 1
+
+    def result(self):
+        return self._count
+
+
+@register
+class BfsBenchmark(Benchmark):
+    """BFS reachability count over a random CSR graph."""
+
+    name = "bfsqueue"
+    parallelization = "pf"
+    recursive_nested = False
+    data_dependent = False
+    memory_pattern = "irregular"
+    memory_intensity = "high"
+    has_lite = True
+    l2_resident = False
+
+    def __init__(self, num_nodes: int = 4096, avg_degree: int = 12,
+                 root: int = 0, seed: int = 6,
+                 topology: str = "uniform") -> None:
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.root = root
+        self.topology = topology
+        self.row_ptr, self.cols = make_graph(num_nodes, avg_degree, seed,
+                                             topology)
+        self.row_ptr_region = self.mem.alloc("row_ptr", 8 * (num_nodes + 1))
+        self.cols_region = self.mem.alloc("cols", 8 * max(1, len(self.cols)))
+        self.visited_region = self.mem.alloc("visited", num_nodes)
+        self.visited = np.zeros(num_nodes, dtype=bool)
+        self._expected = reference_bfs(self.row_ptr, self.cols, root)
+
+    def flex_worker(self, platform: str = ACCEL) -> Worker:
+        costs = ACCEL_COSTS if platform == ACCEL else CPU_COSTS
+        return BfsWorker(self, costs)
+
+    def root_task(self) -> Task:
+        self.visited[self.root] = True
+        return Task(LEVEL, HOST_CONTINUATION, ((self.root,), 1))
+
+    def lite_program(self, num_pes: int) -> LiteProgram:
+        return BfsLite(self, num_pes)
+
+    def verify(self, host_value) -> bool:
+        return host_value == self._expected
+
+    def expected(self):
+        return self._expected

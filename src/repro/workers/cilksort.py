@@ -1,0 +1,190 @@
+"""cilksort — parallel merge sort with parallel merging (Cilk apps).
+
+Recursively splits the array, sorts halves concurrently, and also merges
+*in parallel*: a merge task splits the larger sorted run at its median,
+binary-searches the split point in the other run, and forks the two halves
+(Akl & Santoro).  Buffers alternate by recursion parity so no copy passes
+are needed.  The abundant dynamic parallelism in the merge tree is why
+cilksort keeps scaling where quicksort flattens (Section V-D).
+
+The paper could not port cilksort to LiteArch "due to the complexity and
+irregularity of its dynamic task graph" — so :attr:`has_lite` is False.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.context import Worker, WorkerContext
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.base import ACCEL, Benchmark, Costs, register
+
+CSORT = "CSORT"
+PMERGE = "PMERGE"
+PMJOIN = "PMJOIN"
+
+#: Buffer selectors.
+BUF_DATA = 0
+BUF_TMP = 1
+
+
+@dataclass(frozen=True)
+class CilksortCosts(Costs):
+    leaf_sort_per_elem: int   # small-segment quicksort+insertion
+    merge_per_elem: int       # streaming two-way merge
+    split_fixed: int          # median pick + binary search
+    join: int
+
+
+ACCEL_COSTS = CilksortCosts(
+    leaf_sort_per_elem=6, merge_per_elem=1, split_fixed=16, join=1
+)
+CPU_COSTS = CilksortCosts(
+    leaf_sort_per_elem=24, merge_per_elem=5, split_fixed=60, join=8
+)
+
+
+class CilksortWorker(Worker):
+    """Parallel merge sort worker."""
+
+    name = "cilksort"
+    task_types = (CSORT, PMERGE, PMJOIN)
+
+    def __init__(self, bench: "CilksortBenchmark", costs: CilksortCosts
+                 ) -> None:
+        self.bench = bench
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        if task.task_type == CSORT:
+            self._csort(task, ctx)
+        elif task.task_type == PMERGE:
+            self._pmerge(task, ctx)
+        else:
+            ctx.compute(self.costs.join)
+            ctx.send_arg(task.k, 0)
+
+    def _buf(self, which: int) -> np.ndarray:
+        return self.bench.data if which == BUF_DATA else self.bench.tmp
+
+    def _addr(self, which: int, index: int) -> int:
+        region = (self.bench.region if which == BUF_DATA
+                  else self.bench.tmp_region)
+        return region.addr(index)
+
+    # ------------------------------------------------------------------
+    def _csort(self, task: Task, ctx: WorkerContext) -> None:
+        """Sort segment [lo, hi) leaving the result in buffer ``dst``."""
+        lo, hi, dst = task.args[0], task.args[1], task.args[2]
+        bench, costs = self.bench, self.costs
+        n = hi - lo
+        if n <= bench.sort_cutoff:
+            ctx.read_block(self._addr(BUF_DATA, lo), 4 * n)
+            seg = np.sort(bench.data[lo:hi])
+            self._buf(dst)[lo:hi] = seg
+            if dst == BUF_DATA:
+                bench.data[lo:hi] = seg
+            ctx.compute(costs.leaf_sort_per_elem * n)
+            ctx.write_block(self._addr(dst, lo), 4 * n)
+            ctx.send_arg(task.k, 0)
+            return
+        mid = (lo + hi) // 2
+        src = 1 - dst  # children deposit into the opposite buffer
+        ctx.compute(costs.split_fixed)
+        merge_k = ctx.make_successor(
+            PMERGE, task.k, 2, lo, mid, mid, hi, lo, src, dst
+        )
+        ctx.spawn(Task(CSORT, merge_k.with_slot(1), (mid, hi, src)))
+        ctx.spawn(Task(CSORT, merge_k.with_slot(0), (lo, mid, src)))
+
+    # ------------------------------------------------------------------
+    def _pmerge(self, task: Task, ctx: WorkerContext) -> None:
+        """Merge sorted src runs [s1lo,s1hi) and [s2lo,s2hi) into dst at
+        ``dlo``.  Successor-created PMERGE tasks carry two ignored join
+        slots before the static parameters."""
+        args = task.args
+        if len(args) == 9:      # readied successor: (j0, j1, params...)
+            params = args[2:]
+        else:                   # directly spawned: just the params
+            params = args
+        s1lo, s1hi, s2lo, s2hi, dlo, src, dst = params
+        bench, costs = self.bench, self.costs
+        n1, n2 = s1hi - s1lo, s2hi - s2lo
+        n = n1 + n2
+        src_buf, dst_buf = self._buf(src), self._buf(dst)
+        if n == 0:
+            # Splitting can produce an empty side when one run is exhausted.
+            ctx.send_arg(task.k, 0)
+            return
+        if n <= bench.merge_cutoff:
+            merged = np.sort(
+                np.concatenate((src_buf[s1lo:s1hi], src_buf[s2lo:s2hi]))
+            )
+            dst_buf[dlo:dlo + n] = merged
+            ctx.compute(costs.merge_per_elem * n)
+            if n1:
+                ctx.read_block(self._addr(src, s1lo), 4 * n1)
+            if n2:
+                ctx.read_block(self._addr(src, s2lo), 4 * n2)
+            ctx.write_block(self._addr(dst, dlo), 4 * n)
+            ctx.send_arg(task.k, 0)
+            return
+        # Split the larger run at its median; binary-search the other.
+        ctx.compute(costs.split_fixed)
+        if n1 < n2:
+            s1lo, s1hi, s2lo, s2hi = s2lo, s2hi, s1lo, s1hi
+            n1, n2 = n2, n1
+        m1 = (s1lo + s1hi) // 2
+        pivot = src_buf[m1]
+        m2 = s2lo + int(np.searchsorted(src_buf[s2lo:s2hi], pivot))
+        left_size = (m1 - s1lo) + (m2 - s2lo)
+        join_k = ctx.make_successor(PMJOIN, task.k, 2)
+        ctx.spawn(Task(
+            PMERGE, join_k.with_slot(1),
+            (m1, s1hi, m2, s2hi, dlo + left_size, src, dst),
+        ))
+        ctx.spawn(Task(
+            PMERGE, join_k.with_slot(0),
+            (s1lo, m1, s2lo, m2, dlo, src, dst),
+        ))
+
+
+@register
+class CilksortBenchmark(Benchmark):
+    """cilksort over a uniform-random int32 array."""
+
+    name = "cilksort"
+    parallelization = "fj"
+    recursive_nested = True
+    data_dependent = True
+    memory_pattern = "regular"
+    memory_intensity = "medium"
+    has_lite = False
+
+    def __init__(self, n: int = 16384, sort_cutoff: int = 256,
+                 merge_cutoff: int = 256, seed: int = 2) -> None:
+        super().__init__()
+        self.n = n
+        self.sort_cutoff = sort_cutoff
+        self.merge_cutoff = merge_cutoff
+        rng = np.random.default_rng(seed)
+        self.region, self.data = self.mem.alloc_array("data", n)
+        self.tmp_region, self.tmp = self.mem.alloc_array("tmp", n)
+        self.data[:] = rng.integers(0, 1 << 30, size=n, dtype=np.int32)
+        self._expected = np.sort(self.data.copy())
+
+    def flex_worker(self, platform: str = ACCEL) -> Worker:
+        costs = ACCEL_COSTS if platform == ACCEL else CPU_COSTS
+        return CilksortWorker(self, costs)
+
+    def root_task(self) -> Task:
+        return Task(CSORT, HOST_CONTINUATION, (0, self.n, BUF_DATA))
+
+    def verify(self, host_value) -> bool:
+        return bool(np.array_equal(self.data, self._expected))
+
+    def expected(self):
+        return "sorted array"

@@ -1,0 +1,93 @@
+"""Fibonacci — the paper's running example (Figure 5).
+
+Not one of the ten evaluated benchmarks, but the canonical illustration of
+dynamically bounded parallel recursion: ``fib(n)`` forks ``fib(n-1)`` and
+``fib(n-2)`` with a two-way SUM successor.  Used throughout the tests,
+examples and documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import Worker, WorkerContext
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.base import ACCEL, Benchmark, Costs, register
+
+FIB = "FIB"
+SUM = "SUM"
+
+
+@dataclass(frozen=True)
+class FibCosts(Costs):
+    """Cycle costs of the two task types."""
+
+    node: int = 2   # compare + successor setup datapath work
+    sum: int = 1    # one addition
+
+
+#: HLS datapath: the whole task body is a couple of pipelined operations.
+ACCEL_COSTS = FibCosts(node=2, sum=1)
+#: Software: function-call framing plus the arithmetic.
+CPU_COSTS = FibCosts(node=14, sum=8)
+
+
+class FibWorker(Worker):
+    """CPPWD worker of Figure 5 in context form."""
+
+    name = "fib"
+    task_types = (FIB, SUM)
+
+    def __init__(self, costs: FibCosts = ACCEL_COSTS) -> None:
+        self.costs = costs
+
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        if task.task_type == FIB:
+            n = task.args[0]
+            ctx.compute(self.costs.node)
+            if n < 2:
+                ctx.send_arg(task.k, n)
+            else:
+                k = ctx.make_successor(SUM, task.k, 2)
+                ctx.spawn(Task(FIB, k.with_slot(1), (n - 2,)))
+                ctx.spawn(Task(FIB, k.with_slot(0), (n - 1,)))
+        else:
+            ctx.compute(self.costs.sum)
+            ctx.send_arg(task.k, task.args[0] + task.args[1])
+
+
+def fib_reference(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+@register
+class FibBenchmark(Benchmark):
+    """fib(n) benchmark wrapper (extra, beyond the Table II ten)."""
+
+    name = "fib"
+    parallelization = "fj"
+    recursive_nested = True
+    data_dependent = True
+    memory_pattern = "regular"
+    memory_intensity = "low"
+    has_lite = False
+
+    def __init__(self, n: int = 18) -> None:
+        super().__init__()
+        self.n = n
+
+    def flex_worker(self, platform: str = ACCEL) -> Worker:
+        costs = ACCEL_COSTS if platform == ACCEL else CPU_COSTS
+        return FibWorker(costs)
+
+    def root_task(self) -> Task:
+        return Task(FIB, HOST_CONTINUATION, (self.n,))
+
+    def verify(self, host_value) -> bool:
+        return host_value == fib_reference(self.n)
+
+    def expected(self):
+        return fib_reference(self.n)

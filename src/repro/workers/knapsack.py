@@ -1,0 +1,272 @@
+"""knapsack — 0-1 knapsack via branch-and-bound, fork-join (Cilk apps).
+
+Items are density-sorted; each task branches on taking or skipping the next
+item.  Following the Cilk apps implementation, the *parallel* levels prune
+with the cheap remaining-value-sum bound (which rarely fires, so the
+parallel tree shape is schedule-independent), while the serial subtree
+solver below the cutoff uses the strong fractional (linear-relaxation)
+bound against a shared incumbent best.  The incumbent is shared state —
+the classic parallel B&B pattern — so leaf work can vary slightly with
+execution order, but the final optimum is schedule-independent.
+
+The LiteArch port is the paper's "different algorithm that sacrifices
+algorithmic efficiency in order to map to parallel-for" (Section V-D): a
+level-synchronous breadth-first expansion with Pareto dominance filtering
+between rounds.  It scales well (static rounds of homogeneous tasks) but
+does more total work, which is why its absolute performance in Figure 7 is
+much lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Tuple
+
+import numpy as np
+
+from repro.arch.lite import LiteProgram
+from repro.core.context import Worker, WorkerContext
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.base import ACCEL, Benchmark, Costs, register
+
+KNODE = "KNODE"
+KMAX = "KMAX"
+KNODE_LITE = "KNODE_LITE"
+
+
+@dataclass(frozen=True)
+class KnapsackCosts(Costs):
+    node: int             # bound computation + branch setup
+    serial_per_node: int  # per node of the serial subtree solver
+    max_fixed: int
+
+
+ACCEL_COSTS = KnapsackCosts(node=3, serial_per_node=2, max_fixed=1)
+CPU_COSTS = KnapsackCosts(node=24, serial_per_node=14, max_fixed=8)
+
+
+def fractional_bound(values, weights, idx: int, cap: int) -> float:
+    """Linear-relaxation upper bound on extra value from items idx..n.
+
+    Only admissible when items are sorted by value density (descending),
+    as the benchmark instances are: the greedy prefix with one fractional
+    item is then the LP optimum.
+    """
+    bound = 0.0
+    for i in range(idx, len(values)):
+        if weights[i] <= cap:
+            cap -= weights[i]
+            bound += values[i]
+        else:
+            bound += values[i] * cap / weights[i]
+            break
+    return bound
+
+
+def solve_serial(values, weights, idx: int, cap: int, val: int, best: int
+                 ) -> Tuple[int, int]:
+    """Serial B&B under a node; returns (best value found, nodes visited)."""
+    best = max(best, val)
+    nodes = 1
+    if idx == len(values):
+        return best, nodes
+    if val + fractional_bound(values, weights, idx, cap) <= best:
+        return best, nodes
+    if weights[idx] <= cap:
+        best, n = solve_serial(values, weights, idx + 1, cap - weights[idx],
+                               val + values[idx], best)
+        nodes += n
+    best, n = solve_serial(values, weights, idx + 1, cap, val, best)
+    return best, nodes + n
+
+
+def knapsack_optimum(values, weights, capacity: int) -> int:
+    """Exact reference optimum by dynamic programming over capacity."""
+    table = np.zeros(capacity + 1, dtype=np.int64)
+    for value, weight in zip(values, weights):
+        if weight <= capacity:
+            shifted = table[:capacity + 1 - weight] + value
+            table[weight:] = np.maximum(table[weight:], shifted)
+    return int(table[capacity])
+
+
+class KnapsackWorker(Worker):
+    """Fork-join branch-and-bound worker with a shared incumbent."""
+
+    name = "knapsack"
+    task_types = (KNODE, KMAX, KNODE_LITE)
+
+    def __init__(self, bench: "KnapsackBenchmark", costs: KnapsackCosts
+                 ) -> None:
+        self.bench = bench
+        self.costs = costs
+        self.best = 0  # shared incumbent (one memory word in hardware)
+
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        bench, costs = self.bench, self.costs
+        if task.task_type == KMAX:
+            ctx.compute(costs.max_fixed)
+            ctx.send_arg(task.k, max(task.args))
+            return
+        if task.task_type == KNODE_LITE:
+            self._expand_lite(task, ctx)
+            return
+        idx, cap, val = task.args
+        self.best = max(self.best, val)
+        ctx.compute(costs.node)
+        ctx.read(bench.values_region.addr(min(idx, bench.n - 1)))
+        values, weights = bench.values, bench.weights
+        # Weak (remaining-value-sum) bound at the parallel levels.
+        if idx == bench.n or val + bench.suffix_value[idx] <= self.best:
+            ctx.send_arg(task.k, val)
+            return
+        if bench.n - idx <= bench.serial_items:
+            found, nodes = solve_serial(values, weights, idx, cap, val,
+                                        self.best)
+            self.best = max(self.best, found)
+            ctx.compute(costs.serial_per_node * nodes)
+            ctx.send_arg(task.k, found)
+            return
+        children = [(idx + 1, cap, val)]  # skip item idx
+        if weights[idx] <= cap:           # take item idx
+            children.append((idx + 1, cap - weights[idx], val + values[idx]))
+        k = ctx.make_successor(KMAX, task.k, len(children))
+        for slot, child in enumerate(children):
+            ctx.spawn(Task(KNODE, k.with_slot(slot), child))
+
+    def _expand_lite(self, task: Task, ctx: WorkerContext) -> None:
+        """LiteArch leaf: expand a chunk of nodes one item deeper, pruning
+        only against the incumbent of the *previous* round."""
+        bench, costs = self.bench, self.costs
+        nodes, best_so_far = task.args
+        ctx.compute(costs.node * len(nodes))
+        values, weights = bench.values, bench.weights
+        best = 0
+        children = []
+        for idx, cap, val in nodes:
+            best = max(best, val)
+            ctx.read(bench.values_region.addr(min(idx, bench.n - 1)))
+            if idx == bench.n:
+                continue
+            # Weak remaining-sum bound only: without the depth-first
+            # incumbent the strong bound barely fires this early, so the
+            # port explores far more nodes than FlexArch does.
+            if val + bench.suffix_value[idx] <= best_so_far:
+                continue
+            children.append((idx + 1, cap, val))
+            if weights[idx] <= cap:
+                children.append(
+                    (idx + 1, cap - weights[idx], val + values[idx])
+                )
+        ctx.send_arg(task.k, (best, tuple(children)))
+
+
+class KnapsackLite(LiteProgram):
+    """Level-synchronous B&B: breadth-first, weak bound, no shared
+    incumbent within a round.
+
+    This is the paper's "different algorithm that sacrifices algorithmic
+    efficiency in order to map to parallel-for": the homogeneous wide
+    rounds scale beautifully under static distribution, but the lost
+    pruning makes its absolute performance much lower than FlexArch's
+    (Section V-D)."""
+
+    name = "knapsack-lite"
+
+    def __init__(self, bench: "KnapsackBenchmark", num_pes: int,
+                 frontier_cap: int = 1 << 22) -> None:
+        self.bench = bench
+        self.num_pes = num_pes
+        self.frontier_cap = frontier_cap
+        self._best = 0
+
+    def rounds(self) -> Generator[List[Task], List, None]:
+        from repro.arch.lite import chunk_frontier
+
+        frontier: List[Tuple[int, int, int]] = [(0, self.bench.capacity, 0)]
+        round_id = 0
+        while frontier:
+            chunks = chunk_frontier(frontier, self.num_pes)
+            tasks = [
+                Task(KNODE_LITE, self.host_k(i, round_id),
+                     (chunk, self._best))
+                for i, chunk in enumerate(chunks)
+            ]
+            values = yield tasks
+            nodes: List[Tuple[int, int, int]] = []
+            for val, children in values:
+                self._best = max(self._best, val)
+                nodes.extend(children)
+            frontier = nodes[: self.frontier_cap]
+            round_id += 1
+
+    def result(self):
+        return self._best
+
+
+@register
+class KnapsackBenchmark(Benchmark):
+    """0-1 knapsack over density-sorted random items."""
+
+    name = "knapsack"
+    parallelization = "fj"
+    recursive_nested = True
+    data_dependent = True
+    memory_pattern = "regular"
+    memory_intensity = "low"
+    has_lite = True
+
+    def __init__(self, n: int = 20, capacity: int = None,
+                 serial_items: int = 9, seed: int = 3,
+                 instance: str = "weak") -> None:
+        """``instance`` selects the classic knapsack instance class:
+
+        * ``weak`` — weakly correlated (value = weight + small noise),
+          the hard-but-tractable default;
+        * ``uncorrelated`` — independent values and weights (the bound
+          prunes aggressively: small trees);
+        * ``subset`` — subset-sum-like (value = weight): the bound is
+          uninformative early, feasibility does the pruning.
+        """
+        super().__init__()
+        self.n = n
+        self.serial_items = serial_items
+        self.instance = instance
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(20, 100, size=n)
+        if instance == "weak":
+            values = weights + rng.integers(0, 20, size=n)
+        elif instance == "uncorrelated":
+            values = rng.integers(20, 100, size=n)
+        elif instance == "subset":
+            values = weights.copy()
+        else:
+            raise ValueError(f"unknown instance class {instance!r}")
+        if capacity is None:
+            capacity = int(weights.sum() * 0.4)
+        self.capacity = capacity
+        order = np.argsort(-(values / weights))  # density-sorted
+        self.weights = [int(w) for w in weights[order]]
+        self.values = [int(v) for v in values[order]]
+        #: suffix_value[i] = total value of items i..n-1 (weak bound).
+        self.suffix_value = [0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            self.suffix_value[i] = self.suffix_value[i + 1] + self.values[i]
+        self.values_region, _ = self.mem.alloc_array("items", n * 2)
+        self._expected = knapsack_optimum(self.values, self.weights, capacity)
+
+    def flex_worker(self, platform: str = ACCEL) -> Worker:
+        costs = ACCEL_COSTS if platform == ACCEL else CPU_COSTS
+        return KnapsackWorker(self, costs)
+
+    def root_task(self) -> Task:
+        return Task(KNODE, HOST_CONTINUATION, (0, self.capacity, 0))
+
+    def lite_program(self, num_pes: int) -> LiteProgram:
+        return KnapsackLite(self, num_pes)
+
+    def verify(self, host_value) -> bool:
+        return host_value == self._expected
+
+    def expected(self):
+        return self._expected

@@ -1,0 +1,173 @@
+"""quicksort — divide-and-conquer sort, fork-join parallelism (Table II).
+
+The classic algorithm with Hoare-style partitioning: each task partitions
+its segment *serially* (the paper points out this serial step is what caps
+quicksort's scalability via Amdahl's law), then forks the two halves with a
+two-way join successor.  Functionally the partition is a three-way
+(pivot-equal-banded) split, which preserves Hoare's invariants while being
+efficiently computable with numpy.
+
+The LiteArch port follows Section V-A: execution proceeds in rounds, each
+round partitioning every live segment with one parallel-for; leaves below
+the cutoff sort in place and return no children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Tuple
+
+import numpy as np
+
+from repro.arch.lite import LiteProgram
+from repro.core.context import Worker, WorkerContext
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.base import ACCEL, Benchmark, Costs, register
+
+QSORT = "QSORT"
+QJOIN = "QJOIN"
+QSORT_LITE = "QSORT_LITE"
+
+
+@dataclass(frozen=True)
+class QuicksortCosts(Costs):
+    partition_per_elem: int   # streaming compare/swap per element
+    partition_fixed: int      # pivot selection, loop setup
+    leaf_per_elem: int        # small-segment sort, per element
+    join: int
+
+
+#: Pipelined partition at ~1 element/cycle; small sorts in a local buffer.
+ACCEL_COSTS = QuicksortCosts(
+    partition_per_elem=1, partition_fixed=12, leaf_per_elem=6, join=1
+)
+#: -O3 scalar partition (branchy, ~4 cyc/elem) and insertion-sort leaves.
+CPU_COSTS = QuicksortCosts(
+    partition_per_elem=4, partition_fixed=40, leaf_per_elem=24, join=8
+)
+
+
+def _partition(data: np.ndarray, lo: int, hi: int) -> Tuple[int, int]:
+    """Three-way partition of ``data[lo:hi]``; returns (mid1, mid2) such
+    that ``data[lo:mid1] < pivot == data[mid1:mid2] < data[mid2:hi]``."""
+    seg = data[lo:hi]
+    first, middle, last = seg[0], seg[len(seg) // 2], seg[-1]
+    pivot = max(min(first, middle), min(max(first, middle), last))
+    less = seg[seg < pivot]
+    equal = seg[seg == pivot]
+    greater = seg[seg > pivot]
+    data[lo:hi] = np.concatenate((less, equal, greater))
+    return lo + len(less), lo + len(less) + len(equal)
+
+
+class QuicksortWorker(Worker):
+    """Fork-join quicksort worker (also runs the LiteArch leaf tasks)."""
+
+    name = "quicksort"
+    task_types = (QSORT, QJOIN, QSORT_LITE)
+
+    def __init__(self, bench: "QuicksortBenchmark", costs: QuicksortCosts
+                 ) -> None:
+        self.bench = bench
+        self.costs = costs
+
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        if task.task_type == QJOIN:
+            ctx.compute(self.costs.join)
+            ctx.send_arg(task.k, 0)
+            return
+        lo, hi = task.args[0], task.args[1]
+        if task.task_type == QSORT:
+            self._sort_step(task, ctx, lo, hi, lite=False)
+        else:
+            self._sort_step(task, ctx, lo, hi, lite=True)
+
+    def _sort_step(self, task: Task, ctx: WorkerContext, lo: int, hi: int,
+                   lite: bool) -> None:
+        bench, costs = self.bench, self.costs
+        n = hi - lo
+        if n == 0:
+            # Degenerate child: a three-way partition of all-equal data
+            # leaves an empty half on each side.
+            ctx.send_arg(task.k, () if lite else 0)
+            return
+        ctx.read_block(bench.region.addr(lo), 4 * n)
+        if n <= bench.cutoff:
+            bench.data[lo:hi] = np.sort(bench.data[lo:hi])
+            ctx.compute(costs.leaf_per_elem * n)
+            ctx.write_block(bench.region.addr(lo), 4 * n)
+            ctx.send_arg(task.k, () if lite else 0)
+            return
+        mid1, mid2 = _partition(bench.data, lo, hi)
+        ctx.compute(costs.partition_fixed + costs.partition_per_elem * n)
+        ctx.write_block(bench.region.addr(lo), 4 * n)
+        if lite:
+            # Return the child segments for the host to schedule next round.
+            ctx.send_arg(task.k, ((lo, mid1), (mid2, hi)))
+            return
+        k = ctx.make_successor(QJOIN, task.k, 2)
+        ctx.spawn(Task(QSORT, k.with_slot(1), (mid2, hi)))
+        ctx.spawn(Task(QSORT, k.with_slot(0), (lo, mid1)))
+
+
+class QuicksortLite(LiteProgram):
+    """Round-per-level LiteArch port of quicksort."""
+
+    name = "quicksort-lite"
+
+    def __init__(self, bench: "QuicksortBenchmark") -> None:
+        self.bench = bench
+
+    def rounds(self) -> Generator[List[Task], List, None]:
+        segments: List[Tuple[int, int]] = [(0, self.bench.n)]
+        round_id = 0
+        while segments:
+            tasks = [
+                Task(QSORT_LITE, self.host_k(i, round_id), seg)
+                for i, seg in enumerate(segments)
+            ]
+            values = yield tasks
+            segments = [seg for children in values for seg in children]
+            round_id += 1
+
+    def result(self):
+        return 0
+
+
+@register
+class QuicksortBenchmark(Benchmark):
+    """quicksort over a uniform-random int32 array."""
+
+    name = "quicksort"
+    parallelization = "fj"
+    recursive_nested = True
+    data_dependent = True
+    memory_pattern = "regular"
+    memory_intensity = "medium"
+    has_lite = True
+
+    def __init__(self, n: int = 32768, cutoff: int = 64, seed: int = 1
+                 ) -> None:
+        super().__init__()
+        self.n = n
+        self.cutoff = cutoff
+        rng = np.random.default_rng(seed)
+        self.region, self.data = self.mem.alloc_array("data", n)
+        self.data[:] = rng.integers(0, 1 << 30, size=n, dtype=np.int32)
+        self._expected = np.sort(self.data.copy())
+
+    def flex_worker(self, platform: str = ACCEL) -> Worker:
+        costs = ACCEL_COSTS if platform == ACCEL else CPU_COSTS
+        return QuicksortWorker(self, costs)
+
+    def root_task(self) -> Task:
+        return Task(QSORT, HOST_CONTINUATION, (0, self.n))
+
+    def lite_program(self, num_pes: int) -> LiteProgram:
+        return QuicksortLite(self)
+
+    def verify(self, host_value) -> bool:
+        return bool(np.array_equal(self.data, self._expected))
+
+    def expected(self):
+        return "sorted array"

@@ -1,0 +1,187 @@
+"""spmvcrs — sparse matrix-vector multiply, compressed row storage
+(MachSuite).
+
+``y = A x`` with A in CRS form, parallelised across matrix rows with a
+parallel-for.  The x-vector gathers are data-dependent scattered reads, so
+the benchmark is irregular and memory-bound (Table II): in the paper all
+implementations eventually converge on the DRAM bandwidth limit
+(Section V-D), and the Zedboard prototype even shows a slowdown because
+the fabric's ACP bandwidth is lower than the cores' (Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+import numpy as np
+
+from repro.arch.lite import LiteProgram
+from repro.core.context import Worker, WorkerContext
+from repro.core.patterns import ParallelForMixin, pattern_task_types
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.base import ACCEL, Benchmark, Costs, register
+
+ROWS_LITE = "SPMV_ROWS_LITE"
+
+
+@dataclass(frozen=True)
+class SpmvCosts(Costs):
+    per_nnz: int    # multiply-accumulate per nonzero
+    per_row: int    # row pointer handling
+
+
+#: Gather-limited pipeline: the dependent x[col[j]] load chain gives II=4.
+ACCEL_COSTS = SpmvCosts(per_nnz=4, per_row=3)
+#: Scalar gather-limited loop.
+CPU_COSTS = SpmvCosts(per_nnz=4, per_row=10)
+
+
+class SpmvWorker(ParallelForMixin, Worker):
+    """Row-parallel CRS SpMV worker."""
+
+    name = "spmvcrs"
+    task_types = pattern_task_types("rows") + (ROWS_LITE,)
+    pf_grains = {"rows": 16}
+
+    def __init__(self, bench: "SpmvBenchmark", costs: SpmvCosts) -> None:
+        self.bench = bench
+        self.costs = costs
+
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        if task.task_type == ROWS_LITE:
+            lo, hi = task.args
+            self._rows(ctx, lo, hi)
+            ctx.send_arg(task.k, 0)
+            return
+        if not self.pf_dispatch(task, ctx):
+            raise AssertionError(f"unhandled task {task.task_type!r}")
+
+    def pf_leaf_rows(self, ctx: WorkerContext, k, lo: int, hi: int):
+        self._rows(ctx, lo, hi)
+        return 0
+
+    def _rows(self, ctx: WorkerContext, lo: int, hi: int) -> None:
+        bench, costs = self.bench, self.costs
+        row_ptr, cols, vals, x = (bench.row_ptr, bench.cols, bench.vals,
+                                  bench.x)
+        nnz_total = 0
+        ctx.read_block(bench.row_ptr_region.addr(lo, 8), 8 * (hi - lo + 1))
+        for row in range(lo, hi):
+            start, end = int(row_ptr[row]), int(row_ptr[row + 1])
+            nnz = end - start
+            nnz_total += nnz
+            if nnz:
+                ctx.read_block(bench.vals_region.addr(start, 8), 8 * nnz)
+                ctx.read_block(bench.cols_region.addr(start, 8), 8 * nnz)
+                for j in range(start, end):
+                    ctx.read(bench.x_region.addr(int(cols[j]), 8), 8)
+                bench.y[row] = float(vals[start:end] @ x[cols[start:end]])
+            else:
+                bench.y[row] = 0.0
+            ctx.write(bench.y_region.addr(row, 8), 8)
+        ctx.compute(costs.per_row * (hi - lo) + costs.per_nnz * nnz_total)
+
+
+class SpmvLite(LiteProgram):
+    """Single static parallel-for round across row chunks."""
+
+    name = "spmvcrs-lite"
+
+    def __init__(self, bench: "SpmvBenchmark", chunk: int = 16) -> None:
+        self.bench = bench
+        self.chunk = chunk
+
+    def rounds(self) -> Generator[List[Task], List, None]:
+        n = self.bench.num_rows
+        chunks = [(lo, min(lo + self.chunk, n))
+                  for lo in range(0, n, self.chunk)]
+        yield [Task(ROWS_LITE, self.host_k(i), c)
+               for i, c in enumerate(chunks)]
+
+    def result(self):
+        return 0
+
+
+@register
+class SpmvBenchmark(Benchmark):
+    """CRS SpMV over a random sparse matrix."""
+
+    name = "spmvcrs"
+    parallelization = "pf"
+    recursive_nested = False
+    data_dependent = False
+    memory_pattern = "irregular"
+    memory_intensity = "high"
+    has_lite = True
+    l2_resident = False
+
+    def __init__(self, num_rows: int = 2048, nnz_per_row: int = 16,
+                 seed: int = 7, pattern: str = "random") -> None:
+        """``pattern`` selects the sparsity structure:
+
+        * ``random`` — uniformly scattered columns (worst-case gathers);
+        * ``banded`` — columns within a narrow band of the diagonal
+          (high x-vector locality, the friendly case);
+        * ``powerlaw`` — row lengths follow a Zipf-ish distribution
+          (a few very long rows stress load balance).
+        """
+        super().__init__()
+        self.num_rows = num_rows
+        self.pattern = pattern
+        rng = np.random.default_rng(seed)
+        if pattern == "powerlaw":
+            ranks = np.arange(1, num_rows + 1, dtype=np.float64)
+            weights = (1.0 / ranks) / (1.0 / ranks).sum()
+            degrees = np.maximum(
+                1, (nnz_per_row * num_rows * weights).astype(np.int64)
+            ).clip(1, num_rows)
+            rng.shuffle(degrees)
+        else:
+            degrees = rng.poisson(nnz_per_row, size=num_rows).clip(
+                1, 4 * nnz_per_row
+            )
+        self.row_ptr = np.zeros(num_rows + 1, dtype=np.int64)
+        self.row_ptr[1:] = np.cumsum(degrees)
+        nnz = int(self.row_ptr[-1])
+        if pattern == "banded":
+            band = max(2, 2 * nnz_per_row)
+            rows = np.repeat(np.arange(num_rows), np.diff(self.row_ptr))
+            offsets = rng.integers(-band, band + 1, size=nnz)
+            self.cols = np.clip(rows + offsets, 0, num_rows - 1).astype(
+                np.int64
+            )
+        else:
+            self.cols = rng.integers(0, num_rows, size=nnz, dtype=np.int64)
+        self.vals = rng.standard_normal(nnz)
+        self.x = rng.standard_normal(num_rows)
+        self.y = np.zeros(num_rows)
+        self.row_ptr_region = self.mem.alloc("row_ptr", 8 * (num_rows + 1))
+        self.cols_region = self.mem.alloc("cols", 8 * nnz)
+        self.vals_region = self.mem.alloc("vals", 8 * nnz)
+        self.x_region = self.mem.alloc("x", 8 * num_rows)
+        self.y_region = self.mem.alloc("y", 8 * num_rows)
+        self._expected = np.array([
+            self.vals[self.row_ptr[r]:self.row_ptr[r + 1]]
+            @ self.x[self.cols[self.row_ptr[r]:self.row_ptr[r + 1]]]
+            for r in range(num_rows)
+        ])
+
+    def flex_worker(self, platform: str = ACCEL) -> Worker:
+        costs = ACCEL_COSTS if platform == ACCEL else CPU_COSTS
+        return SpmvWorker(self, costs)
+
+    def root_task(self) -> Task:
+        from repro.core.patterns import split_task_type
+
+        return Task(split_task_type("rows"), HOST_CONTINUATION,
+                    (0, self.num_rows))
+
+    def lite_program(self, num_pes: int) -> LiteProgram:
+        return SpmvLite(self)
+
+    def verify(self, host_value) -> bool:
+        return bool(np.allclose(self.y, self._expected))
+
+    def expected(self):
+        return "y = A @ x"

@@ -1,0 +1,244 @@
+"""uts — Unbalanced Tree Search (Olivier et al.), fork-join (Table II).
+
+Counts the nodes of an implicitly defined, highly unbalanced tree: each
+node's child count is a deterministic pseudo-random function (splitmix64,
+standing in for UTS's SHA-1) of its node id.  The extreme imbalance of the
+tree is precisely what stresses dynamic load balancing; the paper uses it
+to show hardware work stealing (a few cycles per steal) sustaining
+scalability where the software runtime (hundreds of instructions per
+steal) flattens at 3.91x on 8 cores.
+
+The LiteArch port expands the tree breadth-first, one round per level —
+the static per-round distribution cannot balance the skewed subtree sizes,
+matching LiteArch's early saturation in Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Tuple
+
+from repro.arch.lite import LiteProgram
+from repro.core.context import Worker, WorkerContext
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.base import ACCEL, Benchmark, Costs, register
+
+UNODE = "UNODE"
+USPLIT = "USPLIT"
+USUM = "USUM"
+UNODE_LITE = "UNODE_LITE"
+
+#: Maximum children spawned directly by one task; wider nodes (the root's
+#: fan-out) expand through a binary split tree so the bounded TMU queues
+#: are never flooded by a single task.
+MAX_FANOUT = 8
+
+_MASK = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """Deterministic 64-bit hash (UTS uses SHA-1; same role)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return z ^ (z >> 31)
+
+
+def child_id(parent_id: int, index: int) -> int:
+    """Node id of the ``index``-th child."""
+    return splitmix64(parent_id ^ (index + 1))
+
+
+@dataclass(frozen=True)
+class UtsCosts(Costs):
+    hash_node: int   # evaluate the node hash + child-count decision
+    sum_fixed: int
+
+
+#: A pipelined hash unit evaluates a node in a few cycles...
+ACCEL_COSTS = UtsCosts(hash_node=8, sum_fixed=1)
+#: ...while software pays a full hash computation per node.
+CPU_COSTS = UtsCosts(hash_node=90, sum_fixed=8)
+
+
+class UtsTree:
+    """Implicit binomial-style unbalanced tree.
+
+    The root has ``root_children`` children; every other node has
+    ``num_children`` children with probability ``q`` (decided by its
+    hash), zero otherwise, and nodes at ``max_depth`` are always leaves.
+    """
+
+    def __init__(self, root_children: int = 300, q: float = 0.24,
+                 num_children: int = 4, max_depth: int = 64,
+                 root_id: int = 42, shape: str = "binomial") -> None:
+        """``shape`` selects the UTS tree family:
+
+        * ``binomial`` — each non-root node has ``num_children`` children
+          with probability ``q``, none otherwise (self-similar, extreme
+          variance — the classic load-balance stressor);
+        * ``geometric`` — expected fan-out decays geometrically with
+          depth, giving bushy-near-root, thin-at-depth trees.
+        """
+        if shape not in ("binomial", "geometric"):
+            raise ValueError(f"unknown tree shape {shape!r}")
+        if shape == "binomial" and q * num_children >= 1.0:
+            raise ValueError("q * num_children must be < 1 (finite tree)")
+        self.shape = shape
+        self.root_children = root_children
+        self.q = q
+        self.q_threshold = int(q * (1 << 64))
+        self.num_children = num_children
+        self.max_depth = max_depth
+        self.root_id = root_id
+
+    def child_count(self, node_id: int, depth: int) -> int:
+        if depth >= self.max_depth:
+            return 0
+        if depth == 0:
+            return self.root_children
+        if self.shape == "geometric":
+            # Expected fan-out num_children * q^depth: draw uniformly in
+            # [0, 2*mean] from the node hash so trees stay finite.
+            ceiling = int(2 * self.num_children * (self.q ** depth)
+                          * (1 << 32))
+            draw = splitmix64(node_id) & 0xFFFFFFFF
+            return (draw * ceiling) >> 64
+        if splitmix64(node_id) < self.q_threshold:
+            return self.num_children
+        return 0
+
+    def count_nodes(self) -> int:
+        """Reference node count by iterative traversal."""
+        total = 0
+        stack = [(self.root_id, 0)]
+        while stack:
+            node_id, depth = stack.pop()
+            total += 1
+            for i in range(self.child_count(node_id, depth)):
+                stack.append((child_id(node_id, i), depth + 1))
+        return total
+
+
+class UtsWorker(Worker):
+    """Fork-join UTS worker: one task per tree node."""
+
+    name = "uts"
+    task_types = (UNODE, USPLIT, USUM, UNODE_LITE)
+
+    def __init__(self, bench: "UtsBenchmark", costs: UtsCosts) -> None:
+        self.bench = bench
+        self.costs = costs
+
+    def execute(self, task: Task, ctx: WorkerContext) -> None:
+        tree, costs = self.bench.tree, self.costs
+        if task.task_type == USUM:
+            # Static trailing arg: this level's own node contribution
+            # (1 for a tree node, 0 for a split-tree level).
+            ctx.compute(costs.sum_fixed)
+            ctx.send_arg(task.k, task.args[-1] + sum(task.args[:-1]))
+            return
+        if task.task_type == USPLIT:
+            node_id, depth, lo, hi = task.args
+            ctx.compute(costs.sum_fixed)
+            self._expand(ctx, task, node_id, depth, lo, hi, self_count=0)
+            return
+        if task.task_type == UNODE_LITE:
+            nodes = task.args[0]
+            ctx.compute(costs.hash_node * len(nodes))
+            children = []
+            for node_id, depth in nodes:
+                count = tree.child_count(node_id, depth)
+                children.extend(
+                    (child_id(node_id, i), depth + 1) for i in range(count)
+                )
+            ctx.send_arg(task.k, tuple(children))
+            return
+        node_id, depth = task.args[0], task.args[1]
+        ctx.compute(costs.hash_node)
+        count = tree.child_count(node_id, depth)
+        if count == 0:
+            ctx.send_arg(task.k, 1)
+            return
+        self._expand(ctx, task, node_id, depth, 0, count, self_count=1)
+
+    def _expand(self, ctx: WorkerContext, task: Task, node_id: int,
+                depth: int, lo: int, hi: int, self_count: int) -> None:
+        """Spawn children ``lo..hi`` of ``node_id``, splitting wide ranges."""
+        if hi - lo > MAX_FANOUT:
+            mid = (lo + hi) // 2
+            k = ctx.make_successor(USUM, task.k, 2, self_count)
+            ctx.spawn(Task(USPLIT, k.with_slot(1), (node_id, depth, mid, hi)))
+            ctx.spawn(Task(USPLIT, k.with_slot(0), (node_id, depth, lo, mid)))
+            return
+        k = ctx.make_successor(USUM, task.k, hi - lo, self_count)
+        for i in range(lo, hi):
+            ctx.spawn(Task(UNODE, k.with_slot(i - lo),
+                           (child_id(node_id, i), depth + 1)))
+
+
+class UtsLite(LiteProgram):
+    """Breadth-first LiteArch port: one round per tree level."""
+
+    name = "uts-lite"
+
+    def __init__(self, bench: "UtsBenchmark", num_pes: int) -> None:
+        self.bench = bench
+        self.num_pes = num_pes
+        self._total = 0
+
+    def rounds(self) -> Generator[List[Task], List, None]:
+        from repro.arch.lite import chunk_frontier
+
+        tree = self.bench.tree
+        frontier: List[Tuple[int, int]] = [(tree.root_id, 0)]
+        round_id = 0
+        while frontier:
+            self._total += len(frontier)
+            chunks = chunk_frontier(frontier, self.num_pes)
+            tasks = [Task(UNODE_LITE, self.host_k(i, round_id), (chunk,))
+                     for i, chunk in enumerate(chunks)]
+            values = yield tasks
+            frontier = [child for children in values for child in children]
+            round_id += 1
+
+    def result(self):
+        return self._total
+
+
+@register
+class UtsBenchmark(Benchmark):
+    """Count nodes of an unbalanced tree."""
+
+    name = "uts"
+    parallelization = "fj"
+    recursive_nested = True
+    data_dependent = True
+    memory_pattern = "regular"
+    memory_intensity = "low"
+    has_lite = True
+
+    def __init__(self, root_children: int = 300, q: float = 0.24,
+                 num_children: int = 4, max_depth: int = 64,
+                 root_id: int = 42, shape: str = "binomial") -> None:
+        super().__init__()
+        self.tree = UtsTree(root_children, q, num_children, max_depth,
+                            root_id, shape)
+        self._expected = self.tree.count_nodes()
+
+    def flex_worker(self, platform: str = ACCEL) -> Worker:
+        costs = ACCEL_COSTS if platform == ACCEL else CPU_COSTS
+        return UtsWorker(self, costs)
+
+    def root_task(self) -> Task:
+        return Task(UNODE, HOST_CONTINUATION, (self.tree.root_id, 0))
+
+    def lite_program(self, num_pes: int) -> LiteProgram:
+        return UtsLite(self, num_pes)
+
+    def verify(self, host_value) -> bool:
+        return host_value == self._expected
+
+    def expected(self):
+        return self._expected

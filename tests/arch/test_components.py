@@ -1,0 +1,93 @@
+"""Tests for P-Store, network latency model, and interface block."""
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.interface import InterfaceBlock
+from repro.arch.network import CrossbarNetwork
+from repro.arch.pstore import HardwarePStore
+from repro.core.exceptions import ProtocolError, PStoreFullError
+from repro.core.task import HOST_CONTINUATION, Task
+
+
+class TestHardwarePStore:
+    def test_alloc_deliver_ready(self):
+        ps = HardwarePStore(tile_id=1, entries=8)
+        cont = ps.alloc("SUM", HOST_CONTINUATION, 2, creator_pe=5)
+        assert cont.owner == 1
+        assert ps.deliver(cont.with_slot(0), 1, True) is None
+        ready = ps.deliver(cont.with_slot(1), 2, False)
+        assert ready.args == (1, 2)
+        assert ps.is_empty
+
+    def test_stats_local_remote(self):
+        ps = HardwarePStore(0, 8)
+        cont = ps.alloc("T", HOST_CONTINUATION, 2)
+        ps.deliver(cont.with_slot(0), 0, True)
+        ps.deliver(cont.with_slot(1), 0, False)
+        assert ps.stats.local_deliveries == 1
+        assert ps.stats.remote_deliveries == 1
+        assert ps.stats.remote_fraction == 0.5
+        assert ps.stats.tasks_readied == 1
+        assert ps.stats.allocs == 1
+        assert ps.stats.high_water == 1
+
+    def test_capacity(self):
+        ps = HardwarePStore(0, entries=1)
+        ps.alloc("T", HOST_CONTINUATION, 1)
+        with pytest.raises(PStoreFullError):
+            ps.alloc("T", HOST_CONTINUATION, 1)
+
+
+class TestCrossbarNetwork:
+    def setup_method(self):
+        self.net = CrossbarNetwork(AcceleratorConfig(num_tiles=4))
+
+    def test_local_arg_cheaper_than_remote(self):
+        local = self.net.arg_latency(0, 0)
+        remote = self.net.arg_latency(0, 1)
+        assert local < remote
+        assert self.net.arg_stats.local_messages == 1
+        assert self.net.arg_stats.remote_messages == 1
+
+    def test_local_steal_cheaper_than_remote(self):
+        local = (self.net.steal_request_latency(0, 0)
+                 + self.net.steal_response_latency(0, 0))
+        remote = (self.net.steal_request_latency(0, 2)
+                  + self.net.steal_response_latency(0, 2))
+        assert local < remote
+        assert self.net.steal_stats.steal_requests == 2
+
+    def test_steal_roundtrip_is_several_cycles(self):
+        # The paper's contrast: hardware steals cost single-digit-to-tens
+        # of cycles, not hundreds like software.
+        total = (self.net.steal_request_latency(0, 1)
+                 + self.net.steal_response_latency(0, 1))
+        assert total <= 20
+
+    def test_task_return_latency(self):
+        assert (self.net.task_return_latency(0, 0)
+                < self.net.task_return_latency(0, 3))
+
+
+class TestInterfaceBlock:
+    def test_inject_and_steal(self):
+        interface = InterfaceBlock()
+        task = Task("T", HOST_CONTINUATION)
+        interface.inject(task)
+        assert interface.tasks_injected == 1
+        assert interface.steal_head() is task
+        assert interface.steal_head() is None
+
+    def test_deliver_result(self):
+        interface = InterfaceBlock()
+        interface.deliver(HOST_CONTINUATION, 42)
+        assert interface.host.value == 42
+        assert interface.results_received == 1
+
+    def test_deliver_rejects_non_host(self):
+        from repro.core.task import Continuation
+
+        interface = InterfaceBlock()
+        with pytest.raises(ProtocolError):
+            interface.deliver(Continuation(0, 0, 0), 1)

@@ -1,0 +1,97 @@
+"""Tests for accelerator configuration validation and helpers."""
+
+import pytest
+
+from repro.arch.config import (
+    AcceleratorConfig,
+    MEMORY_PERFECT,
+    flex_config,
+    lite_config,
+)
+from repro.core.exceptions import ConfigError
+
+
+def test_defaults_are_flex():
+    cfg = AcceleratorConfig()
+    assert cfg.is_flex
+    assert cfg.num_pes == 4
+
+
+def test_tile_of():
+    cfg = AcceleratorConfig(num_tiles=2, pes_per_tile=4)
+    assert cfg.tile_of(0) == 0
+    assert cfg.tile_of(3) == 0
+    assert cfg.tile_of(4) == 1
+    with pytest.raises(ConfigError):
+        cfg.tile_of(8)
+
+
+def test_invalid_arch_rejected():
+    with pytest.raises(ConfigError):
+        AcceleratorConfig(arch="mega")
+
+
+def test_invalid_counts_rejected():
+    with pytest.raises(ConfigError):
+        AcceleratorConfig(num_tiles=0)
+    with pytest.raises(ConfigError):
+        AcceleratorConfig(pes_per_tile=0)
+
+
+def test_invalid_memory_rejected():
+    with pytest.raises(ConfigError):
+        AcceleratorConfig(memory="quantum")
+
+
+def test_invalid_queue_sizes_rejected():
+    with pytest.raises(ConfigError):
+        AcceleratorConfig(task_queue_entries=1)
+    with pytest.raises(ConfigError):
+        AcceleratorConfig(pstore_entries=0)
+
+
+def test_invalid_ablation_knobs_rejected():
+    with pytest.raises(ConfigError):
+        AcceleratorConfig(local_order="random")
+    with pytest.raises(ConfigError):
+        AcceleratorConfig(steal_end="middle")
+
+
+def test_flex_config_small_counts_single_tile():
+    cfg = flex_config(3)
+    assert cfg.num_tiles == 1
+    assert cfg.pes_per_tile == 3
+
+
+def test_flex_config_tiles_of_four():
+    cfg = flex_config(16)
+    assert cfg.num_tiles == 4
+    assert cfg.pes_per_tile == 4
+
+
+def test_flex_config_indivisible_rejected():
+    with pytest.raises(ConfigError):
+        flex_config(10)
+
+
+def test_lite_config_deep_queues():
+    cfg = lite_config(8)
+    assert cfg.arch == "lite"
+    assert cfg.task_queue_entries == 1 << 16
+    # Explicit override wins.
+    assert lite_config(8, task_queue_entries=32).task_queue_entries == 32
+
+
+def test_scaled_copy():
+    cfg = flex_config(8, memory=MEMORY_PERFECT)
+    big = cfg.scaled(8)
+    assert big.num_tiles == 8
+    assert big.memory == MEMORY_PERFECT
+    assert cfg.num_tiles == 2  # original untouched
+
+
+def test_mem_config_one_l1_per_tile():
+    cfg = flex_config(32, l1_size=8 * 1024)
+    mc = cfg.mem_config()
+    assert mc.num_l1 == 8
+    assert mc.l1_size == 8 * 1024

@@ -1,0 +1,153 @@
+"""Failure injection: protocol violations must surface as clean errors.
+
+A framework is only usable if a buggy worker produces a diagnosable
+exception instead of a hang or silent corruption; these tests inject each
+class of protocol violation into the timed engine.
+"""
+
+import pytest
+
+from repro.arch.accelerator import FlexAccelerator
+from repro.arch.config import flex_config
+from repro.arch.lite import LiteAccelerator, LiteProgram
+from repro.core.context import Worker
+from repro.core.exceptions import (
+    DeadlockError,
+    ProtocolError,
+    PStoreFullError,
+)
+from repro.core.task import HOST_CONTINUATION, Continuation, Task
+
+
+def flex(worker, pes=2, **overrides):
+    overrides.setdefault("memory", "perfect")
+    return FlexAccelerator(flex_config(pes, **overrides), worker)
+
+
+def test_worker_exception_propagates():
+    class Crash(Worker):
+        task_types = ("C",)
+
+        def execute(self, task, ctx):
+            raise RuntimeError("worker bug")
+
+    with pytest.raises(RuntimeError, match="worker bug"):
+        flex(Crash()).run(Task("C", HOST_CONTINUATION))
+
+
+def test_double_send_to_same_slot():
+    class DoubleSend(Worker):
+        task_types = ("D", "SUM")
+
+        def execute(self, task, ctx):
+            if task.task_type == "D":
+                k = ctx.make_successor("SUM", task.k, 2)
+                ctx.send_arg(k.with_slot(0), 1)
+                ctx.send_arg(k.with_slot(0), 2)  # same slot twice
+            else:
+                ctx.send_arg(task.k, 0)
+
+    with pytest.raises(ProtocolError):
+        flex(DoubleSend()).run(Task("D", HOST_CONTINUATION))
+
+
+def test_send_to_unallocated_entry():
+    class WildSend(Worker):
+        task_types = ("W",)
+
+        def execute(self, task, ctx):
+            ctx.send_arg(Continuation(0, 12345, 0), 1)
+
+    with pytest.raises(ProtocolError):
+        flex(WildSend()).run(Task("W", HOST_CONTINUATION))
+
+
+def test_overjoined_successor_detected():
+    class OverJoin(Worker):
+        task_types = ("O", "SUM")
+
+        def execute(self, task, ctx):
+            if task.task_type == "O":
+                k = ctx.make_successor("SUM", task.k, 1)
+                ctx.send_arg(k, 1)
+                ctx.send_arg(k, 2)  # entry already readied and freed
+            else:
+                ctx.send_arg(task.k, task.args[0])
+
+    with pytest.raises(ProtocolError):
+        flex(OverJoin()).run(Task("O", HOST_CONTINUATION))
+
+
+def test_pstore_exhaustion():
+    class ManyPending(Worker):
+        task_types = ("M", "S")
+
+        def execute(self, task, ctx):
+            if task.task_type == "M":
+                for _ in range(10):
+                    ctx.make_successor("S", task.k, 1)
+                # never sends: but exhaustion fires first
+
+    with pytest.raises(PStoreFullError):
+        flex(ManyPending(), pstore_entries=4).run(
+            Task("M", HOST_CONTINUATION)
+        )
+
+
+def test_missing_argument_deadlocks_with_diagnosis():
+    class Starver(Worker):
+        task_types = ("S", "SUM")
+
+        def execute(self, task, ctx):
+            if task.task_type == "S":
+                k = ctx.make_successor("SUM", task.k, 2)
+                ctx.send_arg(k.with_slot(0), 1)  # slot 1 never arrives
+            else:
+                ctx.send_arg(task.k, 0)
+
+    with pytest.raises(DeadlockError, match="outstanding"):
+        flex(Starver()).run(Task("S", HOST_CONTINUATION),
+                            max_cycles=20_000)
+
+
+def test_task_forgets_to_respond_detected():
+    """A task that neither sends nor spawns strands its continuation."""
+
+    class Silent(Worker):
+        task_types = ("ROOT", "SUM", "LEAF")
+
+        def execute(self, task, ctx):
+            if task.task_type == "ROOT":
+                k = ctx.make_successor("SUM", task.k, 1)
+                ctx.spawn(Task("LEAF", k))
+            elif task.task_type == "LEAF":
+                pass  # bug: returns nothing
+            else:
+                ctx.send_arg(task.k, 0)
+
+    with pytest.raises(DeadlockError):
+        flex(Silent()).run(Task("ROOT", HOST_CONTINUATION),
+                           max_cycles=20_000)
+
+
+def test_lite_round_value_count_mismatch_is_contained():
+    """A lite worker sending two results for one task corrupts the round
+    protocol; the engine must fail loudly, not hang."""
+
+    class ChattyWorker(Worker):
+        task_types = ("E",)
+
+        def execute(self, task, ctx):
+            ctx.send_arg(task.k, 1)
+            ctx.send_arg(task.k, 2)  # second send: protocol violation
+
+    class OneRound(LiteProgram):
+        def rounds(self):
+            yield [Task("E", self.host_k(0), ())]
+
+    from repro.arch.config import lite_config
+
+    accel = LiteAccelerator(lite_config(2, memory="perfect"),
+                            ChattyWorker())
+    with pytest.raises((ProtocolError, DeadlockError)):
+        accel.run(OneRound(), max_cycles=20_000)

@@ -1,0 +1,206 @@
+"""Tests for the heterogeneous-worker extension (tile-level sharing)."""
+
+import pytest
+
+from repro.arch.accelerator import FlexAccelerator
+from repro.arch.config import flex_config
+from repro.arch.hetero import (
+    SharedWorkerUnits,
+    WorkerGroup,
+    kinds_from,
+    shared_tile_resources,
+)
+from repro.core.context import Worker
+from repro.core.exceptions import ConfigError
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.design.resources import tile_resources
+from repro.workers.fib import FibWorker, fib_reference
+
+
+class FibNodeWorker(Worker):
+    """FIB half of a split fib worker (kind-specific)."""
+
+    name = "fib-node"
+    task_types = ("FIB",)
+
+    def execute(self, task, ctx):
+        n = task.args[0]
+        ctx.compute(2)
+        if n < 2:
+            ctx.send_arg(task.k, n)
+        else:
+            k = ctx.make_successor("SUM", task.k, 2)
+            ctx.spawn(Task("FIB", k.with_slot(1), (n - 2,)))
+            ctx.spawn(Task("FIB", k.with_slot(0), (n - 1,)))
+
+
+class SumWorker(Worker):
+    name = "sum"
+    task_types = ("SUM",)
+
+    def execute(self, task, ctx):
+        ctx.compute(1)
+        ctx.send_arg(task.k, task.args[0] + task.args[1])
+
+
+class TestWorkerGroup:
+    def test_dispatch_by_type(self):
+        group = WorkerGroup([FibNodeWorker(), SumWorker()], name="fib")
+        assert set(group.task_types) == {"FIB", "SUM"}
+        assert group.worker_for("FIB").name == "fib-node"
+        assert group.worker_for("SUM").name == "sum"
+
+    def test_unknown_type_rejected(self):
+        group = WorkerGroup([SumWorker()])
+        with pytest.raises(ConfigError):
+            group.worker_for("FIB")
+
+    def test_overlapping_types_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkerGroup([SumWorker(), SumWorker()])
+
+    def test_untyped_worker_rejected(self):
+        class Untyped(Worker):
+            def execute(self, task, ctx):
+                pass
+
+        with pytest.raises(ConfigError):
+            WorkerGroup([Untyped()])
+
+    def test_group_runs_fib_correctly(self):
+        group = WorkerGroup([FibNodeWorker(), SumWorker()], name="fib")
+        accel = FlexAccelerator(flex_config(4, memory="perfect"), group)
+        result = accel.run(Task("FIB", HOST_CONTINUATION, (13,)))
+        assert result.value == fib_reference(13)
+
+
+class TestKindsFrom:
+    def test_mapping(self):
+        kinds = kinds_from([("A", "B"), ("C",)])
+        assert dict(kinds) == {"A": 0, "B": 0, "C": 1}
+
+
+class TestSharedWorkerUnits:
+    def test_same_tile_serialises(self):
+        units = SharedWorkerUnits(kinds_from([("T",)]))
+        assert units.acquire(0, 0, now=0, duration=10) == 0
+        assert units.acquire(0, 0, now=0, duration=10) == 10
+        assert units.contention_cycles == 10
+
+    def test_different_tiles_independent(self):
+        units = SharedWorkerUnits(kinds_from([("T",)]))
+        units.acquire(0, 0, now=0, duration=10)
+        assert units.acquire(1, 0, now=0, duration=10) == 0
+
+    def test_different_kinds_independent(self):
+        units = SharedWorkerUnits(kinds_from([("A",), ("B",)]))
+        units.acquire(0, 0, now=0, duration=10)
+        assert units.acquire(0, 1, now=0, duration=10) == 0
+
+    def test_unshared_type_is_none(self):
+        units = SharedWorkerUnits(kinds_from([("A",)]))
+        assert units.kind("A") == 0
+        assert units.kind("Z") is None
+
+
+def run_fib(n, pes, **overrides):
+    overrides.setdefault("memory", "perfect")
+    accel = FlexAccelerator(flex_config(pes, **overrides), FibWorker())
+    return accel.run(Task("FIB", HOST_CONTINUATION, (n,)))
+
+
+class TestSharedExecution:
+    def test_correctness_preserved(self):
+        shared = run_fib(
+            13, 4, shared_worker_kinds=kinds_from([("FIB",), ("SUM",)])
+        )
+        assert shared.value == fib_reference(13)
+
+    def test_sharing_costs_cycles(self):
+        dedicated = run_fib(14, 4)
+        shared = run_fib(
+            14, 4, shared_worker_kinds=kinds_from([("FIB", "SUM")])
+        )
+        assert shared.value == dedicated.value
+        # Four PEs contending for one datapath unit per tile: slower.
+        assert shared.cycles > dedicated.cycles
+
+    def test_one_pe_sees_no_contention(self):
+        dedicated = run_fib(12, 1)
+        shared = run_fib(
+            12, 1, shared_worker_kinds=kinds_from([("FIB", "SUM")])
+        )
+        assert shared.cycles == dedicated.cycles
+
+    def test_more_tiles_relieve_contention(self):
+        kinds = kinds_from([("FIB", "SUM")])
+        one_tile = run_fib(4, 4, shared_worker_kinds=kinds)
+        # Same PE count spread over four tiles: four shared units.
+        four_tiles = FlexAccelerator(
+            flex_config(4, pes_per_tile=1, memory="perfect",
+                        shared_worker_kinds=kinds),
+            FibWorker(),
+        ).run(Task("FIB", HOST_CONTINUATION, (14,)))
+        one_tile_14 = FlexAccelerator(
+            flex_config(4, pes_per_tile=4, memory="perfect",
+                        shared_worker_kinds=kinds),
+            FibWorker(),
+        ).run(Task("FIB", HOST_CONTINUATION, (14,)))
+        assert four_tiles.cycles < one_tile_14.cycles
+
+
+class TestSharedResources:
+    def test_sharing_saves_worker_copies(self):
+        for name in ("cilksort", "uts", "nw"):
+            dedicated = tile_resources(name, "flex")
+            shared = shared_tile_resources(name)
+            assert shared.lut < dedicated.lut
+            assert shared.ff < dedicated.ff
+
+    def test_saving_is_biggest_for_big_workers(self):
+        cilk_saving = (tile_resources("cilksort", "flex").lut
+                       - shared_tile_resources("cilksort").lut)
+        queens_saving = (tile_resources("queens", "flex").lut
+                         - shared_tile_resources("queens").lut)
+        assert cilk_saving > 3 * queens_saving
+
+
+class TestPartitionWorker:
+    def test_partition_covers_all_types(self):
+        from repro.arch.hetero import partition_worker
+        from repro.workers import make_benchmark
+
+        bench = make_benchmark("cilksort", n=1024, sort_cutoff=64,
+                               merge_cutoff=64)
+        group = partition_worker(bench.flex_worker(),
+                                 [("CSORT",), ("PMERGE",)])
+        # PMJOIN gets its own implicit group.
+        assert set(group.task_types) == {"CSORT", "PMERGE", "PMJOIN"}
+
+    def test_partition_rejects_unknown_type(self):
+        from repro.arch.hetero import partition_worker
+        from repro.core.exceptions import ConfigError
+        from repro.workers import make_benchmark
+
+        bench = make_benchmark("fib", n=8)
+        import pytest as _pytest
+
+        with _pytest.raises(ConfigError):
+            partition_worker(bench.flex_worker(), [("NOT_A_TYPE",)])
+
+    def test_partitioned_cilksort_runs_with_shared_units(self):
+        from repro.arch.hetero import kinds_from, partition_worker
+        from repro.workers import make_benchmark
+
+        groups = [("CSORT",), ("PMERGE", "PMJOIN")]
+        bench = make_benchmark("cilksort", n=1024, sort_cutoff=64,
+                               merge_cutoff=64)
+        group = partition_worker(bench.flex_worker(), groups)
+        accel = FlexAccelerator(
+            flex_config(4, memory="perfect",
+                        shared_worker_kinds=kinds_from(groups)),
+            group,
+        )
+        result = accel.run(bench.root_task())
+        assert bench.verify(result.value)
+        assert accel.worker_units.acquisitions > 0

@@ -1,0 +1,55 @@
+"""Unit tests for run-result containers."""
+
+import pytest
+
+from repro.arch.result import PEStats, RunResult
+from repro.core.executor import HostResult
+
+
+def make_result(cycles=1000, clock=200.0, pes=2):
+    host = HostResult()
+    stats = [PEStats(pe_id=i, tasks_executed=5, busy_cycles=400,
+                     steal_attempts=4, steal_hits=2)
+             for i in range(pes)]
+    return RunResult(cycles=cycles, clock_mhz=clock, host=host,
+                     pe_stats=stats, label="demo")
+
+
+def test_time_conversions():
+    result = make_result(cycles=1000, clock=200.0)
+    assert result.ns == pytest.approx(5000.0)
+    assert result.seconds == pytest.approx(5e-6)
+
+
+def test_aggregates():
+    result = make_result(pes=4)
+    assert result.tasks_executed == 20
+    assert result.total_steals == 8
+    assert result.utilization() == pytest.approx(0.4)
+
+
+def test_speedup_over():
+    slow = make_result(cycles=2000)
+    fast = make_result(cycles=500)
+    assert fast.speedup_over(slow) == pytest.approx(4.0)
+
+
+def test_speedup_zero_time_rejected():
+    zero = make_result(cycles=0)
+    with pytest.raises(ZeroDivisionError):
+        make_result().speedup_over(zero) or zero.speedup_over(make_result())
+
+
+def test_utilization_empty():
+    result = RunResult(cycles=0, clock_mhz=200.0, host=HostResult())
+    assert result.utilization() == 0.0
+
+
+def test_steal_success_rate():
+    stats = PEStats(pe_id=0, steal_attempts=10, steal_hits=3)
+    assert stats.steal_success_rate == pytest.approx(0.3)
+    assert PEStats(pe_id=1).steal_success_rate == 0.0
+
+
+def test_repr_mentions_label():
+    assert "demo" in repr(make_result())

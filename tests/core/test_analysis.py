@@ -1,0 +1,109 @@
+"""Tests for work/span analysis: Brent's bound vs actual schedules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import analyze_worker, predict, saturation_pes
+from repro.core.executor import ReferenceScheduler
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.core.validate import GraphStats
+from repro.workers.fib import FibWorker
+from tests.core.test_space_bound import RandomTreeWorker, tree_root
+
+
+def fib_task(n):
+    return Task("FIB", HOST_CONTINUATION, (n,))
+
+
+class TestPrediction:
+    def test_bounds_ordering(self):
+        stats = GraphStats(tasks=100, work_cycles=1000, span_tasks=10,
+                           span_cycles=100)
+        p = predict(stats, 4)
+        assert p.lower_bound_time <= p.upper_bound_time
+        assert p.min_speedup <= p.max_speedup
+        assert p.max_speedup <= 4
+
+    def test_single_pe_exact(self):
+        stats = GraphStats(tasks=10, work_cycles=50, span_tasks=5,
+                           span_cycles=25)
+        p = predict(stats, 1)
+        assert p.lower_bound_time == 50
+        assert p.max_speedup == pytest.approx(1.0)
+
+    def test_linear_region_flag(self):
+        stats = GraphStats(tasks=1000, work_cycles=10000, span_tasks=10,
+                           span_cycles=100)
+        assert predict(stats, 16).linear_region       # 625 >= 100
+        assert not predict(stats, 200).linear_region  # 50 < 100
+
+    def test_task_granularity_mode(self):
+        stats = GraphStats(tasks=100, work_cycles=12345, span_tasks=10,
+                           span_cycles=777)
+        p = predict(stats, 2, use_cycles=False)
+        assert p.work == 100 and p.span == 10
+
+    def test_saturation_is_average_parallelism(self):
+        stats = GraphStats(tasks=100, work_cycles=1000, span_tasks=10,
+                           span_cycles=50)
+        assert saturation_pes(stats) == pytest.approx(20.0)
+        assert saturation_pes(stats, use_cycles=False) == pytest.approx(10.0)
+
+
+class TestAgainstReferenceScheduler:
+    """The untimed scheduler executes one task per PE per step, so its
+    step count is directly comparable with task-granularity bounds."""
+
+    @pytest.mark.parametrize("num_pes", [1, 2, 4, 8])
+    def test_fib_within_bounds(self, num_pes):
+        stats = analyze_worker(FibWorker(), fib_task(13))
+        sched = ReferenceScheduler(FibWorker(), num_pes)
+        sched.run(fib_task(13))
+        p = predict(stats, num_pes, use_cycles=False)
+        # Lower bound always holds.
+        assert sched.stats.steps >= p.lower_bound_time
+        # Brent's bound with slack for steal latency (a failed steal
+        # burns a step) and the one-step dispatch pipeline.
+        assert sched.stats.steps <= 3.0 * p.upper_bound_time + 10
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32), num_pes=st.sampled_from([2, 4, 8]))
+    def test_random_trees_within_bounds(self, seed, num_pes):
+        worker = RandomTreeWorker(seed, max_depth=10)
+        stats = analyze_worker(worker, tree_root())
+        sched = ReferenceScheduler(RandomTreeWorker(seed, max_depth=10),
+                                   num_pes)
+        sched.run(tree_root())
+        p = predict(stats, num_pes, use_cycles=False)
+        assert sched.stats.steps >= p.lower_bound_time
+        assert sched.stats.steps <= 3.0 * p.upper_bound_time + 10
+
+
+class TestExplainsTableIV:
+    """The work/span numbers explain the paper's scalability contrast."""
+
+    def test_cilksort_has_more_parallelism_than_quicksort(self):
+        from repro.workers import make_benchmark
+
+        qs = make_benchmark("quicksort", n=4096, cutoff=64)
+        qs_par = saturation_pes(analyze_worker(qs.flex_worker(),
+                                               qs.root_task()))
+        cs = make_benchmark("cilksort", n=4096, sort_cutoff=64,
+                            merge_cutoff=64)
+        cs_par = saturation_pes(analyze_worker(cs.flex_worker(),
+                                               cs.root_task()))
+        assert cs_par > 2 * qs_par
+
+    def test_quicksort_saturation_matches_simulated_plateau(self):
+        from repro.workers import make_benchmark
+        from repro.harness.runners import run_flex
+
+        bench = make_benchmark("quicksort", n=4096, cutoff=64)
+        parallelism = saturation_pes(
+            analyze_worker(bench.flex_worker(), bench.root_task())
+        )
+        t1 = run_flex("quicksort", 1, quick=True).ns
+        t32 = run_flex("quicksort", 32, quick=True).ns
+        simulated = t1 / t32
+        # The simulated plateau cannot exceed the graph's parallelism.
+        assert simulated <= parallelism * 1.1

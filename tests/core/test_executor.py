@@ -1,0 +1,188 @@
+"""Tests for the functional executors (serial + reference scheduler)."""
+
+import pytest
+
+from repro.core.context import Worker
+from repro.core.exceptions import DeadlockError, ProtocolError
+from repro.core.executor import (
+    ExecutionObserver,
+    HostResult,
+    ReferenceScheduler,
+    SerialExecutor,
+)
+from repro.core.task import HOST_CONTINUATION, Continuation, Task
+from repro.workers.fib import FibWorker, fib_reference
+
+
+def fib_task(n):
+    return Task("FIB", HOST_CONTINUATION, (n,))
+
+
+class TestHostResult:
+    def test_deliver_and_value(self):
+        host = HostResult()
+        host.deliver(HOST_CONTINUATION, 99)
+        assert host.value == 99
+
+    def test_multiple_slots(self):
+        host = HostResult()
+        host.deliver(HOST_CONTINUATION.with_slot(1), "b")
+        host.deliver(HOST_CONTINUATION, "a")
+        assert host.slots == {0: "a", 1: "b"}
+
+    def test_double_delivery_rejected(self):
+        host = HostResult()
+        host.deliver(HOST_CONTINUATION, 1)
+        with pytest.raises(ProtocolError):
+            host.deliver(HOST_CONTINUATION, 2)
+
+    def test_non_host_rejected(self):
+        with pytest.raises(ProtocolError):
+            HostResult().deliver(Continuation(0, 0, 0), 1)
+
+
+class TestSerialExecutor:
+    def test_fib_correct(self):
+        result = SerialExecutor(FibWorker()).run(fib_task(12))
+        assert result.value == fib_reference(12)
+
+    def test_stats(self):
+        sx = SerialExecutor(FibWorker())
+        sx.run(fib_task(10))
+        stats = sx.stats
+        assert stats.tasks_executed == stats.tasks_by_type["FIB"] + \
+            stats.tasks_by_type["SUM"]
+        assert stats.spawns == 2 * stats.tasks_by_type["SUM"]
+        assert stats.successors == stats.tasks_by_type["SUM"]
+        assert stats.max_space >= 1
+
+    def test_multiple_roots(self):
+        class Echo(Worker):
+            task_types = ("E",)
+
+            def execute(self, task, ctx):
+                ctx.send_arg(task.k, task.args[0])
+
+        roots = [Task("E", HOST_CONTINUATION.with_slot(i), (i * 10,))
+                 for i in range(3)]
+        result = SerialExecutor(Echo()).run(roots)
+        assert result.slots == {0: 0, 1: 10, 2: 20}
+
+    def test_max_tasks_guard(self):
+        class Bomb(Worker):
+            task_types = ("B",)
+
+            def execute(self, task, ctx):
+                ctx.spawn(Task("B", task.k))
+
+        with pytest.raises(DeadlockError):
+            SerialExecutor(Bomb(), max_tasks=100).run(
+                Task("B", HOST_CONTINUATION)
+            )
+
+    def test_unfilled_pending_detected(self):
+        class Leaky(Worker):
+            task_types = ("L",)
+
+            def execute(self, task, ctx):
+                ctx.make_successor("NEVER", task.k, 2)
+                # sends nothing: the successor never becomes ready
+
+        with pytest.raises(DeadlockError):
+            SerialExecutor(Leaky()).run(Task("L", HOST_CONTINUATION))
+
+    def test_wrong_task_type_raises(self):
+        with pytest.raises(ProtocolError):
+            SerialExecutor(FibWorker()).run(Task("NOPE", HOST_CONTINUATION))
+
+
+class TestReferenceScheduler:
+    @pytest.mark.parametrize("num_pes", [1, 2, 3, 4, 8, 16])
+    def test_fib_correct_any_pe_count(self, num_pes):
+        result = ReferenceScheduler(FibWorker(), num_pes).run(fib_task(13))
+        assert result.value == fib_reference(13)
+
+    def test_needs_a_pe(self):
+        with pytest.raises(ValueError):
+            ReferenceScheduler(FibWorker(), 0)
+
+    def test_deterministic(self):
+        runs = []
+        for _ in range(2):
+            sched = ReferenceScheduler(FibWorker(), 4)
+            sched.run(fib_task(12))
+            runs.append((sched.stats.steps, sched.stats.steal_hits,
+                         sched.stats.tasks_executed))
+        assert runs[0] == runs[1]
+
+    def test_parallelism_reduces_steps(self):
+        steps = {}
+        for p in (1, 8):
+            sched = ReferenceScheduler(FibWorker(), p)
+            sched.run(fib_task(14))
+            steps[p] = sched.stats.steps
+        assert steps[8] < steps[1] / 4
+
+    def test_steals_happen_with_multiple_pes(self):
+        sched = ReferenceScheduler(FibWorker(), 4)
+        sched.run(fib_task(12))
+        assert sched.stats.steal_hits > 0
+
+    def test_no_steals_single_pe(self):
+        sched = ReferenceScheduler(FibWorker(), 1)
+        sched.run(fib_task(10))
+        assert sched.stats.steal_attempts == 0
+
+    def test_same_result_as_serial(self):
+        serial = SerialExecutor(FibWorker()).run(fib_task(14))
+        parallel = ReferenceScheduler(FibWorker(), 8).run(fib_task(14))
+        assert serial.value == parallel.value
+
+
+class CountingObserver(ExecutionObserver):
+    def __init__(self):
+        self.executes = 0
+        self.spawns = 0
+        self.sends = 0
+        self.successors = 0
+        self.readies = 0
+        self.completes = 0
+
+    def on_execute(self, pe_id, task):
+        self.executes += 1
+
+    def on_spawn(self, pe_id, parent, child):
+        self.spawns += 1
+
+    def on_send(self, pe_id, sender, cont, value):
+        self.sends += 1
+
+    def on_successor(self, pe_id, parent, cont, njoin):
+        self.successors += 1
+
+    def on_ready(self, pe_id, task):
+        self.readies += 1
+
+    def on_complete(self, pe_id, task, ctx):
+        self.completes += 1
+
+
+def test_observer_hooks_fire_consistently():
+    obs = CountingObserver()
+    sx = SerialExecutor(FibWorker(), observer=obs)
+    sx.run(fib_task(11))
+    assert obs.executes == sx.stats.tasks_executed
+    assert obs.completes == obs.executes
+    assert obs.spawns == sx.stats.spawns
+    assert obs.sends == sx.stats.args_sent
+    assert obs.successors == sx.stats.successors
+    # Every successor eventually becomes ready.
+    assert obs.readies == obs.successors
+
+
+def test_observer_hooks_fire_on_reference_scheduler():
+    obs = CountingObserver()
+    sched = ReferenceScheduler(FibWorker(), 4, observer=obs)
+    sched.run(fib_task(11))
+    assert obs.executes == sched.stats.tasks_executed
+    assert obs.readies == obs.successors

@@ -1,0 +1,82 @@
+"""Unit tests for the LFSR victim selector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.lfsr import LFSR16, default_seed
+
+
+def test_zero_seed_rejected():
+    with pytest.raises(ValueError):
+        LFSR16(0)
+
+
+def test_state_never_zero_over_period_sample():
+    lfsr = LFSR16(0xACE1)
+    for _ in range(10000):
+        assert lfsr.next() != 0
+
+
+def test_full_period():
+    lfsr = LFSR16(1)
+    seen_initial_again_at = None
+    for step in range(1, LFSR16.PERIOD + 1):
+        if lfsr.next() == 1:
+            seen_initial_again_at = step
+            break
+    assert seen_initial_again_at == LFSR16.PERIOD
+
+
+def test_pick_range():
+    lfsr = LFSR16()
+    for _ in range(1000):
+        assert 0 <= lfsr.pick(7) < 7
+
+
+def test_pick_invalid():
+    with pytest.raises(ValueError):
+        LFSR16().pick(0)
+
+
+def test_victim_never_self():
+    lfsr = LFSR16()
+    for _ in range(2000):
+        assert lfsr.pick_victim(8, 3) != 3
+
+
+def test_victim_needs_two_pes():
+    with pytest.raises(ValueError):
+        LFSR16().pick_victim(1, 0)
+
+
+def test_victim_distribution_roughly_uniform():
+    lfsr = LFSR16()
+    counts = [0] * 8
+    trials = 8000
+    for _ in range(trials):
+        counts[lfsr.pick_victim(8, 0)] += 1
+    assert counts[0] == 0
+    for pe in range(1, 8):
+        # Each of the 7 victims should get roughly 1/7 of the picks.
+        assert abs(counts[pe] - trials / 7) < trials / 7 * 0.25
+
+
+@given(st.integers(min_value=0, max_value=4096))
+def test_default_seeds_nonzero(pe_id):
+    assert default_seed(pe_id) != 0
+
+
+def test_default_seeds_distinct_for_small_ids():
+    seeds = [default_seed(i) for i in range(64)]
+    assert len(set(seeds)) == 64
+
+
+@given(st.integers(min_value=2, max_value=64),
+       st.integers(min_value=0, max_value=63))
+def test_pick_victim_in_range(n, self_id):
+    self_id %= n
+    lfsr = LFSR16(default_seed(self_id))
+    for _ in range(50):
+        victim = lfsr.pick_victim(n, self_id)
+        assert 0 <= victim < n
+        assert victim != self_id

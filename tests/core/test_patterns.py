@@ -1,0 +1,241 @@
+"""Unit and property tests for blocked ranges and parallel_for."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.context import Worker
+from repro.core.executor import SerialExecutor, ReferenceScheduler
+from repro.core.exceptions import ProtocolError
+from repro.core.patterns import (
+    ASYNC,
+    BlockedRange,
+    ParallelForMixin,
+    join_task_type,
+    pattern_task_types,
+    split_task_type,
+    static_chunks,
+)
+from repro.core.task import HOST_CONTINUATION, Task
+
+
+class TestBlockedRange:
+    def test_basic(self):
+        rng = BlockedRange(0, 10, 3)
+        assert len(rng) == 10
+        assert rng.is_divisible
+
+    def test_not_divisible_at_grain(self):
+        assert not BlockedRange(0, 3, 3).is_divisible
+        assert BlockedRange(0, 4, 3).is_divisible
+
+    def test_split_halves(self):
+        left, right = BlockedRange(0, 10, 1).split()
+        assert (left.begin, left.end) == (0, 5)
+        assert (right.begin, right.end) == (5, 10)
+
+    def test_split_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            BlockedRange(0, 2, 4).split()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BlockedRange(0, 10, 0)
+        with pytest.raises(ValueError):
+            BlockedRange(5, 1)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000), st.integers(1, 64))
+    def test_split_partitions_range(self, begin, size, grain):
+        rng = BlockedRange(begin, begin + size, grain)
+        if not rng.is_divisible:
+            return
+        left, right = rng.split()
+        assert left.begin == rng.begin
+        assert left.end == right.begin
+        assert right.end == rng.end
+        assert len(left) >= 1 and len(right) >= 1
+
+    @given(st.integers(0, 10000), st.integers(1, 64))
+    def test_recursive_split_reaches_grain(self, size, grain):
+        """Fully splitting covers the range with leaves <= grain."""
+        leaves = []
+        stack = [BlockedRange(0, size, grain)]
+        while stack:
+            rng = stack.pop()
+            if rng.is_divisible:
+                stack.extend(rng.split())
+            else:
+                leaves.append(rng)
+        covered = sorted((r.begin, r.end) for r in leaves)
+        pos = 0
+        for begin, end in covered:
+            assert begin == pos
+            assert end - begin <= grain
+            pos = end
+        assert pos == size
+
+
+class TestStaticChunks:
+    def test_even_split(self):
+        assert static_chunks(0, 8, 4) == ((0, 2), (2, 4), (4, 6), (6, 8))
+
+    def test_remainder_distributed(self):
+        chunks = static_chunks(0, 10, 3)
+        sizes = [hi - lo for lo, hi in chunks]
+        assert sizes == [4, 3, 3]
+
+    def test_more_chunks_than_items(self):
+        chunks = static_chunks(0, 2, 4)
+        assert len(chunks) == 4
+        assert sum(hi - lo for lo, hi in chunks) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            static_chunks(0, 4, 0)
+        with pytest.raises(ValueError):
+            static_chunks(5, 1, 2)
+
+    @given(st.integers(-100, 100), st.integers(0, 1000),
+           st.integers(1, 64))
+    def test_chunks_partition(self, lo, size, n):
+        chunks = static_chunks(lo, lo + size, n)
+        assert len(chunks) == n
+        pos = lo
+        for begin, end in chunks:
+            assert begin == pos
+            assert end >= begin
+            pos = end
+        assert pos == lo + size
+
+
+class SumWorker(ParallelForMixin, Worker):
+    """Toy worker: sums f(i) over a range with parallel_for."""
+
+    name = "sum"
+    task_types = pattern_task_types("sum")
+    pf_grains = {"sum": 4}
+
+    def execute(self, task, ctx):
+        if not self.pf_dispatch(task, ctx):
+            raise AssertionError(task.task_type)
+
+    def pf_leaf_sum(self, ctx, k, lo, hi):
+        return sum(i * i for i in range(lo, hi))
+
+
+class NestedWorker(ParallelForMixin, Worker):
+    """Nested loops: sum of i*j over a 2D grid."""
+
+    name = "nested"
+    task_types = pattern_task_types("outer", "inner")
+    pf_grains = {"outer": 1, "inner": 2}
+
+    def __init__(self, cols):
+        self.cols = cols
+
+    def execute(self, task, ctx):
+        if not self.pf_dispatch(task, ctx):
+            raise AssertionError(task.task_type)
+
+    def pf_leaf_outer(self, ctx, k, lo, hi):
+        self.pf_start(ctx, "inner", 0, self.cols, k, lo)
+        return ASYNC
+
+    def pf_leaf_inner(self, ctx, k, lo, hi, row):
+        return sum(row * j for j in range(lo, hi))
+
+
+class MaxWorker(ParallelForMixin, Worker):
+    """Custom (max) reduction."""
+
+    name = "max"
+    task_types = pattern_task_types("m")
+    pf_grains = {"m": 2}
+
+    def __init__(self, data):
+        self.data = data
+
+    def execute(self, task, ctx):
+        self.pf_dispatch(task, ctx)
+
+    def pf_leaf_m(self, ctx, k, lo, hi):
+        return max(self.data[lo:hi])
+
+    def pf_reduce_m(self, a, b):
+        return max(a, b)
+
+
+def run_root(worker, tag, lo, hi):
+    root = Task(split_task_type(tag), HOST_CONTINUATION, (lo, hi))
+    return SerialExecutor(worker).run(root).value
+
+
+def test_parallel_for_sums_squares():
+    assert run_root(SumWorker(), "sum", 0, 100) == sum(i * i
+                                                       for i in range(100))
+
+
+def test_parallel_for_empty_range():
+    assert run_root(SumWorker(), "sum", 5, 5) == 0
+
+
+def test_parallel_for_single_element():
+    assert run_root(SumWorker(), "sum", 7, 8) == 49
+
+
+@given(st.integers(0, 300), st.integers(0, 300))
+def test_parallel_for_arbitrary_ranges(a, b):
+    lo, hi = min(a, b), max(a, b)
+    assert run_root(SumWorker(), "sum", lo, hi) == sum(
+        i * i for i in range(lo, hi)
+    )
+
+
+def test_nested_parallel_for():
+    worker = NestedWorker(cols=7)
+    result = run_root(worker, "outer", 0, 5)
+    assert result == sum(i * j for i in range(5) for j in range(7))
+
+
+def test_custom_reduction():
+    data = [3, 1, 4, 1, 5, 9, 2, 6]
+    worker = MaxWorker(data)
+    assert run_root(worker, "m", 0, len(data)) == 9
+
+
+def test_parallel_for_on_reference_scheduler():
+    worker = SumWorker()
+    root = Task(split_task_type("sum"), HOST_CONTINUATION, (0, 64))
+    result = ReferenceScheduler(worker, 4).run(root)
+    assert result.value == sum(i * i for i in range(64))
+
+
+def test_negative_range_rejected():
+    class Bad(SumWorker):
+        pass
+
+    worker = Bad()
+    from repro.core.context import WorkerContext
+
+    ctx = WorkerContext(0, lambda *a: HOST_CONTINUATION)
+    with pytest.raises(ProtocolError):
+        worker.pf_start(ctx, "sum", 5, 1, HOST_CONTINUATION)
+
+
+def test_missing_leaf_rejected():
+    class NoLeaf(ParallelForMixin, Worker):
+        task_types = pattern_task_types("ghost")
+
+        def execute(self, task, ctx):
+            self.pf_dispatch(task, ctx)
+
+    root = Task(split_task_type("ghost"), HOST_CONTINUATION, (0, 1))
+    with pytest.raises(ProtocolError):
+        SerialExecutor(NoLeaf()).run(root)
+
+
+def test_task_type_helpers():
+    assert split_task_type("x") == "__pf:x:split"
+    assert join_task_type("x") == "__pf:x:join"
+    assert pattern_task_types("a", "b") == (
+        "__pf:a:split", "__pf:a:join", "__pf:b:split", "__pf:b:join",
+    )

@@ -1,0 +1,98 @@
+"""Property tests for the work-stealing space bound S_P <= S_1 * P.
+
+For fully strict computations, the scheduling policy (LIFO local deques,
+steal-from-head, greedy successor placement) matches Cilk's provably
+efficient scheduler, whose space bound is S_P <= S_1 * P (Section II-C).
+We generate random fully-strict fork-join trees and check the bound holds
+in the reference scheduler, along with result correctness.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import Worker
+from repro.core.executor import ReferenceScheduler, SerialExecutor
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.core.validate import Strictness, StrictnessChecker
+from repro.workers.fib import FibWorker
+from repro.workers.uts import splitmix64
+
+
+class RandomTreeWorker(Worker):
+    """Fully strict fork-join worker over a pseudo-random tree.
+
+    Node ``(seed, depth)`` spawns ``0..3`` children (hash-determined,
+    thinning with depth) and a SUM successor; leaves return 1, so the root
+    result is the tree size.
+    """
+
+    task_types = ("NODE", "SUM")
+
+    def __init__(self, seed: int, max_depth: int):
+        self.seed = seed
+        self.max_depth = max_depth
+
+    def _fanout(self, node_id: int, depth: int) -> int:
+        if depth >= self.max_depth:
+            return 0
+        h = splitmix64(node_id ^ self.seed)
+        # Mean fanout just above 1 so trees stay modest but irregular.
+        return (0, 0, 1, 2, 3, 1, 0, 2)[h % 8]
+
+    def execute(self, task, ctx):
+        if task.task_type == "SUM":
+            ctx.send_arg(task.k, 1 + sum(task.args))
+            return
+        node_id, depth = task.args
+        count = self._fanout(node_id, depth)
+        if count == 0:
+            ctx.send_arg(task.k, 1)
+            return
+        k = ctx.make_successor("SUM", task.k, count)
+        for i in range(count):
+            child = splitmix64(node_id * 31 + i + 1)
+            ctx.spawn(Task("NODE", k.with_slot(i), (child, depth + 1)))
+
+
+def tree_root():
+    return Task("NODE", HOST_CONTINUATION, (1, 0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32), num_pes=st.sampled_from([2, 3, 4, 8]))
+def test_space_bound_random_trees(seed, num_pes):
+    worker = RandomTreeWorker(seed, max_depth=12)
+    serial = SerialExecutor(worker)
+    expected = serial.run(tree_root()).value
+    s1 = serial.stats.max_space
+
+    checker = StrictnessChecker()
+    sched = ReferenceScheduler(RandomTreeWorker(seed, max_depth=12),
+                               num_pes, observer=checker)
+    result = sched.run(tree_root())
+    assert result.value == expected
+    assert checker.classification() is Strictness.FULLY_STRICT
+    assert sched.stats.max_space <= s1 * num_pes
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(5, 16), num_pes=st.sampled_from([2, 4, 8, 16]))
+def test_space_bound_fib(n, num_pes):
+    serial = SerialExecutor(FibWorker())
+    serial.run(Task("FIB", HOST_CONTINUATION, (n,)))
+    s1 = serial.stats.max_space
+
+    sched = ReferenceScheduler(FibWorker(), num_pes)
+    sched.run(Task("FIB", HOST_CONTINUATION, (n,)))
+    assert sched.stats.max_space <= s1 * num_pes
+
+
+def test_space_grows_sublinearly_in_practice():
+    """The bound is loose: measured S_P is usually far below S_1 * P."""
+    serial = SerialExecutor(FibWorker())
+    serial.run(Task("FIB", HOST_CONTINUATION, (16,)))
+    s1 = serial.stats.max_space
+
+    sched = ReferenceScheduler(FibWorker(), 16)
+    sched.run(Task("FIB", HOST_CONTINUATION, (16,)))
+    assert sched.stats.max_space <= s1 * 16
+    assert sched.stats.max_space < s1 * 16 * 0.8

@@ -1,0 +1,63 @@
+"""Unit tests for task and continuation primitives."""
+
+import pytest
+
+from repro.core.task import (
+    HOST,
+    HOST_CONTINUATION,
+    Continuation,
+    Task,
+    make_task,
+)
+
+
+def test_continuation_with_slot():
+    k = Continuation(owner=2, entry=7, slot=0)
+    k1 = k.with_slot(3)
+    assert k1.owner == 2 and k1.entry == 7 and k1.slot == 3
+    assert k.slot == 0  # immutable original
+
+
+def test_host_continuation():
+    assert HOST_CONTINUATION.is_host
+    assert HOST_CONTINUATION.owner == HOST
+    assert not Continuation(0, 0, 0).is_host
+
+
+def test_continuation_repr():
+    assert "host" in repr(HOST_CONTINUATION)
+    assert "pstore1[2]" in repr(Continuation(1, 2, 0))
+
+
+def test_task_args_coerced_to_tuple():
+    task = Task("T", HOST_CONTINUATION, [1, 2, 3])
+    assert task.args == (1, 2, 3)
+
+
+def test_task_arg_accessor_with_default():
+    task = Task("T", HOST_CONTINUATION, (10,))
+    assert task.arg(0) == 10
+    assert task.arg(5) == 0
+    assert task.arg(5, default="d") == "d"
+
+
+def test_make_task():
+    task = make_task("FIB", HOST_CONTINUATION, 4, 5)
+    assert task.task_type == "FIB"
+    assert task.args == (4, 5)
+
+
+def test_task_equality_and_hash():
+    a = make_task("T", HOST_CONTINUATION, 1)
+    b = make_task("T", HOST_CONTINUATION, 1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != make_task("T", HOST_CONTINUATION, 2)
+
+
+def test_continuations_are_values():
+    # Continuations must be usable as task argument words (nw passes them
+    # inside argument values).
+    inner = Continuation(1, 5, 0)
+    task = make_task("T", HOST_CONTINUATION, inner)
+    assert task.args[0] is inner

@@ -1,0 +1,151 @@
+"""Tests for strictness classification and task-graph analysis."""
+
+import pytest
+
+from repro.core.context import Worker
+from repro.core.executor import SerialExecutor
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.core.validate import (
+    Strictness,
+    StrictnessChecker,
+    TaskGraphRecorder,
+)
+from repro.workers.fib import FibWorker
+
+
+def run_with(worker, root, observer):
+    SerialExecutor(worker, observer=observer).run(root)
+    return observer
+
+
+def test_fib_is_fully_strict():
+    checker = run_with(FibWorker(), Task("FIB", HOST_CONTINUATION, (10,)),
+                       StrictnessChecker())
+    assert checker.classification() is Strictness.FULLY_STRICT
+
+
+class SequentialWorker(Worker):
+    """A -> B sequential composition by passing A's own continuation to B
+    (Figure 1(a)): strict but not fully strict, because B returns to its
+    grandparent's successor."""
+
+    task_types = ("ROOT", "A", "B")
+
+    def execute(self, task, ctx):
+        if task.task_type == "ROOT":
+            k = ctx.make_successor("ROOT_DONE", task.k, 1)
+            ctx.spawn(Task("A", k))
+        elif task.task_type == "A":
+            ctx.spawn(Task("B", task.k))  # pass own continuation onward
+        elif task.task_type == "B":
+            ctx.send_arg(task.k, 7)
+        else:
+            raise AssertionError(task.task_type)
+
+    def check_task_type(self, task):
+        pass
+
+
+class RootDoneWorker(SequentialWorker):
+    task_types = ("ROOT", "A", "B", "ROOT_DONE")
+
+    def execute(self, task, ctx):
+        if task.task_type == "ROOT_DONE":
+            ctx.send_arg(task.k, task.args[0])
+        else:
+            super().execute(task, ctx)
+
+
+def test_sequential_composition_is_strict_not_fully():
+    checker = run_with(RootDoneWorker(), Task("ROOT", HOST_CONTINUATION),
+                       StrictnessChecker())
+    assert checker.classification() is Strictness.STRICT
+
+
+def test_nw_is_nonstrict():
+    from repro.workers.nw import NwBenchmark
+
+    bench = NwBenchmark(n=32, block=8)
+    checker = run_with(bench.flex_worker(), bench.root_task(),
+                       StrictnessChecker())
+    assert checker.classification() is Strictness.NONSTRICT
+
+
+def test_quicksort_is_fully_strict():
+    from repro.workers.quicksort import QuicksortBenchmark
+
+    bench = QuicksortBenchmark(n=512, cutoff=32)
+    checker = run_with(bench.flex_worker(), bench.root_task(),
+                       StrictnessChecker())
+    assert checker.classification() is Strictness.FULLY_STRICT
+
+
+class TestTaskGraphRecorder:
+    def test_fib_graph_shape(self):
+        recorder = TaskGraphRecorder()
+        sx = SerialExecutor(FibWorker(), observer=recorder)
+        sx.run(Task("FIB", HOST_CONTINUATION, (8,)))
+        stats = recorder.stats()
+        assert stats.tasks == sx.stats.tasks_executed
+        # fib(8): span is much shorter than the work.
+        assert stats.span_tasks < stats.tasks
+        assert stats.parallelism_tasks > 2
+
+    def test_serial_chain_has_no_parallelism(self):
+        class Chain(Worker):
+            task_types = ("C",)
+
+            def execute(self, task, ctx):
+                n = task.args[0]
+                ctx.compute(1)
+                if n == 0:
+                    ctx.send_arg(task.k, 0)
+                else:
+                    ctx.spawn(Task("C", task.k, (n - 1,)))
+
+        recorder = TaskGraphRecorder()
+        SerialExecutor(Chain(), observer=recorder).run(
+            Task("C", HOST_CONTINUATION, (20,))
+        )
+        stats = recorder.stats()
+        assert stats.tasks == 21
+        assert stats.span_tasks == 21
+        assert stats.parallelism_tasks == pytest.approx(1.0)
+
+    def test_cycles_weighting(self):
+        class TwoLeaves(Worker):
+            task_types = ("ROOT", "LEAF", "SUM")
+
+            def execute(self, task, ctx):
+                if task.task_type == "ROOT":
+                    k = ctx.make_successor("SUM", task.k, 2)
+                    ctx.spawn(Task("LEAF", k.with_slot(0), (100,)))
+                    ctx.spawn(Task("LEAF", k.with_slot(1), (1,)))
+                elif task.task_type == "LEAF":
+                    ctx.compute(task.args[0])
+                    ctx.send_arg(task.k, 0)
+                else:
+                    ctx.compute(1)
+                    ctx.send_arg(task.k, 0)
+
+        recorder = TaskGraphRecorder()
+        SerialExecutor(TwoLeaves(), observer=recorder).run(
+            Task("ROOT", HOST_CONTINUATION)
+        )
+        stats = recorder.stats()
+        assert stats.tasks == 4
+        assert stats.work_cycles == 1 + 100 + 1 + 1  # root min 1 cycle
+        # Critical path runs through the 100-cycle leaf.
+        assert stats.span_cycles >= 102
+
+    def test_networkx_export(self):
+        recorder = TaskGraphRecorder()
+        SerialExecutor(FibWorker(), observer=recorder).run(
+            Task("FIB", HOST_CONTINUATION, (6,))
+        )
+        graph = recorder.to_networkx()
+        assert graph.number_of_nodes() == len(recorder.node_tasks)
+        assert graph.number_of_edges() == len(recorder.edges)
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(graph)

@@ -1,0 +1,114 @@
+"""Tests for the software baseline (multicore CPU + Cilk-style runtime)."""
+
+import pytest
+
+from repro.cpu.multicore import MulticoreCPU, cpu_config, make_multicore
+from repro.cpu.runtime import RuntimeCostModel, SoftwareRuntimeNetwork
+from repro.cpu.zynq import A9_CPI_FACTOR, zynq_cpu_config
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.fib import CPU_COSTS, FibWorker, fib_reference
+
+
+def fib_task(n):
+    return Task("FIB", HOST_CONTINUATION, (n,))
+
+
+def run_cpu_fib(n=13, cores=4, **overrides):
+    overrides.setdefault("memory", "perfect")
+    cpu = make_multicore(cores, FibWorker(CPU_COSTS), **overrides)
+    return cpu.run(fib_task(n))
+
+
+@pytest.mark.parametrize("cores", [1, 2, 4, 8])
+def test_correct_results(cores):
+    assert run_cpu_fib(13, cores).value == fib_reference(13)
+
+
+def test_config_one_tile_per_core():
+    cfg = cpu_config(8)
+    assert cfg.num_tiles == 8
+    assert cfg.pes_per_tile == 1
+    assert cfg.clock.freq_mhz == 1000.0
+
+
+def test_parallel_speedup():
+    t1 = run_cpu_fib(15, 1).ns
+    t8 = run_cpu_fib(15, 8).ns
+    assert 4.0 < t1 / t8 <= 8.0
+
+
+def test_software_steals_cost_hundreds_of_cycles():
+    costs = RuntimeCostModel()
+    net = SoftwareRuntimeNetwork(costs)
+    roundtrip = (net.steal_request_latency(0, 1)
+                 + net.steal_response_latency(0, 1))
+    assert roundtrip >= 200  # "hundreds of instructions" (Section V-D)
+
+
+def test_steal_cost_slows_execution():
+    cheap = MulticoreCPU(
+        cpu_config(8, memory="perfect"), FibWorker(CPU_COSTS),
+        RuntimeCostModel(steal_request_cycles=1, steal_response_cycles=1),
+    ).run(fib_task(14))
+    pricey = MulticoreCPU(
+        cpu_config(8, memory="perfect"), FibWorker(CPU_COSTS),
+        RuntimeCostModel(steal_request_cycles=2000,
+                         steal_response_cycles=2000),
+    ).run(fib_task(14))
+    assert pricey.value == cheap.value
+    assert pricey.cycles > cheap.cycles
+
+
+def test_label_defaults():
+    result = run_cpu_fib(10, 2)
+    assert result.label == "cpu2"
+
+
+def test_cpu_slower_per_worker_than_accelerator():
+    """One PE at 200 MHz beats one 1 GHz core on fib: the HLS datapath
+    does the whole task body in a couple of cycles."""
+    from repro.arch.accelerator import FlexAccelerator
+    from repro.arch.config import flex_config
+    from repro.workers.fib import ACCEL_COSTS
+
+    accel = FlexAccelerator(flex_config(1, memory="perfect"),
+                            FibWorker(ACCEL_COSTS))
+    accel_time = accel.run(fib_task(14)).ns
+    cpu_time = run_cpu_fib(14, 1).ns
+    assert cpu_time > accel_time
+
+
+def test_remote_arg_latency_higher():
+    net = SoftwareRuntimeNetwork()
+    assert net.arg_latency(0, 1) > net.arg_latency(0, 0)
+    assert net.task_return_latency(0, 1) > net.task_return_latency(0, 0)
+
+
+def test_zynq_config():
+    cfg = zynq_cpu_config(2)
+    assert cfg.num_pes == 2
+    assert cfg.clock.freq_mhz == pytest.approx(667.0)
+    assert cfg.dram_bandwidth_gbps < 12.8  # Zedboard DDR is narrower
+
+
+def test_a9_scaling_factor_slows_worker():
+    base = FibWorker(CPU_COSTS)
+    scaled_costs = base.costs.scaled(A9_CPI_FACTOR)
+    assert scaled_costs.node > base.costs.node
+    assert scaled_costs.sum >= base.costs.sum
+
+
+def test_scratchpads_are_cacheable_on_cpu():
+    """MemOps marked scratchpad must go through the CPU cache hierarchy."""
+    from repro.core.context import Worker
+
+    class ScratchWorker(Worker):
+        task_types = ("S",)
+
+        def execute(self, task, ctx):
+            ctx.read(0x8000, 64, scratchpad=True)
+            ctx.send_arg(task.k, 0)
+
+    cpu = make_multicore(1, ScratchWorker())
+    cpu.run(Task("S", HOST_CONTINUATION))
+    assert cpu.memory.total_misses() == 1

@@ -1,0 +1,87 @@
+"""Tests for the Figure 4 design flow."""
+
+import pytest
+
+from repro.arch.config import flex_config, lite_config
+from repro.design.flow import (
+    WORKER_PORTS,
+    describe_worker,
+    elaborate_hierarchy,
+    generate_accelerator,
+    synthesize_worker,
+)
+from repro.design.fpga import ARTIX_7A75T, KINTEX_7K160T
+from repro.workers import make_benchmark
+from repro.workers.fib import fib_reference
+
+
+@pytest.fixture
+def fib_bench():
+    return make_benchmark("fib", n=12)
+
+
+def test_describe_worker(fib_bench):
+    desc = describe_worker(fib_bench.flex_worker())
+    assert desc.name == "fib"
+    assert desc.task_types == ("FIB", "SUM")
+    assert desc.ports == WORKER_PORTS
+    assert "task_in" in str(desc)
+
+
+def test_synthesize_worker(fib_bench):
+    report = synthesize_worker(fib_bench.flex_worker(), "flex")
+    assert report.resources.lut > 0
+    assert report.target_mhz == 200.0
+
+
+def test_generate_and_run(fib_bench):
+    generated = generate_accelerator(fib_bench.flex_worker(),
+                                     flex_config(4, memory="perfect"))
+    engine = generated.build_engine()
+    result = engine.run(fib_bench.root_task())
+    assert result.value == fib_reference(12)
+
+
+def test_generated_lite_engine():
+    bench = make_benchmark("stencil2d", height=32, width=32)
+    generated = generate_accelerator(bench.lite_worker(),
+                                     lite_config(4, memory="perfect"))
+    engine = generated.build_engine()
+    result = engine.run(bench.lite_program(4))
+    assert bench.verify(result.value)
+
+
+def test_hierarchy_listing():
+    lines = elaborate_hierarchy(flex_config(8))
+    text = "\n".join(lines)
+    assert text.count("tile[") == 2
+    assert text.count("pe[") == 8
+    assert text.count("pstore") == 2
+    assert "work_stealing_network" in text
+
+
+def test_lite_hierarchy_has_no_pstore():
+    lines = elaborate_hierarchy(lite_config(4))
+    text = "\n".join(lines)
+    assert "pstore" not in text
+    assert "work_stealing_network" not in text
+
+
+def test_fits_device(fib_bench):
+    generated = generate_accelerator(fib_bench.flex_worker(), flex_config(4))
+    assert generated.fits(KINTEX_7K160T)
+    big = generate_accelerator(
+        make_benchmark("cilksort", n=256).flex_worker(), flex_config(32)
+    )
+    assert not big.fits(ARTIX_7A75T)
+
+
+def test_design_space_exploration_loop(fib_bench):
+    """Changing only parameters explores the space (Section IV-C)."""
+    sizes = {}
+    for pes in (4, 8, 16):
+        generated = generate_accelerator(
+            make_benchmark("fib", n=12).flex_worker(), flex_config(pes)
+        )
+        sizes[pes] = generated.resources.lut
+    assert sizes[4] < sizes[8] < sizes[16]

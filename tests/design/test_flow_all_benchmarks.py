@@ -1,0 +1,42 @@
+"""Integration: the full Figure 4 flow works for every paper benchmark."""
+
+import pytest
+
+from repro.arch.config import flex_config, lite_config
+from repro.design.flow import generate_accelerator
+from repro.design.report import datasheet
+from repro.harness.runners import QUICK_PARAMS
+from repro.workers import PAPER_BENCHMARKS, make_benchmark
+
+
+@pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+def test_generate_and_run_flex(name):
+    bench = make_benchmark(name, **QUICK_PARAMS.get(name, {}))
+    generated = generate_accelerator(bench.flex_worker(),
+                                     flex_config(4, memory="perfect"))
+    engine = generated.build_engine()
+    result = engine.run(bench.root_task())
+    assert bench.verify(result.value)
+    assert generated.resources.lut > 0
+
+
+@pytest.mark.parametrize(
+    "name", [b for b in PAPER_BENCHMARKS if b != "cilksort"]
+)
+def test_generate_and_run_lite(name):
+    bench = make_benchmark(name, **QUICK_PARAMS.get(name, {}))
+    generated = generate_accelerator(bench.lite_worker(),
+                                     lite_config(4, memory="perfect"))
+    engine = generated.build_engine()
+    result = engine.run(bench.lite_program(4))
+    assert bench.verify(result.value)
+
+
+@pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+def test_datasheet_renders(name):
+    bench = make_benchmark(name, **QUICK_PARAMS.get(name, {}))
+    generated = generate_accelerator(bench.flex_worker(), flex_config(8))
+    sheet = datasheet(generated)
+    assert name in sheet
+    assert "[resources]" in sheet
+    assert "total" in sheet

@@ -1,0 +1,101 @@
+"""Tests for FPGA fit and power/energy models."""
+
+import pytest
+
+from repro.design.fpga import (
+    ARTIX_7A75T,
+    KINTEX_7K160T,
+    FpgaDevice,
+    fit_table,
+    max_tiles,
+)
+from repro.design.power import (
+    PowerReport,
+    accel_power,
+    cpu_power,
+    energy_efficiency_ratio,
+)
+from repro.workers import PAPER_BENCHMARKS
+
+
+class TestFit:
+    def test_kintex_fits_more_than_artix(self):
+        for name in ("nw", "queens", "uts"):
+            assert (max_tiles(KINTEX_7K160T, name, "flex")
+                    >= max_tiles(ARTIX_7A75T, name, "flex"))
+
+    def test_cilksort_is_the_biggest(self):
+        fits = fit_table(PAPER_BENCHMARKS, "flex", ARTIX_7A75T, limit=8)
+        assert fits["cilksort"] == min(v for v in fits.values() if v)
+
+    def test_artix_flex_around_four_tiles(self):
+        fits = fit_table(PAPER_BENCHMARKS, "flex", ARTIX_7A75T, limit=8)
+        values = [v for v in fits.values() if v]
+        avg = sum(values) / len(values)
+        assert 2.5 <= avg <= 5.0  # paper: ~4
+
+    def test_lite_fits_at_least_flex(self):
+        flex = fit_table(PAPER_BENCHMARKS, "flex", ARTIX_7A75T, limit=8)
+        lite = fit_table(PAPER_BENCHMARKS, "lite", ARTIX_7A75T, limit=8)
+        for name in PAPER_BENCHMARKS:
+            if name == "cilksort":
+                assert lite[name] == 0  # no lite port
+                continue
+            assert lite[name] >= flex[name] - 1
+
+    def test_kintex_eight_tiles_for_most(self):
+        fits = fit_table(PAPER_BENCHMARKS, "flex", KINTEX_7K160T, limit=8)
+        eight = sum(1 for v in fits.values() if v >= 8)
+        assert eight >= 6  # paper: all but cilksort
+
+    def test_utilization_ceiling_reduces_fit(self):
+        full = max_tiles(ARTIX_7A75T, "queens", "flex", utilization=1.0)
+        tight = max_tiles(ARTIX_7A75T, "queens", "flex", utilization=0.5)
+        assert tight < full
+
+    def test_budget_math(self):
+        dev = FpgaDevice("toy", 100, 200, 10, 20)
+        budget = dev.budget(0.5)
+        assert (budget.lut, budget.ff, budget.dsp, budget.bram) == \
+            (50, 100, 5, 10)
+
+
+class TestPower:
+    def test_report_totals(self):
+        report = PowerReport(dynamic_w=1.0, static_w=0.5)
+        assert report.total_w == 1.5
+        assert report.energy_j(2.0) == 3.0
+
+    def test_accel_power_scales_with_tiles(self):
+        one = accel_power("nw", "flex", 1)
+        four = accel_power("nw", "flex", 4)
+        assert four.total_w > one.total_w
+        assert four.dynamic_w == pytest.approx(4 * one.dynamic_w)
+
+    def test_activity_scales_dynamic_only(self):
+        idle = accel_power("nw", "flex", 4, activity=0.0)
+        busy = accel_power("nw", "flex", 4, activity=1.0)
+        assert idle.dynamic_w == 0.0
+        assert idle.static_w == busy.static_w
+        assert busy.total_w > idle.total_w
+
+    def test_cpu_power_mcpat_scale(self):
+        eight = cpu_power(8, activity=1.0)
+        # Eight OOO cores + L2 land in the handful-of-watts range.
+        assert 4.0 < eight.total_w < 12.0
+
+    def test_accelerator_lower_power_than_cpu(self):
+        """The Figure 8 headline: every accelerator point sits below the
+        iso-power line."""
+        for name in PAPER_BENCHMARKS:
+            accel = accel_power(name, "flex", 4, activity=1.0)
+            cpu = cpu_power(8, activity=1.0)
+            assert accel.total_w < cpu.total_w
+
+    def test_dsp_heavy_workers_burn_more(self):
+        gemm = accel_power("bbgemm", "flex", 4)
+        queens = accel_power("queens", "flex", 4)
+        assert gemm.total_w > queens.total_w
+
+    def test_energy_efficiency_ratio(self):
+        assert energy_efficiency_ratio(10.0, 2.0) == 5.0

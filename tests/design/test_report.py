@@ -1,0 +1,51 @@
+"""Tests for the accelerator datasheet."""
+
+from repro.arch.config import flex_config, lite_config
+from repro.design.flow import generate_accelerator
+from repro.design.report import datasheet
+from repro.workers import make_benchmark
+
+
+def make_sheet(name="fib", pes=8, lite=False):
+    bench = make_benchmark(name) if name != "fib" else make_benchmark(
+        "fib", n=10
+    )
+    if lite:
+        generated = generate_accelerator(bench.lite_worker(),
+                                         lite_config(pes))
+    else:
+        generated = generate_accelerator(bench.flex_worker(),
+                                         flex_config(pes))
+    return datasheet(generated)
+
+
+def test_sections_present():
+    sheet = make_sheet()
+    for section in ("[interface]", "[template parameters]", "[resources]",
+                    "[power]", "[module hierarchy]"):
+        assert section in sheet
+
+
+def test_reports_fit_per_device():
+    sheet = make_sheet()
+    assert "XC7A75T" in sheet and "XC7K160T" in sheet
+    assert "fits" in sheet
+
+
+def test_big_design_does_not_fit_artix():
+    sheet = make_sheet("cilksort", pes=32)
+    assert "XC7A75T   : does NOT fit" in sheet
+
+
+def test_lite_sheet_has_no_pstore():
+    sheet = make_sheet("stencil2d", pes=4, lite=True)
+    assert "P-Store" not in sheet
+    assert "lite" in sheet
+
+
+def test_power_line_sane():
+    sheet = make_sheet()
+    power_line = next(line for line in sheet.split("\n")
+                      if "total" in line)
+    watts = float(power_line.split("total")[1].split("W")[0])
+    assert 0.0 < watts < 20.0

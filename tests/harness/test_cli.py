@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "uts" in out and "table4" in out and "fig9" in out
+
+
+def test_run_benchmark(capsys):
+    assert main(["run", "fib", "--engine", "flex", "--pes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fib-flex2" in out and "verified" in out
+
+
+def test_run_cpu_engine(capsys):
+    assert main(["run", "queens", "--engine", "cpu", "--pes", "2"]) == 0
+    assert "queens-cpu2" in capsys.readouterr().out
+
+
+def test_table_commands(capsys):
+    assert main(["table1"]) == 0
+    assert "Work-Stealing" in capsys.readouterr().out
+    assert main(["table2"]) == 0
+    assert "bfsqueue" in capsys.readouterr().out
+    assert main(["table5"]) == 0
+    assert "flexPE.lut" in capsys.readouterr().out
+
+
+def test_fig9_quick(capsys):
+    assert main(["fig9"]) == 0
+    assert "Figure 9" in capsys.readouterr().out
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nonesuch"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,56 @@
+"""Tests for experiment-result rendering and geomean helper."""
+
+import pytest
+
+from repro.harness.common import ExperimentResult, format_table
+from repro.harness.paper_data import geomean
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        # All lines equal width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+
+
+class TestExperimentResult:
+    def test_render_includes_title_and_notes(self):
+        result = ExperimentResult(
+            experiment="Table X",
+            title="Things",
+            headers=["k", "v"],
+            rows=[["a", "1"]],
+            notes=["caveat"],
+        )
+        text = result.render()
+        assert "Table X" in text
+        assert "Things" in text
+        assert "note: caveat" in text
+        assert str(result) == text
+
+    def test_render_without_table(self):
+        result = ExperimentResult(experiment="E", title="T")
+        assert result.render() == "== E: T =="
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([3]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,115 @@
+"""Smoke and shape tests for the experiment harness.
+
+Full-size experiment runs live in ``benchmarks/``; here each experiment is
+exercised on a reduced benchmark set in quick mode, checking structure and
+the first-order shapes.
+"""
+
+import pytest
+
+from repro.harness.ablations import (
+    run_ablation_greedy,
+    run_ablation_pstore,
+    run_ablation_queue_order,
+    run_ablation_steal_end,
+    run_ablation_steal_latency,
+)
+from repro.harness.fig6 import run_fig6, zedboard_benchmarks
+from repro.harness.fig7 import run_fig7
+from repro.harness.fig8 import run_fig8
+from repro.harness.fig9 import run_fig9
+from repro.harness.table4 import run_table4, scalability_row
+from repro.harness.table5 import run_table5
+from repro.harness.tables123 import run_table1, run_table2, run_table3
+
+SMALL = ("queens", "uts")
+
+
+def test_table4_structure():
+    result = run_table4(benchmarks=SMALL, cpu_counts=(1, 2),
+                        accel_counts=(1, 4), quick=True)
+    assert len(result.rows) == len(SMALL) + 1  # + geomean
+    assert result.data["flex"]["queens"][0] == pytest.approx(1.0)
+    assert result.data["flex"]["queens"][1] > 2.0
+    assert "Table IV" in result.render()
+
+
+def test_scalability_row_lite_none_for_cilksort():
+    assert scalability_row("cilksort", "lite", (1,), quick=True) is None
+
+
+def test_fig7_normalisation():
+    result = run_fig7(benchmarks=("queens",), pe_counts=(1, 4), quick=True)
+    series = result.data["series"]["queens"]
+    assert series["flex"][1] > series["flex"][0]
+    assert result.data["summary"]["flex_top_vs_1core_geomean"] > 0
+
+
+def test_fig6_zedboard_excludes_cache_dependent():
+    names = zedboard_benchmarks()
+    assert "bfsqueue" not in names
+    assert "knapsack" not in names
+    assert "nw" in names
+
+
+def test_fig6_runs():
+    result = run_fig6(benchmarks=("queens",), pe_counts=(4,), quick=True)
+    assert result.data["geomeans"][4] > 0
+
+
+def test_table5_all_benchmarks():
+    result = run_table5()
+    assert len(result.rows) == 10
+    cilk = next(r for r in result.rows if r[0] == "cilksort")
+    assert "N/A" in cilk  # no lite implementation
+    assert result.data["nw"]["fits"]["artix_flex"] >= 2
+
+
+def test_fig8_points():
+    result = run_fig8(benchmarks=("queens",), quick=True)
+    point = result.data["points"]["queens"]["flex"]
+    assert point["eff_norm"] > 1.0  # accelerator wins on energy
+    assert point["power_norm"] < 1.0  # and uses less power
+
+
+def test_fig9_normalised_to_32k():
+    result = run_fig9(benchmarks=("spmvcrs",),
+                      cache_sizes=(4 * 1024, 32 * 1024), quick=True)
+    series = result.data["series"]["spmvcrs"]
+    assert series[32 * 1024] == pytest.approx(1.0)
+    assert series[4 * 1024] <= 1.05
+
+
+def test_tables123_render():
+    t1, t2, t3 = run_table1(), run_table2(), run_table3()
+    assert "Work-Stealing" in t1.render()
+    assert len(t2.rows) == 10
+    assert any("MOESI" in str(row) for row in t3.rows)
+
+
+class TestAblations:
+    def test_queue_order(self):
+        result = run_ablation_queue_order(benchmarks=("quicksort",),
+                                          quick=True, num_pes=1)
+        entry = result.data["quicksort"]
+        # FIFO explodes the queue footprint (breadth-first frontier).
+        assert entry["queue_growth"] > 2.0
+
+    def test_steal_end(self):
+        result = run_ablation_steal_end(benchmarks=("uts",), quick=True)
+        assert result.data["uts"]["slowdown"] > 0.5
+
+    def test_greedy(self):
+        result = run_ablation_greedy(benchmarks=("queens",), quick=True)
+        assert result.data["queens"]["slowdown"] > 0.5
+
+    def test_pstore(self):
+        result = run_ablation_pstore(benchmarks=("uts",), quick=True)
+        entry = result.data["uts"]
+        # A central P-Store turns almost all argument traffic remote.
+        assert entry["remote_growth"] > 1.5
+
+    def test_steal_latency_monotone(self):
+        result = run_ablation_steal_latency("uts", hop_cycles=(4, 256),
+                                            quick=True)
+        assert result.data[256]["slowdown"] > 1.0

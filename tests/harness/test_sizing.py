@@ -1,0 +1,39 @@
+"""Tests for the queue-sizing experiment (the space bound in hardware)."""
+
+from repro.harness.sizing import (
+    measured_occupancy,
+    run_sizing,
+    serial_space,
+)
+
+
+def test_serial_space_positive():
+    assert serial_space("fib", quick=True) > 1
+
+
+def test_occupancy_fields():
+    occ = measured_occupancy("fib", 4, quick=True)
+    assert occ["queue"] >= 1
+    assert occ["pstore"] >= 1
+    # The structure maxima can never exceed the instantaneous total...
+    assert occ["queue"] <= occ["space"]
+    assert occ["pstore"] <= occ["space"]
+
+
+def test_bound_holds_for_fully_strict_benchmarks():
+    result = run_sizing(quick=True)
+    for name, entry in result.data.items():
+        assert entry["bound_ok"], name
+
+
+def test_space_grows_sublinearly_with_pes():
+    """S_P stays far under the worst-case S1*P ceiling in practice."""
+    s1 = serial_space("fib", quick=True)
+    occ16 = measured_occupancy("fib", 16, quick=True)
+    assert occ16["space"] < s1 * 16
+
+
+def test_render_mentions_sizing_guidance():
+    text = run_sizing(benchmarks=("fib",), pe_counts=(1, 4),
+                      quick=True).render()
+    assert "task_queue_entries" in text

@@ -1,0 +1,105 @@
+"""Tests for sweeps, Pareto filtering, and result persistence."""
+
+import pytest
+
+from repro.core.exceptions import ConfigError
+from repro.harness.common import ExperimentResult
+from repro.harness.results_io import load_result, save_result
+from repro.harness.sweep import pareto_front, sweep, tabulate
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        records = sweep("fib", num_pes=(2, 4), quick=True,
+                        with_design_models=False,
+                        net_hop_cycles=(4, 16))
+        assert len(records) == 4
+        combos = {(r["num_pes"], r["net_hop_cycles"]) for r in records}
+        assert combos == {(2, 4), (2, 16), (4, 4), (4, 16)}
+
+    def test_records_have_timing(self):
+        records = sweep("queens", num_pes=(4,), quick=True,
+                        with_design_models=False)
+        record = records[0]
+        assert record["cycles"] > 0
+        assert record["ns"] > 0
+        assert 0 < record["utilization"] <= 1
+
+    def test_design_model_columns(self):
+        records = sweep("queens", num_pes=(4,), quick=True)
+        record = records[0]
+        assert record["lut"] > 0
+        assert record["power_w"] > 0
+        assert record["energy_j"] > 0
+
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigError):
+            sweep("fib", engine="warp")
+
+    def test_lite_engine(self):
+        records = sweep("stencil2d", engine="lite", num_pes=(4,),
+                        quick=True, with_design_models=False)
+        assert records[0]["tasks"] > 0
+
+
+class TestTabulate:
+    def test_renders_columns(self):
+        text = tabulate([{"a": 1, "b": 2.34567}], columns=["a", "b"])
+        assert "2.35" in text and "a" in text
+
+    def test_empty(self):
+        assert tabulate([]) == "(no records)"
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        records = [
+            {"ns": 10, "energy_j": 10},   # dominated by both others? no
+            {"ns": 5, "energy_j": 20},
+            {"ns": 20, "energy_j": 5},
+            {"ns": 30, "energy_j": 30},   # dominated by the first
+        ]
+        front = pareto_front(records, minimize=("ns", "energy_j"))
+        assert records[3] not in front
+        assert records[0] in front
+        assert records[1] in front and records[2] in front
+
+    def test_single_objective(self):
+        records = [{"ns": 3}, {"ns": 1}, {"ns": 2}]
+        front = pareto_front(records, minimize=("ns",))
+        assert front == [{"ns": 1}]
+
+
+class TestResultsIO:
+    def test_roundtrip(self, tmp_path):
+        original = ExperimentResult(
+            experiment="Table X",
+            title="Demo",
+            headers=["k", "v"],
+            rows=[["a", "1"]],
+            notes=["hello"],
+            data={"series": {"a": [1, 2, 3]}, "nested": {"x": 1.5}},
+        )
+        path = save_result(original, tmp_path / "x.json")
+        loaded = load_result(path)
+        assert loaded.experiment == original.experiment
+        assert loaded.rows == original.rows
+        assert loaded.notes == original.notes
+        assert loaded.data["series"]["a"] == [1, 2, 3]
+        assert loaded.render().startswith("== Table X")
+
+    def test_nonjson_data_degrades_to_repr(self, tmp_path):
+        class Odd:
+            pass
+
+        result = ExperimentResult(experiment="E", title="T",
+                                  data={"odd": object()})
+        path = save_result(result, tmp_path / "odd.json")
+        assert "odd" in load_result(path).data
+
+    def test_real_experiment_saves(self, tmp_path):
+        from repro.harness.tables123 import run_table2
+
+        path = save_result(run_table2(), tmp_path / "t2.json")
+        loaded = load_result(path)
+        assert len(loaded.rows) == 10

@@ -1,0 +1,63 @@
+"""Unit tests for the DRAM bandwidth/latency model."""
+
+import pytest
+
+from repro.mem.dram import DRAM
+
+
+def test_single_access_latency():
+    dram = DRAM(access_ns=50.0, bandwidth_gbps=12.8, line_size=64)
+    latency = dram.access(0.0)
+    assert latency == pytest.approx(50.0 + 64 / 12.8)
+
+
+def test_back_to_back_accesses_queue():
+    dram = DRAM(access_ns=50.0, bandwidth_gbps=12.8)
+    service = 64 / 12.8
+    first = dram.access(0.0)
+    second = dram.access(0.0)
+    assert second == pytest.approx(first + service)
+    assert dram.stats.queue_delay_ns == pytest.approx(service)
+
+
+def test_spaced_accesses_do_not_queue():
+    dram = DRAM(access_ns=50.0, bandwidth_gbps=12.8)
+    dram.access(0.0)
+    latency = dram.access(1000.0)
+    assert latency == pytest.approx(50.0 + 64 / 12.8)
+
+
+def test_background_traffic_consumes_bandwidth():
+    dram = DRAM(access_ns=50.0, bandwidth_gbps=12.8)
+    for _ in range(10):
+        dram.record_background(0.0)
+    latency = dram.access(0.0)
+    assert latency > 50.0 + 10 * (64 / 12.8) - 1e-6
+    assert dram.stats.requests == 11
+
+
+def test_custom_transfer_size():
+    dram = DRAM(access_ns=10.0, bandwidth_gbps=1.0)
+    latency = dram.access(0.0, nbytes=1000)
+    assert latency == pytest.approx(10.0 + 1000.0)
+
+
+def test_stats_accumulate():
+    dram = DRAM()
+    dram.access(0.0)
+    dram.access(0.0)
+    assert dram.stats.requests == 2
+    assert dram.stats.bytes_transferred == 128
+    assert dram.stats.bandwidth_gbps(1000.0) == pytest.approx(0.128)
+
+
+def test_invalid_bandwidth():
+    with pytest.raises(ValueError):
+        DRAM(bandwidth_gbps=0)
+
+
+def test_busy_until_advances():
+    dram = DRAM(bandwidth_gbps=12.8)
+    assert dram.busy_until_ns == 0.0
+    dram.access(100.0)
+    assert dram.busy_until_ns == pytest.approx(100.0 + 64 / 12.8)

@@ -1,0 +1,108 @@
+"""Unit tests for simulated memory and address helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.memory import LINE_SIZE, SimMemory, line_of, lines_touched
+
+
+def test_alloc_line_aligned():
+    mem = SimMemory()
+    r1 = mem.alloc("a", 100)
+    r2 = mem.alloc("b", 10)
+    assert r1.base % LINE_SIZE == 0
+    assert r2.base % LINE_SIZE == 0
+    assert r2.base >= r1.end
+
+
+def test_alloc_duplicate_name_rejected():
+    mem = SimMemory()
+    mem.alloc("x", 8)
+    with pytest.raises(ValueError):
+        mem.alloc("x", 8)
+
+
+def test_alloc_nonpositive_rejected():
+    with pytest.raises(ValueError):
+        SimMemory().alloc("x", 0)
+
+
+def test_alloc_array_view():
+    mem = SimMemory()
+    region, arr = mem.alloc_array("data", 16, dtype=np.int32)
+    assert region.nbytes == 64
+    assert arr.dtype == np.int32
+    assert len(arr) == 16
+    assert (arr == 0).all()
+
+
+def test_region_addr_and_bounds():
+    mem = SimMemory()
+    region = mem.alloc("r", 40)
+    assert region.addr(0) == region.base
+    assert region.addr(9) == region.base + 36
+    with pytest.raises(IndexError):
+        region.addr(10)
+    with pytest.raises(IndexError):
+        region.addr(-1)
+
+
+def test_region_addr_itemsize():
+    mem = SimMemory()
+    region = mem.alloc("r", 16)
+    assert region.addr(3, itemsize=1) == region.base + 3
+    assert region.addr(1, itemsize=8) == region.base + 8
+
+
+def test_region_of():
+    mem = SimMemory()
+    r1 = mem.alloc("a", 64)
+    mem.alloc("b", 64)
+    assert mem.region_of(r1.base + 10) is r1
+    with pytest.raises(KeyError):
+        mem.region_of(0)
+
+
+def test_bytes_allocated():
+    mem = SimMemory()
+    mem.alloc("a", 100)
+    mem.alloc("b", 28)
+    assert mem.bytes_allocated == 128
+
+
+def test_line_of():
+    assert line_of(0) == 0
+    assert line_of(63) == 0
+    assert line_of(64) == 64
+    assert line_of(130) == 128
+
+
+def test_lines_touched_single_byte():
+    assert list(lines_touched(100, 1)) == [64]
+
+
+def test_lines_touched_spans_boundary():
+    assert list(lines_touched(60, 8)) == [0, 64]
+
+
+def test_lines_touched_exact_lines():
+    assert list(lines_touched(128, 128)) == [128, 192]
+
+
+def test_lines_touched_zero_rejected():
+    with pytest.raises(ValueError):
+        lines_touched(0, 0)
+
+
+@given(st.integers(0, 1 << 32), st.integers(1, 4096))
+def test_lines_touched_covers_access(addr, nbytes):
+    lines = list(lines_touched(addr, nbytes))
+    assert lines[0] <= addr
+    assert lines[-1] + LINE_SIZE >= addr + nbytes
+    # Contiguous, line-aligned, no duplicates.
+    for a, b in zip(lines, lines[1:]):
+        assert b - a == LINE_SIZE
+    assert all(line % LINE_SIZE == 0 for line in lines)
+    # Count matches the covered span exactly.
+    assert len(lines) == (lines[-1] - lines[0]) // LINE_SIZE + 1

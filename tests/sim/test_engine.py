@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, Get, Timeout, SimulationError
+
+
+def test_schedule_runs_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(5, lambda: order.append("b"))
+    eng.schedule(1, lambda: order.append("a"))
+    eng.schedule(9, lambda: order.append("c"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 9
+
+
+def test_same_time_events_fifo():
+    eng = Engine()
+    order = []
+    for tag in ("first", "second", "third"):
+        eng.schedule(3, lambda t=tag: order.append(t))
+    eng.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule(-1, lambda: None)
+
+
+def test_timeout_process():
+    eng = Engine()
+    trace = []
+
+    def proc():
+        trace.append(eng.now)
+        yield Timeout(10)
+        trace.append(eng.now)
+        yield Timeout(5)
+        trace.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert trace == [0, 10, 15]
+
+
+def test_process_return_value_and_join():
+    eng = Engine()
+    results = []
+
+    def child():
+        yield Timeout(7)
+        return 42
+
+    def parent():
+        value = yield eng.process(child(), name="child")
+        results.append((eng.now, value))
+
+    eng.process(parent(), name="parent")
+    eng.run()
+    assert results == [(7, 42)]
+
+
+def test_join_already_finished_process():
+    eng = Engine()
+    results = []
+
+    def child():
+        return 1
+        yield  # pragma: no cover
+
+    def parent(proc):
+        yield Timeout(50)
+        value = yield proc
+        results.append(value)
+
+    child_proc = eng.process(child())
+    eng.process(parent(child_proc))
+    eng.run()
+    assert results == [1]
+
+
+def test_event_trigger_resumes_waiters():
+    eng = Engine()
+    seen = []
+    evt = eng.event("go")
+
+    def waiter(tag):
+        payload = yield evt
+        seen.append((tag, eng.now, payload))
+
+    eng.process(waiter("w1"))
+    eng.process(waiter("w2"))
+    eng.schedule(20, lambda: evt.trigger("payload"))
+    eng.run()
+    assert seen == [("w1", 20, "payload"), ("w2", 20, "payload")]
+
+
+def test_event_double_trigger_raises():
+    eng = Engine()
+    evt = eng.event()
+    evt.trigger()
+    with pytest.raises(SimulationError):
+        evt.trigger()
+
+
+def test_wait_on_triggered_event_resumes_immediately():
+    eng = Engine()
+    evt = eng.event()
+    evt.trigger("x")
+    got = []
+
+    def waiter():
+        value = yield evt
+        got.append((eng.now, value))
+
+    eng.process(waiter())
+    eng.run()
+    assert got == [(0, "x")]
+
+
+def test_run_until_stops_early():
+    eng = Engine()
+    fired = []
+    eng.schedule(100, lambda: fired.append(True))
+    end = eng.run(until=50)
+    assert end == 50
+    assert not fired
+
+
+def test_max_events_guard():
+    eng = Engine()
+
+    def spinner():
+        while True:
+            yield Timeout(1)
+
+    eng.process(spinner())
+    with pytest.raises(SimulationError):
+        eng.run(max_events=100)
+
+
+def test_unsupported_yield_raises():
+    eng = Engine()
+
+    def bad():
+        yield "not a request"
+
+    eng.process(bad())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_live_process_count():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(3)
+
+    eng.process(proc())
+    eng.process(proc())
+    assert eng.live_processes == 2
+    eng.run()
+    assert eng.live_processes == 0

@@ -1,0 +1,76 @@
+"""Unit tests for statistics helpers."""
+
+from repro.sim.engine import Engine
+from repro.sim.stats import Counter, Histogram, StatsRegistry, UtilizationTracker
+
+
+def test_counter():
+    c = Counter("x")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+
+
+def test_histogram_summary():
+    h = Histogram("lat")
+    for sample in (2, 8, 5):
+        h.record(sample)
+    assert h.count == 3
+    assert h.mean == 5.0
+    assert h.minimum == 2
+    assert h.maximum == 8
+
+
+def test_histogram_empty_mean():
+    assert Histogram("e").mean == 0.0
+
+
+def test_registry_reuses_instances():
+    reg = StatsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("h") is reg.histogram("h")
+    reg.counter("a").inc(3)
+    reg.histogram("h").record(10)
+    flat = reg.as_dict()
+    assert flat["a"] == 3
+    assert flat["h.count"] == 1
+    assert flat["h.mean"] == 10
+    assert any("a = 3" in line for line in reg.report())
+
+
+def test_utilization_tracker():
+    eng = Engine()
+    tracker = UtilizationTracker(eng, "pe")
+    eng.schedule(0, tracker.set_busy)
+    eng.schedule(30, tracker.set_idle)
+    eng.schedule(100, lambda: None)
+    eng.run()
+    assert tracker.busy_time() == 30
+    assert tracker.utilization() == 0.3
+
+
+def test_utilization_still_busy_at_end():
+    eng = Engine()
+    tracker = UtilizationTracker(eng, "pe")
+    eng.schedule(10, tracker.set_busy)
+    eng.schedule(50, lambda: None)
+    eng.run()
+    assert tracker.busy_time() == 40
+
+
+def test_utilization_zero_time():
+    eng = Engine()
+    tracker = UtilizationTracker(eng, "pe")
+    assert tracker.utilization() == 0.0
+
+
+def test_double_busy_is_idempotent():
+    eng = Engine()
+    tracker = UtilizationTracker(eng, "pe")
+    tracker.set_busy()
+    tracker.set_busy()
+    eng.schedule(25, lambda: None)
+    eng.run()
+    tracker.set_idle()
+    tracker.set_idle()
+    assert tracker.busy_time() == 25

@@ -1,0 +1,65 @@
+"""Unit tests for clock-domain conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.timing import (
+    ACCEL_CLOCK,
+    ACCEL_L1_CLOCK,
+    CPU_CLOCK,
+    ClockDomain,
+)
+
+
+def test_period():
+    assert ACCEL_CLOCK.period_ns == pytest.approx(5.0)
+    assert CPU_CLOCK.period_ns == pytest.approx(1.0)
+    assert ACCEL_L1_CLOCK.period_ns == pytest.approx(2.5)
+
+
+def test_ns_to_cycles_rounds_up():
+    assert ACCEL_CLOCK.ns_to_cycles(5.0) == 1
+    assert ACCEL_CLOCK.ns_to_cycles(5.1) == 2
+    assert ACCEL_CLOCK.ns_to_cycles(0.0) == 0
+    assert ACCEL_CLOCK.ns_to_cycles(4.9) == 1
+
+
+def test_cross_domain_l2_hit():
+    # A 10-cycle L2 hit at 1 GHz is 10 ns = only 2 cycles at 200 MHz: the
+    # slow fabric clock hides memory latency (Section V rationale).
+    l2_hit_ns = CPU_CLOCK.cycles_to_ns(10)
+    assert ACCEL_CLOCK.ns_to_cycles(l2_hit_ns) == 2
+
+
+def test_convert_cycles():
+    assert ACCEL_CLOCK.convert_cycles(10, CPU_CLOCK) == 2
+    assert CPU_CLOCK.convert_cycles(1, ACCEL_CLOCK) == 5
+
+
+def test_invalid_frequency():
+    with pytest.raises(ValueError):
+        ClockDomain(0.0)
+    with pytest.raises(ValueError):
+        ClockDomain(-5)
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        ACCEL_CLOCK.ns_to_cycles(-1.0)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+def test_roundtrip_cycles_exact(cycles):
+    # Converting a whole number of cycles to ns and back is lossless.
+    ns = ACCEL_CLOCK.cycles_to_ns(cycles)
+    assert ACCEL_CLOCK.ns_to_cycles(ns) == cycles
+
+
+@given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+       st.sampled_from([ACCEL_CLOCK, CPU_CLOCK, ACCEL_L1_CLOCK]))
+def test_ns_to_cycles_covers_duration(ns, clock):
+    cycles = clock.ns_to_cycles(ns)
+    # The returned cycle count must cover the duration (round up)...
+    assert clock.cycles_to_ns(cycles) >= ns - 1e-6
+    # ...but never overshoot by a full cycle.
+    assert clock.cycles_to_ns(cycles) < ns + clock.period_ns + 1e-6

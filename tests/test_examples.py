@@ -1,0 +1,58 @@
+"""Smoke tests: the shipped examples run and print what they promise."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "14")
+    assert "fib(14) = 377" in out
+    assert "steals" in out
+
+
+def test_vector_add():
+    out = run_example("vector_add.py")
+    assert "recursive decomposition" in out
+
+
+def test_zedboard_prototype():
+    out = run_example("zedboard_prototype.py", "queens")
+    assert "Cortex-A9" in out
+    assert "vs software" in out
+
+
+def test_load_balance_timeline():
+    out = run_example("load_balance_timeline.py")
+    assert "FlexArch (work stealing)" in out
+    assert "pe0" in out
+
+
+def test_run_benchmark_cli():
+    out = run_example("run_benchmark.py", "queens", "--pes", "4")
+    assert "VERIFIED" in out
+
+
+@pytest.mark.slow
+def test_adaptive_quadrature():
+    out = run_example("adaptive_quadrature.py", timeout=300)
+    assert "99.999" in out  # matches scipy to printed precision
+
+
+@pytest.mark.slow
+def test_design_space_exploration():
+    out = run_example("design_space_exploration.py", "queens", timeout=300)
+    assert "arch" in out and "fits" in out

@@ -1,0 +1,158 @@
+"""Tests for the workload-generator variants (topologies, patterns,
+instance classes, tree shapes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.executor import SerialExecutor
+from repro.workers.bfsqueue import BfsBenchmark, make_graph
+from repro.workers.knapsack import KnapsackBenchmark
+from repro.workers.spmvcrs import SpmvBenchmark
+from repro.workers.uts import UtsBenchmark, UtsTree
+
+
+def run_serial(bench):
+    result = SerialExecutor(bench.flex_worker()).run(bench.root_task())
+    assert bench.verify(result.value)
+    return result
+
+
+class TestBfsTopologies:
+    @pytest.mark.parametrize("topology", ["uniform", "powerlaw", "grid"])
+    def test_verify(self, topology):
+        bench = BfsBenchmark(num_nodes=256, avg_degree=6, topology=topology)
+        run_serial(bench)
+
+    def test_grid_needs_square(self):
+        with pytest.raises(ValueError):
+            make_graph(200, 4, seed=0, topology="grid")
+
+    def test_grid_structure(self):
+        row_ptr, cols = make_graph(16, 0, seed=0, topology="grid")
+        # Corner node 0 has exactly two neighbours: right and down.
+        assert sorted(cols[row_ptr[0]:row_ptr[1]]) == [1, 4]
+        # Interior node 5 has four.
+        assert row_ptr[6] - row_ptr[5] == 4
+
+    def test_grid_reaches_everything(self):
+        bench = BfsBenchmark(num_nodes=64, avg_degree=0, topology="grid")
+        result = run_serial(bench)
+        assert result.value == 64  # lattice is connected
+
+    def test_powerlaw_has_hubs(self):
+        row_ptr, _ = make_graph(512, 8, seed=1, topology="powerlaw")
+        degrees = np.diff(row_ptr)
+        assert degrees.max() > 8 * max(1, int(np.median(degrees)))
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            make_graph(64, 4, seed=0, topology="torus")
+
+    def test_grid_has_long_diameter(self):
+        """Grids produce many thin BFS levels — the opposite regime from
+        uniform graphs."""
+        from repro.workers.bfsqueue import reference_bfs
+
+        grid = BfsBenchmark(num_nodes=256, avg_degree=0, topology="grid")
+        uniform = BfsBenchmark(num_nodes=256, avg_degree=8,
+                               topology="uniform")
+
+        def levels(bench):
+            sx = SerialExecutor(bench.flex_worker())
+            sx.run(bench.root_task())
+            return sx.stats.tasks_by_type.get("BFS_LEVEL", 0)
+
+        assert levels(grid) > 2 * levels(uniform)
+
+
+class TestSpmvPatterns:
+    @pytest.mark.parametrize("pattern", ["random", "banded", "powerlaw"])
+    def test_verify(self, pattern):
+        bench = SpmvBenchmark(num_rows=256, nnz_per_row=8, pattern=pattern)
+        run_serial(bench)
+
+    def test_banded_stays_near_diagonal(self):
+        bench = SpmvBenchmark(num_rows=256, nnz_per_row=8, pattern="banded")
+        rows = np.repeat(np.arange(256), np.diff(bench.row_ptr))
+        assert (np.abs(bench.cols - rows) <= 2 * 8).all()
+
+    def test_powerlaw_row_skew(self):
+        bench = SpmvBenchmark(num_rows=512, nnz_per_row=8,
+                              pattern="powerlaw")
+        lengths = np.diff(bench.row_ptr)
+        assert lengths.max() > 10 * max(1, int(np.median(lengths)))
+
+    def test_banded_gathers_are_cache_friendly(self):
+        """Once x outgrows the L1, banded gathers stay within the band
+        (cache-resident) while random gathers thrash."""
+        from repro.harness.runners import run_flex
+
+        params = dict(num_rows=8192, nnz_per_row=4)
+        banded = run_flex("spmvcrs", 4,
+                          params=dict(pattern="banded", **params))
+        random = run_flex("spmvcrs", 4,
+                          params=dict(pattern="random", **params))
+        assert (banded.mem_summary["l1_miss_rate"]
+                < 0.3 * random.mem_summary["l1_miss_rate"])
+        assert banded.cycles < random.cycles
+
+
+class TestKnapsackInstances:
+    @pytest.mark.parametrize("instance", ["weak", "uncorrelated", "subset"])
+    def test_verify(self, instance):
+        bench = KnapsackBenchmark(n=14, serial_items=7, instance=instance)
+        run_serial(bench)
+
+    def test_subset_values_equal_weights(self):
+        bench = KnapsackBenchmark(n=12, instance="subset")
+        assert bench.values == bench.weights
+
+    def test_unknown_instance(self):
+        with pytest.raises(ValueError):
+            KnapsackBenchmark(n=10, instance="mystery")
+
+    def test_uncorrelated_prunes_harder_than_weak(self):
+        def tasks(instance):
+            bench = KnapsackBenchmark(n=18, serial_items=8,
+                                      instance=instance)
+            sx = SerialExecutor(bench.flex_worker())
+            sx.run(bench.root_task())
+            return sx.stats.tasks_executed
+
+        # Same sizes, very different search-tree shapes.
+        assert tasks("uncorrelated") != tasks("weak")
+
+
+class TestUtsShapes:
+    @pytest.mark.parametrize("shape", ["binomial", "geometric"])
+    def test_verify(self, shape):
+        bench = UtsBenchmark(root_children=20, q=0.5 if shape == "geometric"
+                             else 0.2, shape=shape)
+        run_serial(bench)
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            UtsTree(shape="spiral")
+
+    def test_geometric_allows_q_above_binomial_limit(self):
+        # q*m >= 1 is fine for geometric (depth decay keeps it finite).
+        tree = UtsTree(root_children=10, q=0.6, num_children=4,
+                       shape="geometric")
+        assert tree.count_nodes() > 10
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_geometric_deterministic(self, seed):
+        a = UtsTree(root_children=12, q=0.5, num_children=4,
+                    root_id=seed, shape="geometric")
+        b = UtsTree(root_children=12, q=0.5, num_children=4,
+                    root_id=seed, shape="geometric")
+        assert a.count_nodes() == b.count_nodes()
+
+    def test_geometric_thins_with_depth(self):
+        tree = UtsTree(root_children=5, q=0.5, num_children=6,
+                       shape="geometric", root_id=9)
+        shallow = [tree.child_count(n, 1) for n in range(200)]
+        deep = [tree.child_count(n, 8) for n in range(200)]
+        assert sum(shallow) > 4 * max(1, sum(deep))

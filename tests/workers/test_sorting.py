@@ -1,0 +1,102 @@
+"""Algorithmic tests for quicksort and cilksort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.executor import SerialExecutor
+from repro.workers.cilksort import CilksortBenchmark
+from repro.workers.quicksort import QuicksortBenchmark, _partition
+
+
+class TestPartition:
+    def test_known_array(self):
+        data = np.array([5, 2, 8, 2, 9, 1], dtype=np.int32)
+        mid1, mid2 = _partition(data, 0, len(data))
+        pivot = data[mid1]
+        assert (data[:mid1] < pivot).all()
+        assert (data[mid1:mid2] == pivot).all()
+        assert (data[mid2:] > pivot).all()
+
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=200))
+    def test_partition_invariants(self, values):
+        data = np.array(values, dtype=np.int32)
+        original = np.sort(data.copy())
+        mid1, mid2 = _partition(data, 0, len(data))
+        assert 0 <= mid1 <= mid2 <= len(data)
+        assert mid2 > mid1  # the pivot band is never empty
+        pivot = data[mid1]
+        assert (data[:mid1] < pivot).all()
+        assert (data[mid1:mid2] == pivot).all()
+        assert (data[mid2:] > pivot).all()
+        # Partition is a permutation.
+        assert np.array_equal(np.sort(data), original)
+
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=50))
+    def test_partition_heavy_duplicates(self, values):
+        data = np.array(values, dtype=np.int32)
+        mid1, mid2 = _partition(data, 0, len(data))
+        # Three-way partition makes progress even on all-equal input.
+        assert (mid1, mid2) != (0, 0)
+        assert mid2 - mid1 >= 1
+
+    def test_subrange_partition(self):
+        data = np.array([9, 9, 5, 2, 8, 1, 9, 9], dtype=np.int32)
+        snapshot = data.copy()
+        _partition(data, 2, 6)
+        assert np.array_equal(data[:2], snapshot[:2])
+        assert np.array_equal(data[6:], snapshot[6:])
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(10, 600), cutoff=st.sampled_from([4, 16, 64]),
+       seed=st.integers(0, 1000))
+def test_quicksort_sorts_any_instance(n, cutoff, seed):
+    bench = QuicksortBenchmark(n=n, cutoff=cutoff, seed=seed)
+    result = SerialExecutor(bench.flex_worker()).run(bench.root_task())
+    assert bench.verify(result.value)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(10, 600),
+       sort_cutoff=st.sampled_from([8, 32, 128]),
+       merge_cutoff=st.sampled_from([8, 32, 128]),
+       seed=st.integers(0, 1000))
+def test_cilksort_sorts_any_instance(n, sort_cutoff, merge_cutoff, seed):
+    bench = CilksortBenchmark(n=n, sort_cutoff=sort_cutoff,
+                              merge_cutoff=merge_cutoff, seed=seed)
+    result = SerialExecutor(bench.flex_worker()).run(bench.root_task())
+    assert bench.verify(result.value)
+
+
+def test_cilksort_generates_more_parallel_tasks_than_quicksort():
+    """The parallel merge tree is cilksort's scalability edge
+    (Section V-D)."""
+    from repro.core.validate import TaskGraphRecorder
+
+    qs = QuicksortBenchmark(n=4096, cutoff=64)
+    qs_rec = TaskGraphRecorder()
+    SerialExecutor(qs.flex_worker(), observer=qs_rec).run(qs.root_task())
+
+    cs = CilksortBenchmark(n=4096, sort_cutoff=64, merge_cutoff=64)
+    cs_rec = TaskGraphRecorder()
+    SerialExecutor(cs.flex_worker(), observer=cs_rec).run(cs.root_task())
+
+    qs_stats, cs_stats = qs_rec.stats(), cs_rec.stats()
+    assert (cs_stats.parallelism_cycles > qs_stats.parallelism_cycles)
+
+
+def test_quicksort_lite_round_segments():
+    bench = QuicksortBenchmark(n=256, cutoff=32)
+    program = bench.lite_program(4)
+    gen = program.rounds()
+    first = next(gen)
+    assert len(first) == 1  # root segment
+    assert first[0].args == (0, 256)
+
+
+def test_cilksort_uses_both_buffers():
+    bench = CilksortBenchmark(n=1024, sort_cutoff=64, merge_cutoff=64)
+    SerialExecutor(bench.flex_worker()).run(bench.root_task())
+    # The alternate buffer must have been written by the merges.
+    assert bench.tmp.any()
