@@ -30,8 +30,13 @@ from repro.arch.network import CrossbarNetwork
 from repro.arch.pe import ProcessingElement
 from repro.arch.pstore import HardwarePStore
 from repro.arch.result import RunResult
+from repro.arch.wakeup import ParkRegistry
 from repro.core.context import MemOp, Worker
-from repro.core.exceptions import ConfigError, DeadlockError
+from repro.core.exceptions import (
+    ConfigError,
+    DeadlockError,
+    TaskQueueOverflowError,
+)
 from repro.core.task import Continuation, Task
 from repro.mem.hierarchy import MemoryHierarchy, PerfectMemory, StreamBufferMemory
 from repro.sim.engine import Engine
@@ -79,6 +84,16 @@ class BaseAccelerator:
         self.max_outstanding = 0
         self.done = False
         self._started = False
+        # Parked-PE wakeup scheduling: watch every deque a PE can take
+        # work from, so an idle PE can sleep instead of polling and be
+        # woken by the first push that makes work visible.
+        if config.park_idle_pes:
+            self.park_registry = ParkRegistry(self)
+            for pe in self.pes:
+                self.park_registry.watch(pe.tmu.deque)
+            self.park_registry.watch(self.interface.deque)
+        else:
+            self.park_registry = None
 
     # ------------------------------------------------------------------
     def _build_memory(self):
@@ -132,9 +147,19 @@ class BaseAccelerator:
     def sub_work(self, amount: int = 1) -> None:
         self.outstanding -= amount
         if self.outstanding < 0:
-            raise DeadlockError("outstanding work counter went negative")
+            raise DeadlockError(
+                "outstanding work counter went negative "
+                f"({self.outstanding}): a completion was double-counted"
+            )
         if self.outstanding == 0:
-            self.done = True
+            self._set_done()
+
+    def _set_done(self) -> None:
+        """Mark the run complete and wake parked PEs so their loops can
+        observe ``done`` and exit (at their usual poll boundaries)."""
+        self.done = True
+        if self.park_registry is not None:
+            self.park_registry.notify_done()
 
     def task_done(self) -> None:
         self.sub_work()
@@ -145,14 +170,40 @@ class BaseAccelerator:
             raise ConfigError("accelerator already ran; build a fresh one")
         self._started = True
         for pe in self.pes:
-            self.engine.process(pe.run(), name=f"pe{pe.pe_id}")
+            pe.proc = self.engine.process(pe.run(), name=f"pe{pe.pe_id}")
+
+    def _enqueue_ready(self, target_pe: int, task: Task) -> None:
+        """Push a readied/host-provided task into a PE's bounded queue.
+
+        Runs inside scheduled network-delivery callbacks, where a raw
+        :class:`TaskQueueOverflowError` would surface with no context;
+        convert it to a :class:`DeadlockError` naming the PE, the queue
+        occupancy, and the task that could not be delivered.
+        """
+        deque = self.pes[target_pe].tmu.deque
+        try:
+            deque.push_tail(task)
+        except TaskQueueOverflowError as exc:
+            raise DeadlockError(
+                f"cannot deliver readied task {task.task_type!r} "
+                f"(k={task.k!r}) to pe{target_pe}: task queue full at "
+                f"{len(deque)}/{deque.capacity} entries — the architecture "
+                "has no backpressure on task returns, so this run cannot "
+                "make progress (raise task_queue_entries)"
+            ) from exc
 
     def _finish(self, max_cycles: int, label: str) -> RunResult:
         end = self.engine.run(until=max_cycles)
         if not self.done:
+            pending = self.engine.pending_events
+            reason = (
+                f"simulation hit the {max_cycles}-cycle limit"
+                if pending
+                else "the event heap drained with the run incomplete"
+            )
             raise DeadlockError(
-                f"simulation hit the {max_cycles}-cycle limit with "
-                f"{self.outstanding} work items outstanding"
+                f"{reason}: {self.outstanding} work item(s) outstanding, "
+                f"{pending} event(s) pending"
             )
         mem_summary = self.memory.summary()
         counters = {
@@ -160,6 +211,10 @@ class BaseAccelerator:
             "arg_messages_local": self.net.arg_stats.local_messages,
             "arg_messages_remote": self.net.arg_stats.remote_messages,
         }
+        if self.park_registry is not None:
+            counters.update(self.park_registry.stats.snapshot(prefix="park."))
+        if self.worker_units is not None:
+            counters.update(self.worker_units.summary())
         return RunResult(
             cycles=end,
             clock_mhz=self.config.clock.freq_mhz,
@@ -255,7 +310,7 @@ class FlexAccelerator(BaseAccelerator):
         latency = self.net.task_return_latency(cont.owner, target_tile)
         self.engine.schedule(
             latency,
-            lambda: self.pes[target_pe].tmu.push_tail(ready),
+            lambda: self._enqueue_ready(target_pe, ready),
         )
 
     # ------------------------------------------------------------------

@@ -44,6 +44,12 @@ class AcceleratorConfig:
     steal_backoff_cycles: int = 4       # retry delay after a failed steal
     idle_poll_cycles: int = 2           # poll delay when nothing to steal
 
+    # Simulator-side optimisation (no timing effect): park idle PEs on a
+    # wakeup registry instead of busy-polling the event heap.  Results are
+    # bit-exact either way (see repro/arch/wakeup.py); the knob exists so
+    # tests can compare the two executions and to debug the scheduler.
+    park_idle_pes: bool = True
+
     # Scheduling-policy ablation knobs (defaults = the paper's design).
     local_order: str = "lifo"     # owner queue discipline: "lifo" | "fifo"
     steal_end: str = "head"       # thieves take the "head" or the "tail"

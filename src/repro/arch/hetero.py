@@ -128,7 +128,12 @@ def kinds_from(groups: Iterable[Iterable[str]]) -> Tuple[Tuple[str, int], ...]:
 
 
 class SharedWorkerUnits:
-    """Per-tile busy horizons for the shared datapath units."""
+    """Per-tile busy horizons for the shared datapath units.
+
+    A PE waiting for its tile's shared unit is *busy* (it holds a task and
+    sleeps on a plain timeout), so unit contention never interacts with
+    the idle-PE parking scheme — only empty-queue PEs park.
+    """
 
     def __init__(self, kinds: Tuple[Tuple[str, int], ...]) -> None:
         self.kind_of: Dict[str, int] = dict(kinds)
@@ -150,6 +155,13 @@ class SharedWorkerUnits:
         self.acquisitions += 1
         self.contention_cycles += wait
         return wait
+
+    def summary(self) -> Dict[str, int]:
+        """Counters surfaced into the run result."""
+        return {
+            "worker_unit_acquisitions": self.acquisitions,
+            "worker_unit_contention_cycles": self.contention_cycles,
+        }
 
 
 def shared_tile_resources(

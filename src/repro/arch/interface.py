@@ -5,6 +5,11 @@ tasks in and reads results out.  In FlexArch the IF participates in the
 work-stealing network as a *victim only* — PEs steal injected root tasks
 from it.  In LiteArch the IF pushes tasks to PEs directly over the
 argument/task network using a static assignment.
+
+The IF block's deque participates in the parked-PE wakeup scheme like any
+TMU deque: the accelerator's park registry observes it, so an ``inject``
+into an otherwise idle machine wakes the parked PEs (this is how every run
+starts — all PEs park at tick 0 until the first root task arrives).
 """
 
 from __future__ import annotations
@@ -24,6 +29,11 @@ class InterfaceBlock:
         self.host = HostResult()
         self.tasks_injected = 0
         self.results_received = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of injected tasks not yet stolen by a PE."""
+        return len(self.deque)
 
     def inject(self, task: Task) -> None:
         """Queue a task from the CPU, available for PEs to steal."""

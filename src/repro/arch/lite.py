@@ -150,15 +150,15 @@ class LiteAccelerator(BaseAccelerator):
                 f"round{self.rounds_executed}"
             )
             for i, task in enumerate(tasks):
-                pe = self.pes[i % cfg.num_pes]  # static assignment
+                pe_id = i % cfg.num_pes  # static assignment
                 self.add_work()
                 self.engine.schedule(
                     cfg.net_hop_cycles,
-                    (lambda t=task, p=pe: p.tmu.push_tail(t)),
+                    (lambda t=task, p=pe_id: self._enqueue_ready(p, t)),
                 )
             yield self._round_event
             values = [self._round_values.get(i) for i in range(len(tasks))]
-        self.done = True
+        self._set_done()
 
     # ------------------------------------------------------------------
     def run(

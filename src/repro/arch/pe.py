@@ -15,6 +15,12 @@ owns a bounded work-stealing deque (Section III-A).  The PE main loop:
 
 LiteArch PEs use the same class with stealing disabled; their workers never
 create successors or spawn (enforced by the engine).
+
+When the accelerator carries a :class:`~repro.arch.wakeup.ParkRegistry`
+(``config.park_idle_pes``), an idle PE parks instead of polling: it holds
+no engine event until work becomes visible, and the registry replays the
+elided poll/steal cadence on wakeup so the simulated timeline is
+bit-exact with the polling loop (see ``repro/arch/wakeup.py``).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.core.exceptions import ProtocolError
 from repro.core.lfsr import LFSR16, default_seed
 from repro.core.task import Task
 from repro.arch.result import PEStats
+from repro.arch.wakeup import SCOPE_GLOBAL, SCOPE_LOCAL
 from repro.sim.engine import Timeout
 
 
@@ -73,12 +80,25 @@ class ProcessingElement:
         self.lfsr = LFSR16(default_seed(pe_id))
         self.stats = PEStats(pe_id)
         self._busy_since: Optional[int] = None
+        # Engine process handle, set by the accelerator when it starts the
+        # PE; the park registry needs it to resume a parked loop.
+        self.proc = None
 
     # ------------------------------------------------------------------
     def run(self) -> Generator:
-        """Main PE loop (an engine process)."""
+        """Main PE loop (an engine process).
+
+        With a park registry, the idle branches suspend instead of
+        spinning.  A parked PE is resumed by the registry either at a
+        loop-top boundary (resume value ``None`` — fall through to the
+        next iteration) or mid-steal at the victim-probe tick (resume
+        value is the victim id the replay already drew — finish that
+        attempt for real).  Either way the resume tick is exactly where
+        the polling loop would have been.
+        """
         cfg = self.config
         accel = self.accel
+        registry = accel.park_registry
         pop_local = (self.tmu.deque.pop_tail if cfg.local_order == "lifo"
                      else self.tmu.deque.pop_head)
         while not accel.done:
@@ -88,9 +108,18 @@ class ProcessingElement:
                 yield from self._execute(task)
                 continue
             if not self.steal_enabled or accel.num_victims < 2:
-                yield Timeout(cfg.idle_poll_cycles)
+                if registry is not None:
+                    yield registry.park(self, scope=SCOPE_LOCAL)
+                else:
+                    yield Timeout(cfg.idle_poll_cycles)
                 continue
-            stolen = yield from self._steal_once()
+            if registry is not None and not registry.work_visible:
+                resumed = yield registry.park(self, scope=SCOPE_GLOBAL)
+                if resumed is None:
+                    continue
+                stolen = yield from self._finish_steal(resumed)
+            else:
+                stolen = yield from self._steal_once()
             if stolen is None:
                 yield Timeout(cfg.steal_backoff_cycles)
             else:
@@ -101,14 +130,23 @@ class ProcessingElement:
         """One steal attempt over the work-stealing network."""
         accel = self.accel
         victim_id = self.lfsr.pick_victim(accel.num_victims, self.pe_id)
-        victim_tile = accel.victim_tile(victim_id)
         self.stats.steal_attempts += 1
         yield Timeout(
-            accel.net.steal_request_latency(self.tile_id, victim_tile)
+            accel.net.steal_request_latency(
+                self.tile_id, accel.victim_tile(victim_id)
+            )
         )
+        stolen = yield from self._finish_steal(victim_id)
+        return stolen
+
+    def _finish_steal(self, victim_id: int) -> Generator:
+        """Probe the victim's queue and ride the response back."""
+        accel = self.accel
         task = accel.steal_from(victim_id)
         yield Timeout(
-            accel.net.steal_response_latency(self.tile_id, victim_tile)
+            accel.net.steal_response_latency(
+                self.tile_id, accel.victim_tile(victim_id)
+            )
         )
         if task is not None:
             self.stats.steal_hits += 1

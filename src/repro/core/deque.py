@@ -18,12 +18,20 @@ T = TypeVar("T")
 
 
 class WorkStealingDeque(Generic[T]):
-    """Bounded double-ended queue with owner (tail) and thief (head) ends."""
+    """Bounded double-ended queue with owner (tail) and thief (head) ends.
+
+    An optional ``observer`` is notified on every empty/non-empty
+    transition — the hook the accelerator's parked-PE wakeup scheduler
+    uses to learn that work became visible (or stopped being visible)
+    without polling.  The observer must implement
+    ``deque_became_nonempty(deque)`` and ``deque_became_empty(deque)``.
+    """
 
     def __init__(self, capacity: Optional[int] = None, name: str = "") -> None:
         self.capacity = capacity
         self.name = name
         self._items: Deque[T] = deque()
+        self.observer = None
         self.high_water = 0
         self.pushes = 0
         self.steals = 0
@@ -45,31 +53,38 @@ class WorkStealingDeque(Generic[T]):
         self.pushes += 1
         if len(self._items) > self.high_water:
             self.high_water = len(self._items)
+        if len(self._items) == 1 and self.observer is not None:
+            self.observer.deque_became_nonempty(self)
+
+    def _took(self, item: T) -> T:
+        if not self._items and self.observer is not None:
+            self.observer.deque_became_empty(self)
+        return item
 
     def pop_tail(self) -> Optional[T]:
         """Owner dequeues its most recently pushed task (LIFO)."""
         if self._items:
-            return self._items.pop()
+            return self._took(self._items.pop())
         return None
 
     def pop_head(self) -> Optional[T]:
         """Owner dequeues the oldest task (FIFO discipline ablation)."""
         if self._items:
-            return self._items.popleft()
+            return self._took(self._items.popleft())
         return None
 
     def steal_head(self) -> Optional[T]:
         """Thief dequeues the oldest task, or ``None`` if empty."""
         if self._items:
             self.steals += 1
-            return self._items.popleft()
+            return self._took(self._items.popleft())
         return None
 
     def steal_tail(self) -> Optional[T]:
         """Thief dequeues the newest task (steal-end ablation)."""
         if self._items:
             self.steals += 1
-            return self._items.pop()
+            return self._took(self._items.pop())
         return None
 
     def peek_head(self) -> Optional[T]:

@@ -15,6 +15,11 @@ class LFSR16:
 
     PERIOD = 65535
 
+    #: Redraw cap for :meth:`pick` rejection sampling.  Hardware would use
+    #: a fixed small retry budget; the residual bias after three redraws is
+    #: below (n / PERIOD)^4 — immeasurable for victim counts.
+    MAX_REDRAWS = 3
+
     def __init__(self, seed: int = 0xACE1) -> None:
         seed &= 0xFFFF
         if seed == 0:
@@ -29,10 +34,25 @@ class LFSR16:
         return self.state
 
     def pick(self, n: int) -> int:
-        """Return a value in ``[0, n)`` from the next LFSR state."""
+        """Return a value in ``[0, n)`` from the next LFSR state.
+
+        A plain ``state % n`` is biased when ``n`` does not divide the
+        65535-state period: the first ``PERIOD % n`` residues appear once
+        more than the rest (for n=3 that is a 1-in-21845 skew per residue).
+        Reject states above the largest multiple of ``n`` and redraw, so
+        each accepted residue is exactly equally likely; the redraw budget
+        is capped as hardware would cap it, falling back to the (tiny)
+        biased draw in the astronomically rare all-rejected case.
+        """
         if n <= 0:
             raise ValueError(f"cannot pick from {n} choices")
-        return self.next() % n
+        span = n * (self.PERIOD // n)
+        state = self.next()
+        for _ in range(self.MAX_REDRAWS):
+            if state <= span:
+                break
+            state = self.next()
+        return state % n
 
     def pick_victim(self, n: int, self_id: int) -> int:
         """Pick a victim PE id in ``[0, n)`` different from ``self_id``.

@@ -14,9 +14,27 @@ yield request objects:
     Resume the process when the event is triggered; the process receives the
     event's payload.
 
+``Park``
+    Suspend the process indefinitely.  The engine never resumes a parked
+    process on its own; whoever issued the park must hold the
+    :class:`Process` and resume it with :meth:`Engine.resume_at`.
+
 A process may also yield another process (the value returned by
 :meth:`Engine.process`) to join on its completion, receiving the child's
 return value.
+
+Event ordering
+--------------
+
+Heap entries are keyed ``(time, scheduled_at, parent_scheduled_at, seq)``.
+For normally scheduled events the extra two fields are redundant — ``seq``
+is allocated in schedule-call order, and schedule calls happen in
+non-decreasing ``scheduled_at`` order, so the composite key sorts exactly
+like the plain ``(time, seq)`` key.  They exist for
+:meth:`Engine.resume_at`, which lets a wakeup scheduler re-insert an
+event that a *paused* component would have scheduled in the past: passing
+the virtual ancestry makes the resumed event order against same-tick
+events precisely as it would have, had it been scheduled on time.
 """
 
 from __future__ import annotations
@@ -93,6 +111,22 @@ class Get:
         return f"Get({self.channel!r})"
 
 
+class Park:
+    """Request to suspend the process until an external wakeup.
+
+    Unlike :class:`Timeout` or :class:`Event`, a parked process holds no
+    engine resources at all — no heap entry, no waiter list.  The issuer
+    (e.g. the accelerator's park registry) is responsible for keeping a
+    reference to the :class:`Process` and resuming it with
+    :meth:`Engine.resume_at` when the condition it sleeps on changes.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Park()"
+
+
 class Process:
     """A running generator process managed by the engine."""
 
@@ -124,15 +158,25 @@ class Process:
         return f"Process({self.name!r}, {state})"
 
 
+#: ``scheduled_at`` sentinel for events scheduled before the first event
+#: executes (setup code runs outside any event).
+_PRE_RUN = -1
+
+
 class Engine:
     """Discrete-event simulation engine with an integer tick clock."""
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        # Entries: (time, scheduled_at, parent_scheduled_at, seq, fn).
+        self._heap: List[Tuple[int, int, int, int, Callable[[], None]]] = []
         self._seq = 0
         self._live_processes = 0
-        self._finished = False
+        # Ancestry of the currently executing event (see module docstring):
+        # the tick it was scheduled at, and the tick *that* event was
+        # scheduled at.
+        self._cur_s_at = _PRE_RUN
+        self._cur_p_s_at = _PRE_RUN
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -142,7 +186,47 @@ class Engine:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + int(delay), self._seq, fn))
+        heapq.heappush(
+            self._heap,
+            (self.now + int(delay), self.now, self._cur_s_at, self._seq, fn),
+        )
+
+    def resume_at(self, proc: "Process", time: int, value: Any,
+                  s_at: int, p_s_at: int) -> None:
+        """Resume a parked ``proc`` at absolute ``time`` with ``value``.
+
+        ``s_at``/``p_s_at`` give the *virtual* ancestry of the resumption:
+        the tick at which the event would have been scheduled had the
+        process never parked, and the scheduling tick of that scheduler in
+        turn.  Same-tick ordering against other events then matches the
+        never-parked execution (up to three-deep scheduling-tick ties,
+        which no longer occur once ancestries diverge).
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot resume {proc.name!r} at {time} (now {self.now})"
+            )
+        if not (p_s_at <= s_at <= time):
+            raise SimulationError(
+                f"inconsistent resume ancestry {p_s_at} <= {s_at} <= {time}"
+            )
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (time, s_at, p_s_at, self._seq, lambda: self._step(proc, value)),
+        )
+
+    @property
+    def current_key(self) -> Tuple[int, int, int]:
+        """``(time, scheduled_at, parent_scheduled_at)`` of the executing
+        event — the ordering key a wakeup scheduler compares virtual
+        timelines against."""
+        return (self.now, self._cur_s_at, self._cur_p_s_at)
+
+    @property
+    def current_ancestry(self) -> Tuple[int, int]:
+        """``(scheduled_at, parent_scheduled_at)`` of the executing event."""
+        return (self._cur_s_at, self._cur_p_s_at)
 
     def event(self, name: str = "") -> Event:
         """Create a new one-shot :class:`Event`."""
@@ -179,6 +263,8 @@ class Engine:
             request._add_waiter(proc)
         elif isinstance(request, Process):
             request._add_joiner(proc)
+        elif isinstance(request, Park):
+            pass  # suspended; the park issuer resumes via resume_at
         else:
             raise SimulationError(
                 f"process {proc.name!r} yielded unsupported request {request!r}"
@@ -191,24 +277,42 @@ class Engine:
         """Run until the event heap drains (or ``until`` ticks / ``max_events``).
 
         Returns the final simulation time.  ``until`` is an absolute tick
-        bound; ``max_events`` guards against runaway simulations.
+        bound; ``max_events`` guards against runaway simulations.  A run
+        stopped by ``until`` leaves the remaining events on the heap
+        (visible via :attr:`pending_events`); calling :meth:`run` again
+        resumes from where the previous call stopped.
         """
         events = 0
-        while self._heap:
-            time, _seq, fn = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            time = entry[0]
             if until is not None and time > until:
-                self.now = until
-                break
-            heapq.heappop(self._heap)
+                if until > self.now:
+                    self.now = until
+                return self.now
+            pop(heap)
             if time < self.now:
                 raise SimulationError("time went backwards")
             self.now = time
-            fn()
+            self._cur_s_at = entry[1]
+            self._cur_p_s_at = entry[2]
+            entry[4]()
             events += 1
             if max_events is not None and events >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
-        self._finished = True
         return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap (parked processes hold none)."""
+        return len(self._heap)
+
+    @property
+    def finished(self) -> bool:
+        """True when the event heap has fully drained."""
+        return not self._heap
 
     @property
     def live_processes(self) -> int:

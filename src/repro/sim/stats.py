@@ -117,6 +117,12 @@ class StatsRegistry:
             out[f"{name}.mean"] = hist.mean
         return out
 
+    def snapshot(self, prefix: str = "") -> Dict[str, float]:
+        """Like :meth:`as_dict`, with ``prefix`` prepended to every name —
+        for merging one registry into another component's counter dict."""
+        return {f"{prefix}{name}": value
+                for name, value in self.as_dict().items()}
+
     def report(self) -> List[str]:
         """Human-readable lines, sorted by statistic name."""
         lines = [f"{n} = {c.value}" for n, c in sorted(self.counters.items())]

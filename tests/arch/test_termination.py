@@ -1,0 +1,118 @@
+"""Termination-counter invariants and queue-overflow behaviour.
+
+The outstanding-work counter is the architecture's termination protocol:
+every live task, pending entry, and in-flight argument holds exactly one
+count, so the run ends precisely when it returns to zero.  These tests pin
+the invariants down: the counter lands on exactly zero for real
+workloads, going below zero is a detected protocol bug, and both bounded
+deque endpoints (overflow, steal-end ablation) behave as documented.
+"""
+
+import pytest
+
+from repro.arch.accelerator import FlexAccelerator
+from repro.arch.config import flex_config, lite_config
+from repro.arch.lite import LiteAccelerator
+from repro.core.context import Worker
+from repro.core.deque import WorkStealingDeque
+from repro.core.exceptions import DeadlockError, TaskQueueOverflowError
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.harness.runners import QUICK_PARAMS
+from repro.workers import make_benchmark
+
+
+def _run_flex_accel(name, pes=4):
+    bench = make_benchmark(name, **QUICK_PARAMS.get(name, {}))
+    accel = FlexAccelerator(
+        flex_config(pes, memory="perfect"), bench.flex_worker("accel")
+    )
+    result = accel.run(bench.root_task())
+    assert bench.verify(result.value)
+    return accel
+
+
+@pytest.mark.parametrize("name", ["fib", "quicksort"])
+def test_outstanding_returns_to_exactly_zero(name):
+    accel = _run_flex_accel(name)
+    assert accel.outstanding == 0
+    assert accel.done
+    assert accel.max_outstanding > 0
+
+
+def test_outstanding_zero_on_lite_run():
+    bench = make_benchmark("quicksort", **QUICK_PARAMS["quicksort"])
+    accel = LiteAccelerator(
+        lite_config(4, memory="perfect"), bench.lite_worker("accel")
+    )
+    result = accel.run(bench.lite_program(4))
+    assert bench.verify(result.value)
+    assert accel.outstanding == 0
+    assert accel.done
+
+
+def test_sub_work_below_zero_raises():
+    accel = FlexAccelerator(flex_config(2, memory="perfect"),
+                            make_benchmark("fib", n=5).flex_worker("accel"))
+    assert accel.outstanding == 0
+    with pytest.raises(DeadlockError, match="negative"):
+        accel.sub_work()
+
+
+def test_deque_overflow_and_steal_ends_documented():
+    dq = WorkStealingDeque(capacity=2, name="t")
+    dq.push_tail(1)
+    dq.push_tail(2)
+    with pytest.raises(TaskQueueOverflowError):
+        dq.push_tail(3)
+    # The failed push must not corrupt the queue.
+    assert len(dq) == 2
+    dq2 = WorkStealingDeque(name="ends")
+    for item in (1, 2, 3):
+        dq2.push_tail(item)
+    assert dq2.steal_head() == 1   # thieves default to the oldest task
+    assert dq2.steal_tail() == 3   # "tail" ablation takes the newest
+
+
+class _ReadyFlood(Worker):
+    """Creates many njoin=1 successors and fills them immediately, so a
+    burst of readied tasks returns to the producer PE while it is still
+    busy executing — overrunning a tiny task queue from the network side
+    (the scheduled-callback delivery path, not the local spawn path)."""
+
+    task_types = ("ROOT", "CHILD")
+
+    def execute(self, task, ctx):
+        if task.task_type == "ROOT":
+            for i in range(8):
+                k = ctx.make_successor("CHILD", task.k.with_slot(i + 1), 1)
+                ctx.send_arg(k, i)
+        else:
+            ctx.send_arg(task.k, task.arg(0))
+
+
+def test_readied_task_overflow_raises_deadlock_with_context():
+    accel = FlexAccelerator(
+        flex_config(1, memory="perfect", task_queue_entries=2),
+        _ReadyFlood(),
+    )
+    with pytest.raises(DeadlockError) as excinfo:
+        accel.run(Task("ROOT", HOST_CONTINUATION))
+    message = str(excinfo.value)
+    assert "pe0" in message
+    assert "task queue full" in message
+    assert "2/2" in message
+    assert "'CHILD'" in message
+
+
+def test_steal_end_ablation_correct_but_different_timing():
+    def fib(steal_end):
+        bench = make_benchmark("fib", n=12)
+        accel = FlexAccelerator(
+            flex_config(4, memory="perfect", steal_end=steal_end),
+            bench.flex_worker("accel"),
+        )
+        result = accel.run(bench.root_task())
+        assert bench.verify(result.value)
+        return result.cycles
+
+    assert fib("head") != fib("tail")

@@ -61,6 +61,43 @@ def test_victim_distribution_roughly_uniform():
         assert abs(counts[pe] - trials / 7) < trials / 7 * 0.25
 
 
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_pick_uniform_for_non_power_of_two(n):
+    """Rejection sampling removes the modulo bias: over a full period of
+    draws every residue lands within a whisker of trials/n."""
+    lfsr = LFSR16()
+    trials = LFSR16.PERIOD
+    counts = [0] * n
+    for _ in range(trials):
+        counts[lfsr.pick(n)] += 1
+    expected = trials / n
+    for count in counts:
+        assert abs(count - expected) < expected * 0.02
+
+
+@pytest.mark.parametrize("num_pes", [3, 5, 7])
+def test_victim_distribution_uniform_across_pe_counts(num_pes):
+    lfsr = LFSR16(default_seed(1))
+    trials = 70000
+    counts = [0] * num_pes
+    for _ in range(trials):
+        counts[lfsr.pick_victim(num_pes, 1)] += 1
+    assert counts[1] == 0  # never steals from itself
+    expected = trials / (num_pes - 1)
+    for pe, count in enumerate(counts):
+        if pe == 1:
+            continue
+        assert abs(count - expected) < expected * 0.02
+
+
+def test_pick_redraw_cap_keeps_range_for_large_n():
+    # n close to the period forces heavy rejection; the redraw cap must
+    # still terminate with an in-range value.
+    lfsr = LFSR16()
+    for _ in range(5000):
+        assert 0 <= lfsr.pick(40000) < 40000
+
+
 @given(st.integers(min_value=0, max_value=4096))
 def test_default_seeds_nonzero(pe_id):
     assert default_seed(pe_id) != 0

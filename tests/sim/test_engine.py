@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine, Get, Timeout, SimulationError
+from repro.sim.engine import Engine, Get, Park, Timeout, SimulationError
 
 
 def test_schedule_runs_in_time_order():
@@ -129,6 +129,83 @@ def test_run_until_stops_early():
     end = eng.run(until=50)
     assert end == 50
     assert not fired
+
+
+def test_run_until_leaves_pending_events_and_resumes():
+    eng = Engine()
+    fired = []
+    eng.schedule(100, lambda: fired.append(eng.now))
+    eng.run(until=50)
+    # The event survived the bounded run and a second run() completes it.
+    assert eng.pending_events == 1
+    assert not eng.finished
+    end = eng.run()
+    assert end == 100
+    assert fired == [100]
+    assert eng.pending_events == 0
+    assert eng.finished
+
+
+def test_park_suspends_without_engine_events():
+    eng = Engine()
+    trace = []
+
+    def sleeper():
+        trace.append(("parked", eng.now))
+        value = yield Park()
+        trace.append(("woken", eng.now, value))
+
+    proc = eng.process(sleeper(), name="sleeper")
+    eng.run()
+    # The process parked: the heap drained with it still live.
+    assert trace == [("parked", 0)]
+    assert eng.finished
+    assert eng.live_processes == 1
+    eng.resume_at(proc, 25, "hello", 25, 25)
+    eng.run()
+    assert trace == [("parked", 0), ("woken", 25, "hello")]
+    assert eng.live_processes == 0
+
+
+def test_resume_at_rejects_the_past_and_bad_ancestry():
+    eng = Engine()
+
+    def sleeper():
+        yield Park()
+
+    proc = eng.process(sleeper())
+    eng.schedule(10, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.resume_at(proc, 5, None, 5, 5)  # before now
+    with pytest.raises(SimulationError):
+        eng.resume_at(proc, 20, None, 30, 5)  # scheduled after it runs
+
+
+def test_resume_at_virtual_ancestry_orders_same_tick_events():
+    """A resumed event with earlier virtual ancestry runs before a
+    same-tick event scheduled later in wall-clock order — exactly where
+    the never-parked execution would have placed it."""
+    eng = Engine()
+    order = []
+
+    def sleeper():
+        yield Park()
+        order.append("resumed")
+
+    proc = eng.process(sleeper())
+    eng.run()
+
+    def producer():
+        yield Timeout(40)
+        # Scheduled at tick 40 for tick 50 — but the parked process
+        # "would have" scheduled its poll at tick 30, so it wins the tie.
+        eng.schedule(10, lambda: order.append("producer"))
+        eng.resume_at(proc, 50, None, 30, 20)
+
+    eng.process(producer())
+    eng.run()
+    assert order == ["resumed", "producer"]
 
 
 def test_max_events_guard():
