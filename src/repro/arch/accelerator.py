@@ -60,6 +60,11 @@ class BaseAccelerator:
     #: executed task's PE occupancy (set via ``attach_trace``).
     tracer = None
 
+    #: Optional :class:`repro.obs.EventSink` recording structured
+    #: task-lifecycle events (set via ``repro.obs.attach_telemetry``).
+    #: Record-only: attaching one does not perturb simulated cycles.
+    telemetry = None
+
     def __init__(self, config: AcceleratorConfig, worker: Worker) -> None:
         self.config = config
         self.worker = worker
@@ -181,6 +186,8 @@ class BaseAccelerator:
         occupancy, and the task that could not be delivered.
         """
         deque = self.pes[target_pe].tmu.deque
+        if self.telemetry is not None:
+            self.telemetry.task_enqueued(target_pe, task)
         try:
             deque.push_tail(task)
         except TaskQueueOverflowError as exc:
@@ -288,6 +295,8 @@ class FlexAccelerator(BaseAccelerator):
         )
 
     def _deliver_host(self, cont: Continuation, value) -> None:
+        if self.telemetry is not None:
+            self.telemetry.host_result(cont)
         self.interface.deliver(cont, value)
         self.sub_work()
 
@@ -296,6 +305,8 @@ class FlexAccelerator(BaseAccelerator):
         pstore = self.pstores[cont.owner]
         creator_pe = pstore.table.entry(cont.entry).creator
         ready = pstore.deliver(cont, value, local)
+        if self.telemetry is not None:
+            self.telemetry.arg_delivered(cont, ready, local)
         if ready is None:
             self.sub_work()  # argument consumed
             return

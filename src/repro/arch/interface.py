@@ -24,6 +24,9 @@ from repro.core.task import Continuation, Task
 class InterfaceBlock:
     """Memory-mapped CPU interface: task injection and result pickup."""
 
+    #: Optional :class:`repro.obs.EventSink` (set by ``attach_telemetry``).
+    telemetry = None
+
     def __init__(self) -> None:
         self.deque: WorkStealingDeque[Task] = WorkStealingDeque(name="if")
         self.host = HostResult()
@@ -37,6 +40,8 @@ class InterfaceBlock:
 
     def inject(self, task: Task) -> None:
         """Queue a task from the CPU, available for PEs to steal."""
+        if self.telemetry is not None:
+            self.telemetry.task_injected(task)
         self.deque.push_tail(task)
         self.tasks_injected += 1
 

@@ -109,6 +109,8 @@ class LiteAccelerator(BaseAccelerator):
         )
 
     def _deliver_host(self, cont: Continuation, value) -> None:
+        if self.telemetry is not None:
+            self.telemetry.host_result(cont)
         if cont.slot in self._round_values or self._round_remaining <= 0:
             raise ProtocolError(
                 f"duplicate result for round task {cont.slot} "

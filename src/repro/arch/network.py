@@ -31,6 +31,10 @@ class NetworkStats:
 class CrossbarNetwork:
     """Latency calculator for the argument and work-stealing networks."""
 
+    #: Optional :class:`repro.obs.EventSink` (set by ``attach_telemetry``)
+    #: recording one ``net-msg`` event per crossbar traversal.
+    telemetry = None
+
     def __init__(self, config: AcceleratorConfig) -> None:
         self.config = config
         self.arg_stats = NetworkStats()
@@ -39,6 +43,8 @@ class CrossbarNetwork:
     # -- argument / task network ----------------------------------------
     def arg_latency(self, from_tile: int, to_tile: int) -> int:
         """Cycles for an argument message between tiles (one way)."""
+        if self.telemetry is not None:
+            self.telemetry.net_msg("arg", from_tile, to_tile)
         if from_tile == to_tile:
             self.arg_stats.local_messages += 1
             return self.config.pstore_local_cycles
@@ -48,6 +54,8 @@ class CrossbarNetwork:
     def task_return_latency(self, from_tile: int, to_tile: int) -> int:
         """Cycles to route a readied task back to its producer PE
         (the greedy-scheduling path through the argument/task router)."""
+        if self.telemetry is not None:
+            self.telemetry.net_msg("task", from_tile, to_tile)
         if from_tile == to_tile:
             self.arg_stats.local_messages += 1
             return self.config.queue_op_cycles
@@ -58,6 +66,8 @@ class CrossbarNetwork:
     def steal_request_latency(self, thief_tile: int, victim_tile: int) -> int:
         """Cycles for the steal request to reach the victim TMU."""
         self.steal_stats.steal_requests += 1
+        if self.telemetry is not None:
+            self.telemetry.net_msg("steal", thief_tile, victim_tile)
         if thief_tile == victim_tile:
             self.steal_stats.local_messages += 1
             return self.config.queue_op_cycles

@@ -104,6 +104,8 @@ class ProcessingElement:
         while not accel.done:
             task = pop_local()
             if task is not None:
+                if accel.telemetry is not None:
+                    accel.telemetry.task_dispatched(self.pe_id, task)
                 yield Timeout(cfg.queue_op_cycles + cfg.dispatch_cycles)
                 yield from self._execute(task)
                 continue
@@ -131,6 +133,8 @@ class ProcessingElement:
         accel = self.accel
         victim_id = self.lfsr.pick_victim(accel.num_victims, self.pe_id)
         self.stats.steal_attempts += 1
+        if accel.telemetry is not None:
+            accel.telemetry.steal_request(self.pe_id, victim_id)
         yield Timeout(
             accel.net.steal_request_latency(
                 self.tile_id, accel.victim_tile(victim_id)
@@ -143,6 +147,8 @@ class ProcessingElement:
         """Probe the victim's queue and ride the response back."""
         accel = self.accel
         task = accel.steal_from(victim_id)
+        if accel.telemetry is not None:
+            accel.telemetry.steal_result(self.pe_id, victim_id, task)
         yield Timeout(
             accel.net.steal_response_latency(
                 self.tile_id, accel.victim_tile(victim_id)
@@ -157,7 +163,13 @@ class ProcessingElement:
         """Run one task: functional execution, then timed op replay."""
         accel = self.accel
         cfg = self.config
+        tel = accel.telemetry
         start = accel.engine.now
+        compute_before = self.stats.compute_cycles
+        stall_before = self.stats.mem_stall_cycles
+        uid = -1
+        if tel is not None:
+            uid = tel.exec_start(self.pe_id, task)
         self.stats.tasks_executed += 1
         self.worker.check_task_type(task)
         ctx = WorkerContext(self.pe_id, self._alloc_successor)
@@ -188,6 +200,8 @@ class ProcessingElement:
                 stall = accel.mem_stall_cycles(self.pe_id, op)
                 if stall:
                     self.stats.mem_stall_cycles += stall
+                    if tel is not None:
+                        tel.mem_stall(self.pe_id, stall)
                     yield Timeout(stall)
             elif isinstance(op, SuccessorOp):
                 # cont_req/cont_resp round trip to the local P-Store.
@@ -195,12 +209,20 @@ class ProcessingElement:
             elif isinstance(op, SpawnOp):
                 yield Timeout(cfg.queue_op_cycles)
                 accel.add_work()
+                if tel is not None:
+                    tel.task_spawned(self.pe_id, op.task)
                 self.tmu.push_tail(op.task)
             elif isinstance(op, SendArgOp):
                 yield Timeout(1)  # arg_out issue
+                if tel is not None:
+                    tel.arg_sent(self.pe_id, op.cont)
                 accel.send_arg(self.pe_id, op.cont, op.value)
         self.stats.busy_cycles += accel.engine.now - start
         self.stats.queue_high_water = self.tmu.high_water
+        if tel is not None:
+            tel.exec_end(self.pe_id, uid,
+                         self.stats.compute_cycles - compute_before,
+                         self.stats.mem_stall_cycles - stall_before)
         if accel.tracer is not None:
             accel.tracer.record(self.pe_id, start, accel.engine.now,
                                 task.task_type)

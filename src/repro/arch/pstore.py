@@ -37,6 +37,9 @@ class PStoreStats:
 class HardwarePStore:
     """One tile's P-Store."""
 
+    #: Optional :class:`repro.obs.EventSink` (set by ``attach_telemetry``).
+    telemetry = None
+
     def __init__(self, tile_id: int, entries: int) -> None:
         self.tile_id = tile_id
         self.entries = entries
@@ -56,6 +59,9 @@ class HardwarePStore:
         cont = self.table.alloc(task_type, k, njoin, static_args, creator_pe)
         self.stats.allocs += 1
         self.stats.high_water = max(self.stats.high_water, len(self.table))
+        if self.telemetry is not None:
+            self.telemetry.pstore_alloc(self.tile_id, cont.entry,
+                                        task_type, creator_pe)
         return cont
 
     def deliver(self, cont: Continuation, value, from_local_tile: bool

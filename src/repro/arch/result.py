@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.executor import HostResult
 
@@ -40,6 +40,10 @@ class RunResult:
     mem_summary: Dict[str, float] = field(default_factory=dict)
     counters: Dict[str, float] = field(default_factory=dict)
     label: str = ""
+    #: Optional :class:`repro.obs.EventSink` from an instrumented run
+    #: (``telemetry=True`` on the harness runners).
+    telemetry: Optional[Any] = field(default=None, repr=False,
+                                     compare=False)
 
     @property
     def ns(self) -> float:

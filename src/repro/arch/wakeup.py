@@ -208,6 +208,8 @@ class ParkRegistry:
             _ParkedPE(pe, self.engine.now, s_at, p_s_at, scope)
         )
         self._parks.inc()
+        if self.accel.telemetry is not None:
+            self.accel.telemetry.parked(pe.pe_id)
         return Park()
 
     def notify_done(self) -> None:
@@ -233,8 +235,11 @@ class ParkRegistry:
             entries.append((plan, rec, idx))
         if len(entries) > 1:
             entries.sort(key=cmp_to_key(_chain_order))
+        tel = self.accel.telemetry
         for plan, rec, _ in entries:
             self._elided.inc(plan.elided)
+            if tel is not None:
+                tel.woke(rec.pe.pe_id, plan.time, plan.elided)
             self.engine.resume_at(rec.pe.proc, plan.time, plan.value,
                                   plan.s_at, plan.p_s_at)
         self._wakes.inc(len(parked))
@@ -275,6 +280,7 @@ class ParkRegistry:
         pe = rec.pe
         accel = self.accel
         net = accel.net
+        tel = accel.telemetry
         lfsr = pe.lfsr
         backoff = accel.config.steal_backoff_cycles
         num_victims = accel.num_victims
@@ -286,17 +292,25 @@ class ParkRegistry:
         while (f, s, p) < key:
             victim = lfsr.pick_victim(num_victims, pe.pe_id)
             pe.stats.steal_attempts += 1
+            # Replayed attempts are emitted with their *virtual*
+            # timestamps so the recorded steal timeline matches the
+            # polling execution (exports sort by timestamp).
+            if tel is not None:
+                tel.steal_request(pe.pe_id, victim, ts=f)
             victim_tile = accel.victim_tile(victim)
             probe = f + net.steal_request_latency(thief_tile, victim_tile)
             elided += 1  # the loop-top / attempt-start event
             times.append(probe)
             if (probe, f, s) >= key:
                 # The victim-side probe lands at-or-after the waking event:
-                # run it for real — it may now see the new work.
+                # run it for real — it may now see the new work.  Its
+                # steal-hit/miss event is emitted by the real probe.
                 times.reverse()
                 times += [rec.s_at, rec.p_s_at]
                 return _Plan(probe, f, s, victim, elided,
                              _list_chain(times))
+            if tel is not None:
+                tel.steal_result(pe.pe_id, victim, None, ts=probe)
             nack = probe + net.steal_response_latency(thief_tile, victim_tile)
             elided += 2  # the probe and the NACK-then-backoff events
             f, s, p = nack + backoff, nack, probe

@@ -2,7 +2,11 @@
 
 Commands:
 
-* ``run <benchmark>`` — simulate one benchmark on one engine.
+* ``run <benchmark>`` — simulate one benchmark on one engine
+  (``--trace out.json`` writes a Perfetto-loadable Chrome trace,
+  ``--stats`` dumps the run's counters).
+* ``report <benchmark>`` — instrumented run + full telemetry report
+  (latency decomposition, time series, critical path).
 * ``table1|table2|table3|table4|table5`` — regenerate a paper table.
 * ``fig6|fig7|fig8|fig9`` — regenerate a paper figure's data.
 * ``ablations`` — run the design-choice ablations.
@@ -57,7 +61,7 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _run_one(args, *, telemetry: bool):
     from repro.harness.runners import (
         run_cpu,
         run_flex,
@@ -73,12 +77,49 @@ def _cmd_run(args) -> int:
         "zynq": run_zynq_flex,
         "zynq-cpu": run_zynq_cpu,
     }
-    result = engines[args.engine](args.benchmark, args.pes,
-                                  quick=not args.full)
+    return engines[args.engine](args.benchmark, args.pes,
+                                quick=not args.full, telemetry=telemetry)
+
+
+def _cmd_run(args) -> int:
+    telemetry = bool(args.trace)
+    result = _run_one(args, telemetry=telemetry)
     print(f"{result.label}: verified, {result.cycles} cycles "
           f"({result.ns / 1000:.1f} us @ {result.clock_mhz:.0f} MHz), "
           f"{result.tasks_executed} tasks, {result.total_steals} steals, "
           f"{result.utilization():.0%} busy")
+    if args.stats:
+        print("counters:")
+        for name in sorted(result.counters):
+            print(f"  {name} = {result.counters[name]}")
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(
+            result.telemetry, args.trace,
+            clock_mhz=result.clock_mhz, end_cycle=result.cycles,
+            label=result.label,
+        )
+        print(f"trace: wrote {args.trace} "
+              f"(load in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import render_report, write_chrome_trace
+
+    result = _run_one(args, telemetry=True)
+    print(render_report(result.telemetry, cycles=result.cycles,
+                        clock_mhz=result.clock_mhz, label=result.label,
+                        epochs=args.epochs))
+    if args.trace:
+        write_chrome_trace(
+            result.telemetry, args.trace,
+            clock_mhz=result.clock_mhz, end_cycle=result.cycles,
+            label=result.label,
+        )
+        print(f"\ntrace: wrote {args.trace} "
+              f"(load in https://ui.perfetto.dev)")
     return 0
 
 
@@ -90,15 +131,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list benchmarks and experiments")
 
+    def add_run_args(p):
+        p.add_argument("benchmark", choices=PAPER_BENCHMARKS + ("fib",))
+        p.add_argument("--engine", default="flex",
+                       choices=("flex", "lite", "cpu", "zynq", "zynq-cpu"))
+        p.add_argument("--pes", type=int, default=8)
+        p.add_argument("--full", action="store_true",
+                       help="paper-size workload")
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a Perfetto-loadable Chrome trace")
+
     run_parser = sub.add_parser("run", help="simulate one benchmark")
-    run_parser.add_argument("benchmark",
-                            choices=PAPER_BENCHMARKS + ("fib",))
-    run_parser.add_argument("--engine", default="flex",
-                            choices=("flex", "lite", "cpu", "zynq",
-                                     "zynq-cpu"))
-    run_parser.add_argument("--pes", type=int, default=8)
-    run_parser.add_argument("--full", action="store_true",
-                            help="paper-size workload")
+    add_run_args(run_parser)
+    run_parser.add_argument("--stats", action="store_true",
+                            help="print the run's counters")
+
+    report_parser = sub.add_parser(
+        "report", help="instrumented run + telemetry report"
+    )
+    add_run_args(report_parser)
+    report_parser.add_argument("--epochs", type=int, default=16,
+                               help="time-series epochs (default 16)")
 
     for name in _experiment_commands():
         exp_parser = sub.add_parser(name, help=f"regenerate {name}")
@@ -113,6 +166,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
     runner = _experiment_commands()[args.command]
     for result in runner(not args.full):
         print(result.render())

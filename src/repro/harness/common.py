@@ -35,6 +35,24 @@ class ExperimentResult:
     rows: List[List[str]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     data: Dict = field(default_factory=dict)
+    #: Optional per-run telemetry summaries (label -> JSON-safe dict,
+    #: as produced by :func:`repro.obs.summary`).
+    telemetry: Dict = field(default_factory=dict)
+
+    def attach_telemetry(self, label: str, result) -> None:
+        """Attach the telemetry summary of an instrumented run.
+
+        ``result`` is a :class:`~repro.arch.result.RunResult`; runs
+        without an event sink are ignored so callers can pass every
+        result unconditionally.
+        """
+        if getattr(result, "telemetry", None) is None:
+            return
+        from repro.obs import summary
+
+        self.telemetry[label] = summary(
+            result.telemetry, cycles=result.cycles
+        )
 
     def render(self) -> str:
         parts = [f"== {self.experiment}: {self.title} =="]

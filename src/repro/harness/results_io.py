@@ -38,6 +38,7 @@ def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
         "rows": result.rows,
         "notes": result.notes,
         "data": _jsonable(result.data),
+        "telemetry": _jsonable(result.telemetry),
         "rendered": result.render(),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -59,4 +60,5 @@ def load_result(path: Union[str, Path]) -> ExperimentResult:
         rows=[list(row) for row in payload["rows"]],
         notes=list(payload["notes"]),
         data=payload["data"],
+        telemetry=payload.get("telemetry", {}),
     )

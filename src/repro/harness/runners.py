@@ -68,62 +68,82 @@ def _verify(bench, result: RunResult, label: str) -> RunResult:
     return result
 
 
+def _instrument(engine, telemetry: bool):
+    """Attach an event sink when ``telemetry`` was requested."""
+    if not telemetry:
+        return None
+    from repro.obs import attach_telemetry
+
+    return attach_telemetry(engine)
+
+
 def run_flex(name: str, num_pes: int, *, quick: bool = False,
              params: Optional[dict] = None, platform: str = "accel",
-             **config_overrides) -> RunResult:
+             telemetry: bool = False, **config_overrides) -> RunResult:
     """FlexArch accelerator run."""
     bench = make_benchmark(name, **bench_params(name, quick, params))
     config = flex_config(num_pes, **config_overrides)
     engine = FlexAccelerator(config, bench.flex_worker(platform))
+    sink = _instrument(engine, telemetry)
     _warm(engine, bench)
     result = engine.run(bench.root_task(), label=f"{name}-flex{num_pes}")
+    result.telemetry = sink
     return _verify(bench, result, result.label)
 
 
 def run_lite(name: str, num_pes: int, *, quick: bool = False,
              params: Optional[dict] = None, platform: str = "accel",
-             **config_overrides) -> RunResult:
+             telemetry: bool = False, **config_overrides) -> RunResult:
     """LiteArch accelerator run (benchmark must have a lite port)."""
     bench = make_benchmark(name, **bench_params(name, quick, params))
     if not bench.has_lite:
         raise ValueError(f"{name} has no LiteArch implementation")
     config = lite_config(num_pes, **config_overrides)
     engine = LiteAccelerator(config, bench.lite_worker(platform))
+    sink = _instrument(engine, telemetry)
     _warm(engine, bench)
     result = engine.run(bench.lite_program(num_pes),
                         label=f"{name}-lite{num_pes}")
+    result.telemetry = sink
     return _verify(bench, result, result.label)
 
 
 def run_cpu(name: str, num_cores: int, *, quick: bool = False,
-            params: Optional[dict] = None, **config_overrides) -> RunResult:
+            params: Optional[dict] = None, telemetry: bool = False,
+            **config_overrides) -> RunResult:
     """Software baseline run (Cilk-style runtime on OOO cores)."""
     bench = make_benchmark(name, **bench_params(name, quick, params))
     config = cpu_config(num_cores, **config_overrides)
     engine = MulticoreCPU(config, bench.flex_worker("cpu"))
+    sink = _instrument(engine, telemetry)
     _warm(engine, bench)
     result = engine.run(bench.root_task(), label=f"{name}-cpu{num_cores}")
+    result.telemetry = sink
     return _verify(bench, result, result.label)
 
 
 def run_zynq_flex(name: str, num_pes: int, *, quick: bool = False,
-                  params: Optional[dict] = None) -> RunResult:
+                  params: Optional[dict] = None,
+                  telemetry: bool = False) -> RunResult:
     """Zedboard prototype accelerator: 100 MHz fabric, stream buffers over
     the single ACP port instead of coherent L1 caches (Section V-B)."""
     return run_flex(
-        name, num_pes, quick=quick, params=params,
+        name, num_pes, quick=quick, params=params, telemetry=telemetry,
         clock=ZYNQ_FABRIC_CLOCK, memory="stream",
     )
 
 
 def run_zynq_cpu(name: str, num_cores: int = 2, *, quick: bool = False,
-                 params: Optional[dict] = None) -> RunResult:
+                 params: Optional[dict] = None,
+                 telemetry: bool = False) -> RunResult:
     """Zedboard's two Cortex-A9 cores running the parallel software."""
     bench = make_benchmark(name, **bench_params(name, quick, params))
     config = zynq_cpu_config(num_cores)
     worker = bench.flex_worker("cpu")
     worker.costs = worker.costs.scaled(A9_CPI_FACTOR)
     engine = MulticoreCPU(config, worker)
+    sink = _instrument(engine, telemetry)
     _warm(engine, bench)
     result = engine.run(bench.root_task(), label=f"{name}-a9x{num_cores}")
+    result.telemetry = sink
     return _verify(bench, result, result.label)

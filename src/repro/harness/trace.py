@@ -35,8 +35,9 @@ class TaskInterval:
 class ExecutionTrace:
     """Recorder + renderer for per-PE activity."""
 
-    def __init__(self) -> None:
+    def __init__(self, num_pes: Optional[int] = None) -> None:
         self.intervals: List[TaskInterval] = []
+        self._num_pes = num_pes
 
     # Called by the PE after each task completes.
     def record(self, pe_id: int, start: int, end: int, task_type: str
@@ -45,7 +46,12 @@ class ExecutionTrace:
 
     @property
     def num_pes(self) -> int:
-        return 1 + max((i.pe_id for i in self.intervals), default=-1)
+        """PE count: the attached machine's if known, else derived from
+        the intervals (which would miss PEs that never ran a task)."""
+        derived = 1 + max((i.pe_id for i in self.intervals), default=-1)
+        if self._num_pes is None:
+            return derived
+        return max(self._num_pes, derived)
 
     @property
     def end_cycle(self) -> int:
@@ -97,7 +103,11 @@ class ExecutionTrace:
 
 
 def attach_trace(accelerator) -> ExecutionTrace:
-    """Create a trace and attach it to an accelerator before ``run``."""
-    trace = ExecutionTrace()
+    """Create a trace and attach it to an accelerator before ``run``.
+
+    The machine's real PE count is captured so never-busy PEs still get
+    an (all-idle) timeline row instead of silently vanishing.
+    """
+    trace = ExecutionTrace(num_pes=len(accelerator.pes))
     accelerator.tracer = trace
     return trace

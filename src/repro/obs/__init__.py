@@ -1,0 +1,60 @@
+"""Telemetry subsystem: task-lifecycle tracing and run observability.
+
+Attach an :class:`EventSink` to any engine (FlexArch, LiteArch, or the
+multicore software baseline) before ``run`` and every task-lifecycle
+transition — spawn, enqueue, steal, dispatch, execute, argument
+delivery, P-Store traffic, memory stalls, park/wake — is recorded as a
+typed, timestamped event.  The sink is record-only: with telemetry on
+or off, simulated cycles and statistics are bit-identical.
+
+Downstream consumers:
+
+* :mod:`repro.obs.sampler` — per-epoch time series (queue depth, PE
+  utilization, steal rate, outstanding memory stalls),
+* :mod:`repro.obs.chrometrace` — Perfetto / chrome://tracing export
+  plus raw JSONL,
+* :mod:`repro.obs.critical_path` — spawn-DAG T∞ bound vs achieved,
+* :mod:`repro.obs.report` — terminal report and harness summaries.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and workflows.
+"""
+
+from repro.obs.chrometrace import (
+    chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.critical_path import CriticalPathReport, critical_path
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventSink,
+    TaskRecord,
+    TraceEvent,
+    attach_telemetry,
+)
+from repro.obs.report import (
+    LatencySummary,
+    latency_decomposition,
+    render_report,
+    summary,
+)
+from repro.obs.sampler import TimeSeries, sample
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventSink",
+    "TaskRecord",
+    "TraceEvent",
+    "attach_telemetry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "CriticalPathReport",
+    "critical_path",
+    "LatencySummary",
+    "latency_decomposition",
+    "render_report",
+    "summary",
+    "TimeSeries",
+    "sample",
+]

@@ -1,0 +1,159 @@
+"""Chrome trace-event export: open a run in Perfetto or chrome://tracing.
+
+Produces the Trace Event Format JSON consumed by https://ui.perfetto.dev
+(drag the file in) and ``chrome://tracing``:
+
+* one named thread track per PE with an ``X`` (complete) slice per
+  executed task, carrying lifecycle latencies in ``args``;
+* an ``IF/host`` track for injection and host-result activity;
+* instant events for steal hits/misses/requests, parks and wakes;
+* ``C`` (counter) tracks for the sampler series — queue depth, PE
+  utilization, steal rate, outstanding memory stalls, P-Store occupancy.
+
+Timestamps are microseconds (the format's native unit), converted from
+accelerator cycles with the run's clock; raw cycle values ride along in
+``args`` so nothing is lost to rounding.
+
+Also provides a line-delimited JSON (JSONL) export of the raw event log
+for ad-hoc analysis with ``jq``/pandas.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.events import (
+    HOST_RESULT,
+    INJECT,
+    NO_PE,
+    PARK,
+    STEAL_HIT,
+    STEAL_MISS,
+    STEAL_REQUEST,
+    WAKE,
+    EventSink,
+)
+from repro.obs.sampler import TimeSeries, sample
+
+#: Single simulated process id used for all tracks.
+_PID = 1
+
+#: Instant-event kinds shown as markers on their PE's track.
+_INSTANT_KINDS = (STEAL_REQUEST, STEAL_HIT, STEAL_MISS, PARK, WAKE,
+                  INJECT, HOST_RESULT)
+
+#: Counter-track display names per sampler series.
+_COUNTER_TRACKS = {
+    "queue_depth": "queue depth",
+    "pe_utilization": "PE utilization",
+    "steal_requests": "steal requests/epoch",
+    "mem_outstanding": "outstanding mem stalls",
+    "pstore_occupancy": "P-Store occupancy",
+}
+
+
+def chrome_trace(sink: EventSink, *, clock_mhz: float = 1.0,
+                 end_cycle: int = 0, epochs: int = 64,
+                 label: str = "repro") -> dict:
+    """Build the trace-event JSON document for one run."""
+    scale = 1.0 / clock_mhz            # cycles -> microseconds
+    if_tid = sink.num_pes              # IF/host track after the PEs
+    events: List[dict] = []
+
+    # -- track metadata ------------------------------------------------
+    events.append({"ph": "M", "pid": _PID, "name": "process_name",
+                   "args": {"name": f"{label} simulation"}})
+    for pe in range(sink.num_pes):
+        events.append({"ph": "M", "pid": _PID, "tid": pe,
+                       "name": "thread_name", "args": {"name": f"pe{pe}"}})
+    events.append({"ph": "M", "pid": _PID, "tid": if_tid,
+                   "name": "thread_name", "args": {"name": "IF/host"}})
+
+    # -- execute slices ------------------------------------------------
+    for rec in sink.tasks:
+        if rec.exec_start < 0 or rec.exec_end < 0:
+            continue
+        events.append({
+            "ph": "X", "pid": _PID, "tid": rec.pe,
+            "name": rec.task_type,
+            "ts": rec.exec_start * scale,
+            "dur": (rec.exec_end - rec.exec_start) * scale,
+            "args": {
+                "task": rec.uid,
+                "origin": rec.origin,
+                "stolen": rec.stolen,
+                "cycles": rec.exec_end - rec.exec_start,
+                "compute_cycles": rec.compute_cycles,
+                "mem_stall_cycles": rec.mem_stall_cycles,
+                "queue_wait_cycles": rec.queue_wait,
+            },
+        })
+
+    # -- instant markers -----------------------------------------------
+    for event in sink.sorted_events():
+        if event.kind not in _INSTANT_KINDS:
+            continue
+        tid = event.pe if event.pe != NO_PE else if_tid
+        entry = {
+            "ph": "i", "pid": _PID, "tid": tid, "s": "t",
+            "name": event.kind, "ts": event.ts * scale,
+            "args": {"cycle": event.ts},
+        }
+        if event.data:
+            entry["args"].update(event.data)
+        events.append(entry)
+
+    # -- counter tracks ------------------------------------------------
+    series = sample(sink, end_cycle=end_cycle, epochs=epochs)
+    for name, values in series.series.items():
+        track = _COUNTER_TRACKS.get(name)
+        if track is None:
+            continue
+        for boundary, value in zip(series.boundaries(), values):
+            events.append({
+                "ph": "C", "pid": _PID, "name": track,
+                "ts": boundary * scale,
+                "args": {name: round(value, 4)},
+            })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": label,
+            "clock_mhz": clock_mhz,
+            "end_cycle": end_cycle or sink.end_cycle,
+            "num_pes": sink.num_pes,
+            "num_tasks": len(sink.tasks),
+        },
+    }
+
+
+def write_chrome_trace(sink: EventSink, path: Union[str, Path], *,
+                       clock_mhz: float = 1.0, end_cycle: int = 0,
+                       epochs: int = 64, label: str = "repro") -> Path:
+    """Write the Perfetto-loadable trace JSON to ``path``."""
+    path = Path(path)
+    document = chrome_trace(sink, clock_mhz=clock_mhz, end_cycle=end_cycle,
+                            epochs=epochs, label=label)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document))
+    return path
+
+
+def write_jsonl(sink: EventSink, path: Union[str, Path],
+                series: Optional[TimeSeries] = None) -> Path:
+    """Write the raw event log as line-delimited JSON, in time order."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for event in sink.sorted_events():
+            fh.write(json.dumps(event.as_dict()))
+            fh.write("\n")
+        if series is not None:
+            fh.write(json.dumps({"kind": "time-series",
+                                 **series.as_dict()}))
+            fh.write("\n")
+    return path

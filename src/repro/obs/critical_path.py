@@ -1,0 +1,138 @@
+"""Spawn-DAG critical-path analysis: the load-balance argument, checkable.
+
+The paper's scalability claims rest on the runtime keeping achieved
+cycles close to the structural limit of the task graph.  This module
+computes that limit from one run's telemetry: the longest *causally
+dependent* chain of task execution, using the measured dependency edges
+(spawn points, argument sends, successor allocations) recorded by the
+:class:`~repro.obs.events.EventSink`.
+
+For each task the sink records ``deps = [(dep_uid, offset)]``: the task
+could not have become runnable before its dependency had executed for
+``offset`` cycles (a child is spawned partway through its parent; a join
+task needs each producer's argument, sent partway through the producer).
+The bound is then
+
+    ``start_lb(t) = max over deps (start_lb(d) + offset)``
+    ``finish_lb(t) = start_lb(t) + exec_cycles(t)``
+
+and the critical path is ``max finish_lb`` — a true lower bound on the
+makespan of *any* schedule of this DAG with these execution times (all
+queueing, stealing, and network latencies removed).  Because each edge
+reflects observed causality, the bound never exceeds the achieved cycle
+count.
+
+``parallelism = total_work / critical_path`` is the T1/T∞ of the
+work-stealing literature; ``achieved / critical_path`` says how far the
+actual schedule sat from the structural limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.obs.events import EventSink
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One task on the critical path."""
+
+    uid: int
+    task_type: str
+    pe: int
+    start_lb: int
+    exec_cycles: int
+
+
+@dataclass
+class CriticalPathReport:
+    """Structural timing decomposition of one run's task DAG."""
+
+    total_work: int          # T1: sum of all execute durations
+    critical_path: int       # T∞ lower bound along measured dep edges
+    achieved_cycles: int     # what the simulated schedule actually took
+    num_tasks: int
+    path: List[PathStep] = field(default_factory=list)
+
+    @property
+    def parallelism(self) -> float:
+        """T1 / T∞ — average parallelism available in the DAG."""
+        if not self.critical_path:
+            return 0.0
+        return self.total_work / self.critical_path
+
+    @property
+    def slack(self) -> float:
+        """Achieved cycles over the structural bound (1.0 = perfect)."""
+        if not self.critical_path:
+            return 0.0
+        return self.achieved_cycles / self.critical_path
+
+    def path_types(self) -> Dict[str, int]:
+        """Critical-path cycles attributed per task type."""
+        out: Dict[str, int] = {}
+        for step in self.path:
+            out[step.task_type] = out.get(step.task_type, 0) + \
+                step.exec_cycles
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "total_work": self.total_work,
+            "critical_path": self.critical_path,
+            "achieved_cycles": self.achieved_cycles,
+            "num_tasks": self.num_tasks,
+            "parallelism": self.parallelism,
+            "slack": self.slack,
+            "path_length": len(self.path),
+            "path_types": self.path_types(),
+        }
+
+
+def critical_path(sink: EventSink,
+                  achieved_cycles: int = 0) -> CriticalPathReport:
+    """Compute the critical path over ``sink``'s recorded task DAG.
+
+    Records are processed in creation order; every dependency was
+    created before its dependent, so a single forward pass suffices.
+    """
+    tasks = sink.tasks
+    n = len(tasks)
+    start_lb = [0] * n
+    pred = [-1] * n
+    best_finish = 0
+    best_uid = -1
+    total_work = 0
+    for rec in tasks:
+        start = 0
+        chosen = -1
+        for dep_uid, offset in rec.deps:
+            candidate = start_lb[dep_uid] + offset
+            if candidate > start:
+                start = candidate
+                chosen = dep_uid
+        start_lb[rec.uid] = start
+        pred[rec.uid] = chosen
+        dur = rec.exec_cycles or 0
+        total_work += dur
+        finish = start + dur
+        if finish > best_finish:
+            best_finish = finish
+            best_uid = rec.uid
+    path: List[PathStep] = []
+    uid = best_uid
+    while uid >= 0:
+        rec = tasks[uid]
+        path.append(PathStep(uid, rec.task_type, rec.pe, start_lb[uid],
+                             rec.exec_cycles or 0))
+        uid = pred[uid]
+    path.reverse()
+    return CriticalPathReport(
+        total_work=total_work,
+        critical_path=best_finish,
+        achieved_cycles=achieved_cycles or sink.end_cycle,
+        num_tasks=n,
+        path=path,
+    )

@@ -1,0 +1,179 @@
+"""Human-readable telemetry reports and compact summaries.
+
+Renders one run's telemetry — lifecycle event counts, the per-task
+latency decomposition (queue wait, execute, compute, memory stall) with
+percentiles, the epoch time series, and the critical-path analysis —
+as a terminal report (``repro report``), and distills the same content
+into a JSON-safe summary dict for attaching to harness
+:class:`~repro.harness.common.ExperimentResult` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.obs.critical_path import critical_path
+from repro.obs.events import EventSink
+from repro.obs.sampler import sample
+
+#: Percentiles reported for every latency distribution.
+PERCENTILES = (50, 90, 99)
+
+
+def percentile(sorted_samples: Sequence[int], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, -(-len(sorted_samples) * p // 100))   # ceil
+    return float(sorted_samples[int(rank) - 1])
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics of one per-task latency distribution."""
+
+    name: str
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, name: str,
+                     samples: List[int]) -> "LatencySummary":
+        if not samples:
+            return cls(name, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        return cls(
+            name=name,
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 50),
+            p90=percentile(ordered, 90),
+            p99=percentile(ordered, 99),
+            minimum=float(ordered[0]),
+            maximum=float(ordered[-1]),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count, "mean": self.mean, "p50": self.p50,
+            "p90": self.p90, "p99": self.p99,
+            "min": self.minimum, "max": self.maximum,
+        }
+
+
+def latency_decomposition(sink: EventSink) -> List[LatencySummary]:
+    """Per-task latency histograms: where each task's cycles went."""
+    queue_wait: List[int] = []
+    exec_cycles: List[int] = []
+    compute: List[int] = []
+    mem_stall: List[int] = []
+    overhead: List[int] = []
+    for rec in sink.tasks:
+        if rec.queue_wait is not None:
+            queue_wait.append(rec.queue_wait)
+        if rec.exec_cycles is not None:
+            exec_cycles.append(rec.exec_cycles)
+            compute.append(rec.compute_cycles)
+            mem_stall.append(rec.mem_stall_cycles)
+            overhead.append(rec.exec_cycles - rec.compute_cycles
+                            - rec.mem_stall_cycles)
+    return [
+        LatencySummary.from_samples("queue_wait", queue_wait),
+        LatencySummary.from_samples("execute", exec_cycles),
+        LatencySummary.from_samples("compute", compute),
+        LatencySummary.from_samples("mem_stall", mem_stall),
+        LatencySummary.from_samples("sched_overhead", overhead),
+    ]
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Minimal aligned text table (kept local: obs must not import the
+    experiment harness)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    fmt = lambda cells: "  ".join(
+        str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in rows]
+    return "\n".join(lines)
+
+
+def render_report(sink: EventSink, *, cycles: int = 0,
+                  clock_mhz: float = 0.0, label: str = "run",
+                  epochs: int = 16) -> str:
+    """Full terminal report for one instrumented run."""
+    end = cycles or sink.end_cycle
+    parts = [f"== telemetry: {label} =="]
+    clock = f" @ {clock_mhz:.0f} MHz" if clock_mhz else ""
+    parts.append(f"{end} cycles{clock}, {len(sink.tasks)} tasks, "
+                 f"{len(sink.events)} events")
+
+    counts = sink.counts()
+    parts.append("")
+    parts.append("-- event counts --")
+    parts.append(_table(
+        ["event", "count"],
+        [[kind, str(counts[kind])] for kind in sorted(counts)],
+    ))
+
+    parts.append("")
+    parts.append("-- task latency decomposition (cycles) --")
+    rows = []
+    for summary in latency_decomposition(sink):
+        rows.append([
+            summary.name, str(summary.count), f"{summary.mean:.1f}",
+            f"{summary.p50:.0f}", f"{summary.p90:.0f}",
+            f"{summary.p99:.0f}", f"{summary.maximum:.0f}",
+        ])
+    parts.append(_table(
+        ["phase", "n", "mean", "p50", "p90", "p99", "max"], rows))
+
+    series = sample(sink, end_cycle=end, epochs=epochs)
+    if series.num_epochs:
+        parts.append("")
+        parts.append(f"-- time series ({series.epoch_cycles} "
+                     "cycles/epoch) --")
+        parts.append(_table(series.header(), series.rows()))
+
+    cp = critical_path(sink, achieved_cycles=end)
+    parts.append("")
+    parts.append("-- critical path --")
+    parts.append(_table(
+        ["metric", "value"],
+        [
+            ["total work (T1)", f"{cp.total_work} cycles"],
+            ["critical path (T∞ lower bound)",
+             f"{cp.critical_path} cycles"],
+            ["achieved (TP)", f"{cp.achieved_cycles} cycles"],
+            ["parallelism (T1/T∞)", f"{cp.parallelism:.1f}"],
+            ["achieved / bound", f"{cp.slack:.2f}x"],
+            ["path length", f"{len(cp.path)} tasks"],
+        ],
+    ))
+    by_type = cp.path_types()
+    if by_type:
+        parts.append("critical-path cycles by task type: " + ", ".join(
+            f"{t}={c}" for t, c in sorted(by_type.items())))
+    return "\n".join(parts)
+
+
+def summary(sink: EventSink, *, cycles: int = 0,
+            epochs: int = 16) -> Dict:
+    """Compact JSON-safe telemetry summary (the harness attachment)."""
+    end = cycles or sink.end_cycle
+    return {
+        "events": sink.counts(),
+        "num_tasks": len(sink.tasks),
+        "latency": {s.name: s.as_dict()
+                    for s in latency_decomposition(sink)},
+        "series": sample(sink, end_cycle=end, epochs=epochs).as_dict(),
+        "critical_path": critical_path(sink, achieved_cycles=end).as_dict(),
+    }

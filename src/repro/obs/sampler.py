@@ -1,0 +1,180 @@
+"""Per-epoch time series derived from the telemetry event log.
+
+The paper's evaluation argues from trajectories — queue occupancy as
+work spreads, steal rate spiking during rebalancing, memory pressure
+over phases — not from end-of-run scalars.  This module turns one run's
+event log into those trajectories.
+
+Sampling is deliberately *post-hoc*: the series are reconstructed from
+timestamped events after the run instead of by a sampling clock inside
+the simulation, so observation can never perturb simulated time (a
+periodic engine process would extend the event heap past the natural
+end of the run and change the reported cycle count).
+
+Series (one value per epoch):
+
+``queue_depth``
+    Tasks sitting in TMU/IF queues at the epoch boundary, reconstructed
+    from push events (spawn, inject, enqueue) minus pop events
+    (dispatch, steal-hit).
+``pe_utilization``
+    Fraction of PE-cycles in the epoch spent executing tasks
+    (execute-interval overlap / ``num_pes * epoch_cycles``).
+``steal_requests`` / ``steal_hits``
+    Steal attempts and successful steals launched in the epoch
+    (including attempts the wakeup scheduler elided and replayed).
+``mem_outstanding``
+    Mean number of PEs stalled on memory during the epoch
+    (stall-interval overlap / ``epoch_cycles``).
+``pstore_occupancy``
+    Live pending entries across all P-Stores at the epoch boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.events import (
+    DISPATCH,
+    ENQUEUE,
+    INJECT,
+    MEM_STALL,
+    PSTORE_ALLOC,
+    PSTORE_FREE,
+    SPAWN,
+    STEAL_HIT,
+    STEAL_REQUEST,
+    EventSink,
+)
+
+_PUSH_KINDS = (SPAWN, INJECT, ENQUEUE)
+
+
+class TimeSeries:
+    """Epoch-aligned series for one run."""
+
+    def __init__(self, end_cycle: int, epoch_cycles: int,
+                 series: Dict[str, List[float]]) -> None:
+        self.end_cycle = end_cycle
+        self.epoch_cycles = epoch_cycles
+        self.series = series
+
+    @property
+    def num_epochs(self) -> int:
+        return len(next(iter(self.series.values()), []))
+
+    def boundaries(self) -> List[int]:
+        """End cycle of each epoch."""
+        return [min((i + 1) * self.epoch_cycles, self.end_cycle)
+                for i in range(self.num_epochs)]
+
+    def rows(self) -> List[List[str]]:
+        """Table rows (cycle boundary + every series), for reports."""
+        names = sorted(self.series)
+        out = []
+        for i, boundary in enumerate(self.boundaries()):
+            row = [str(boundary)]
+            for name in names:
+                value = self.series[name][i]
+                row.append(f"{value:.3f}" if isinstance(value, float)
+                           and not value.is_integer() else str(int(value)))
+            out.append(row)
+        return out
+
+    def header(self) -> List[str]:
+        return ["cycle"] + sorted(self.series)
+
+    def as_dict(self) -> dict:
+        return {
+            "end_cycle": self.end_cycle,
+            "epoch_cycles": self.epoch_cycles,
+            "series": {k: list(v) for k, v in self.series.items()},
+        }
+
+
+def _overlap(start: int, end: int, lo: int, hi: int) -> int:
+    """Length of ``[start, end) ∩ [lo, hi)``."""
+    return max(0, min(end, hi) - max(start, lo))
+
+
+def sample(sink: EventSink, end_cycle: int = 0,
+           epochs: int = 32) -> TimeSeries:
+    """Derive the epoch time series from ``sink``'s event log.
+
+    ``end_cycle`` defaults to the last recorded event timestamp;
+    ``epochs`` picks the resolution (the epoch length in cycles is
+    ``ceil(end / epochs)``).
+    """
+    end = end_cycle or sink.end_cycle
+    if end <= 0 or epochs <= 0:
+        return TimeSeries(0, 1, {
+            "queue_depth": [], "pe_utilization": [],
+            "steal_requests": [], "steal_hits": [],
+            "mem_outstanding": [], "pstore_occupancy": [],
+        })
+    epoch = max(1, -(-end // epochs))          # ceil division
+    n = -(-end // epoch)
+    queue = [0.0] * n
+    psto = [0.0] * n
+    steals = [0.0] * n
+    hits = [0.0] * n
+    busy = [0.0] * n
+    stall = [0.0] * n
+
+    def epoch_of(ts: int) -> int:
+        return min(n - 1, ts // epoch)
+
+    # Running-balance series: accumulate deltas per epoch, prefix-sum.
+    for event in sink.events:
+        kind = event.kind
+        i = epoch_of(event.ts)
+        if kind in _PUSH_KINDS:
+            queue[i] += 1
+        elif kind == DISPATCH:
+            queue[i] -= 1
+        elif kind == STEAL_HIT:
+            queue[i] -= 1       # a steal is also a queue pop
+            hits[i] += 1
+        elif kind == STEAL_REQUEST:
+            steals[i] += 1
+        elif kind == PSTORE_ALLOC:
+            psto[i] += 1
+        elif kind == PSTORE_FREE:
+            psto[i] -= 1
+        elif kind == MEM_STALL:
+            cycles = event.data["cycles"]
+            last = epoch_of(event.ts + cycles)
+            for j in range(i, last + 1):
+                stall[j] += _overlap(event.ts, event.ts + cycles,
+                                     j * epoch, (j + 1) * epoch)
+    for i in range(1, n):
+        queue[i] += queue[i - 1]
+        psto[i] += psto[i - 1]
+
+    # Execute-interval overlap per epoch.
+    for rec in sink.tasks:
+        if rec.exec_start < 0 or rec.exec_end < 0:
+            continue
+        first, last = epoch_of(rec.exec_start), epoch_of(max(
+            rec.exec_start, rec.exec_end - 1))
+        for i in range(first, last + 1):
+            busy[i] += _overlap(rec.exec_start, rec.exec_end,
+                                i * epoch, (i + 1) * epoch)
+
+    pes = max(1, sink.num_pes)
+    util = []
+    outstanding = []
+    for i in range(n):
+        span = min(end, (i + 1) * epoch) - i * epoch
+        span = max(1, span)
+        util.append(busy[i] / (pes * span))
+        outstanding.append(stall[i] / span)
+
+    return TimeSeries(end, epoch, {
+        "queue_depth": queue,
+        "pe_utilization": util,
+        "steal_requests": steals,
+        "steal_hits": hits,
+        "mem_outstanding": outstanding,
+        "pstore_occupancy": psto,
+    })

@@ -172,6 +172,9 @@ class Engine:
         self._heap: List[Tuple[int, int, int, int, Callable[[], None]]] = []
         self._seq = 0
         self._live_processes = 0
+        # Optional telemetry sink (repro.obs); record-only, so attaching
+        # one cannot change event ordering or simulated time.
+        self.telemetry = None
         # Ancestry of the currently executing event (see module docstring):
         # the tick it was scheduled at, and the tick *that* event was
         # scheduled at.
@@ -236,6 +239,8 @@ class Engine:
         """Register ``generator`` as a process and start it immediately."""
         proc = Process(self, generator, name)
         self._live_processes += 1
+        if self.telemetry is not None:
+            self.telemetry.proc_start(name)
         self._schedule_start(proc)
         return proc
 
@@ -250,6 +255,8 @@ class Engine:
             request = proc.generator.send(value)
         except StopIteration as stop:
             self._live_processes -= 1
+            if self.telemetry is not None:
+                self.telemetry.proc_end(proc.name)
             proc._finish(getattr(stop, "value", None))
             return
         self._dispatch(proc, request)

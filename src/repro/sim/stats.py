@@ -115,6 +115,9 @@ class StatsRegistry:
         for name, hist in self.histograms.items():
             out[f"{name}.count"] = hist.count
             out[f"{name}.mean"] = hist.mean
+            if hist.count:
+                out[f"{name}.min"] = hist.minimum
+                out[f"{name}.max"] = hist.maximum
         return out
 
     def snapshot(self, prefix: str = "") -> Dict[str, float]:

@@ -22,6 +22,37 @@ def test_run_cpu_engine(capsys):
     assert "queens-cpu2" in capsys.readouterr().out
 
 
+def test_run_stats_flag(capsys):
+    assert main(["run", "fib", "--pes", "2", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "counters:" in out
+    assert "steal_requests" in out
+
+
+def test_run_without_stats_omits_counters(capsys):
+    assert main(["run", "fib", "--pes", "2"]) == 0
+    assert "counters:" not in capsys.readouterr().out
+
+
+def test_run_trace_flag_writes_perfetto_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.json"
+    assert main(["run", "fib", "--pes", "2", "--trace", str(path)]) == 0
+    assert "trace: wrote" in capsys.readouterr().out
+    document = json.loads(path.read_text())
+    phases = {e["ph"] for e in document["traceEvents"]}
+    assert {"M", "X", "i", "C"} <= phases
+
+
+def test_report_command(capsys):
+    assert main(["report", "fib", "--pes", "2", "--epochs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "latency decomposition" in out
+    assert "critical path" in out
+    assert "time series" in out
+
+
 def test_table_commands(capsys):
     assert main(["table1"]) == 0
     assert "Work-Stealing" in capsys.readouterr().out

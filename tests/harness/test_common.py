@@ -38,6 +38,19 @@ class TestExperimentResult:
         assert "note: caveat" in text
         assert str(result) == text
 
+    def test_attach_telemetry(self):
+        from repro.harness.runners import run_flex
+
+        result = ExperimentResult(experiment="T", title="t")
+        plain = run_flex("fib", 2, quick=True)
+        traced = run_flex("fib", 2, quick=True, telemetry=True)
+        result.attach_telemetry("plain", plain)    # no sink: ignored
+        result.attach_telemetry("traced", traced)
+        assert set(result.telemetry) == {"traced"}
+        summary = result.telemetry["traced"]
+        assert summary["events"]["exec-start"] == traced.tasks_executed
+        assert summary["critical_path"]["achieved_cycles"] == traced.cycles
+
     def test_render_without_table(self):
         result = ExperimentResult(experiment="E", title="T")
         assert result.render() == "== E: T =="

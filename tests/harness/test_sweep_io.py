@@ -79,6 +79,7 @@ class TestResultsIO:
             rows=[["a", "1"]],
             notes=["hello"],
             data={"series": {"a": [1, 2, 3]}, "nested": {"x": 1.5}},
+            telemetry={"run1": {"events": {"spawn": 4}}},
         )
         path = save_result(original, tmp_path / "x.json")
         loaded = load_result(path)
@@ -86,6 +87,7 @@ class TestResultsIO:
         assert loaded.rows == original.rows
         assert loaded.notes == original.notes
         assert loaded.data["series"]["a"] == [1, 2, 3]
+        assert loaded.telemetry == original.telemetry
         assert loaded.render().startswith("== Table X")
 
     def test_nonjson_data_degrades_to_repr(self, tmp_path):

@@ -64,6 +64,31 @@ def test_render_empty():
     assert ExecutionTrace().render() == "(empty trace)"
 
 
+def test_idle_pes_keep_timeline_rows():
+    """A machine wider than its workload must still show every PE:
+    fib(1) is a single task, so 7 of 8 PEs never run anything."""
+    accel = FlexAccelerator(flex_config(8, memory="perfect"), FibWorker())
+    trace = attach_trace(accel)
+    accel.run(Task("FIB", HOST_CONTINUATION, (1,)))
+    assert len(trace.intervals) == 1
+    assert trace.num_pes == 8
+    lines = trace.render(width=20).split("\n")
+    assert len(lines) == 9  # header + all 8 PEs, idle ones included
+    assert sum("#" in line for line in lines[1:]) == 1
+
+
+def test_unattached_trace_derives_pe_count():
+    trace = ExecutionTrace()
+    trace.record(3, 0, 5, "T")
+    assert trace.num_pes == 4
+
+
+def test_declared_pe_count_never_undercounts():
+    trace = ExecutionTrace(num_pes=2)
+    trace.record(5, 0, 5, "T")
+    assert trace.num_pes == 6
+
+
 def test_utilization_in_unit_interval():
     trace, result = traced_run()
     assert 0.0 < trace.utilization() <= 1.0

@@ -1,0 +1,138 @@
+"""Sampler, critical-path, and report invariants over real runs."""
+
+import pytest
+
+from repro.harness.runners import run_flex
+from repro.obs import (
+    critical_path,
+    latency_decomposition,
+    render_report,
+    sample,
+    summary,
+)
+from repro.obs.report import percentile
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_flex("fib", 8, quick=True, telemetry=True)
+
+
+# -- sampler ------------------------------------------------------------
+def test_series_aligned_and_bounded(traced_run):
+    result = traced_run
+    series = sample(result.telemetry, end_cycle=result.cycles, epochs=16)
+    lengths = {len(v) for v in series.series.values()}
+    assert lengths == {series.num_epochs}
+    assert series.boundaries()[-1] == result.cycles
+    for value in series.series["pe_utilization"]:
+        assert 0.0 <= value <= 1.0
+
+
+def test_queue_depth_drains_to_zero(traced_run):
+    result = traced_run
+    series = sample(result.telemetry, end_cycle=result.cycles, epochs=16)
+    queue = series.series["queue_depth"]
+    assert min(queue) >= 0
+    assert queue[-1] == 0          # everything produced was consumed
+    assert max(queue) > 0
+
+
+def test_steal_series_totals_match_counters(traced_run):
+    result = traced_run
+    series = sample(result.telemetry, end_cycle=result.cycles, epochs=16)
+    assert sum(series.series["steal_requests"]) == \
+        result.counters["steal_requests"]
+    assert sum(series.series["steal_hits"]) == result.total_steals
+
+
+def test_utilization_series_matches_run_mean(traced_run):
+    result = traced_run
+    series = sample(result.telemetry, end_cycle=result.cycles, epochs=16)
+    util = series.series["pe_utilization"]
+    boundaries = series.boundaries()
+    spans = [b - a for a, b in zip([0] + boundaries[:-1], boundaries)]
+    weighted = sum(u * s for u, s in zip(util, spans)) / sum(spans)
+    assert weighted == pytest.approx(result.utilization(), abs=1e-9)
+
+
+def test_empty_sample_is_empty():
+    class _Sink:
+        events = ()
+        tasks = ()
+        num_pes = 4
+        end_cycle = 0
+
+    series = sample(_Sink())
+    assert series.num_epochs == 0
+    assert series.rows() == []
+
+
+# -- critical path ------------------------------------------------------
+def test_critical_path_bounds(traced_run):
+    result = traced_run
+    report = critical_path(result.telemetry,
+                           achieved_cycles=result.cycles)
+    assert report.total_work == \
+        sum(s.busy_cycles for s in result.pe_stats)
+    # The structural bound is causal: never above the achieved schedule,
+    # never below the longest single task.
+    assert 0 < report.critical_path <= result.cycles
+    assert report.parallelism >= 1.0
+    assert report.slack >= 1.0
+    assert report.num_tasks == result.tasks_executed
+
+
+def test_critical_path_is_a_chain(traced_run):
+    report = critical_path(traced_run.telemetry,
+                           achieved_cycles=traced_run.cycles)
+    path = report.path
+    assert path, "non-trivial run must have a path"
+    for a, b in zip(path, path[1:]):
+        assert a.uid < b.uid
+        assert a.start_lb <= b.start_lb
+    assert sum(report.path_types().values()) == \
+        sum(s.exec_cycles for s in path)
+    assert path[-1].start_lb + path[-1].exec_cycles == \
+        report.critical_path
+
+
+# -- report -------------------------------------------------------------
+def test_percentile_nearest_rank():
+    samples = list(range(1, 101))
+    assert percentile(samples, 50) == 50
+    assert percentile(samples, 99) == 99
+    assert percentile(samples, 100) == 100
+    assert percentile([7], 90) == 7
+    assert percentile([], 50) == 0.0
+
+
+def test_latency_decomposition_phases(traced_run):
+    summaries = {s.name: s for s in
+                 latency_decomposition(traced_run.telemetry)}
+    assert set(summaries) == {"queue_wait", "execute", "compute",
+                              "mem_stall", "sched_overhead"}
+    execute = summaries["execute"]
+    assert execute.count == traced_run.tasks_executed
+    assert execute.p50 <= execute.p90 <= execute.p99 <= execute.maximum
+
+
+def test_render_report_sections(traced_run):
+    result = traced_run
+    text = render_report(result.telemetry, cycles=result.cycles,
+                         clock_mhz=result.clock_mhz, label=result.label)
+    for section in ("event counts", "latency decomposition",
+                    "time series", "critical path"):
+        assert section in text
+    assert result.label in text
+
+
+def test_summary_is_json_safe(traced_run):
+    import json
+
+    result = traced_run
+    payload = summary(result.telemetry, cycles=result.cycles)
+    text = json.dumps(payload)
+    assert "critical_path" in payload
+    assert payload["events"]["exec-start"] == result.tasks_executed
+    assert json.loads(text) == payload

@@ -1,0 +1,93 @@
+"""Golden-file tests for the Chrome-trace and JSONL exports."""
+
+import json
+
+import pytest
+
+from repro.harness.runners import run_flex
+from repro.obs import chrome_trace, sample, write_chrome_trace, write_jsonl
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_flex("fib", 4, quick=True, telemetry=True)
+
+
+def test_chrome_trace_is_valid_json(tmp_path, traced_run):
+    result = traced_run
+    path = write_chrome_trace(result.telemetry, tmp_path / "trace.json",
+                              clock_mhz=result.clock_mhz,
+                              end_cycle=result.cycles, label=result.label)
+    document = json.loads(path.read_text())
+    assert isinstance(document["traceEvents"], list)
+    assert document["otherData"]["num_pes"] == 4
+    assert document["otherData"]["end_cycle"] == result.cycles
+
+
+def test_chrome_trace_has_expected_phases(traced_run):
+    result = traced_run
+    document = chrome_trace(result.telemetry, clock_mhz=result.clock_mhz,
+                            end_cycle=result.cycles)
+    phases = {e["ph"] for e in document["traceEvents"]}
+    assert phases == {"M", "X", "i", "C"}
+
+
+def test_one_slice_per_task_on_named_pe_tracks(traced_run):
+    result = traced_run
+    document = chrome_trace(result.telemetry, end_cycle=result.cycles)
+    events = document["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(slices) == result.tasks_executed
+    # Every slice sits on a metadata-named per-PE track.
+    named_tids = {e["tid"]: e["args"]["name"] for e in events
+                  if e["ph"] == "M" and e["name"] == "thread_name"}
+    for s in slices:
+        assert named_tids[s["tid"]] == f"pe{s['tid']}"
+        assert s["dur"] >= 0
+        assert s["args"]["cycles"] >= s["args"]["compute_cycles"]
+    # Work landed on more than one PE.
+    assert len({s["tid"] for s in slices}) > 1
+
+
+def test_counter_tracks_present(traced_run):
+    result = traced_run
+    document = chrome_trace(result.telemetry, end_cycle=result.cycles)
+    counter_names = {e["name"] for e in document["traceEvents"]
+                     if e["ph"] == "C"}
+    assert len(counter_names) >= 2
+    assert "queue depth" in counter_names
+    assert "PE utilization" in counter_names
+
+
+def test_steal_instants_present(traced_run):
+    result = traced_run
+    document = chrome_trace(result.telemetry, end_cycle=result.cycles)
+    instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+    kinds = {e["name"] for e in instants}
+    assert "steal-req" in kinds
+    hits = sum(1 for e in instants if e["name"] == "steal-hit")
+    assert hits == result.total_steals
+
+
+def test_timestamps_scaled_to_microseconds(traced_run):
+    result = traced_run
+    document = chrome_trace(result.telemetry, clock_mhz=result.clock_mhz,
+                            end_cycle=result.cycles)
+    horizon = result.cycles / result.clock_mhz  # run length in us
+    for e in document["traceEvents"]:
+        if "ts" in e:
+            assert 0 <= e["ts"] <= horizon + 1e-9
+
+
+def test_jsonl_round_trips(tmp_path, traced_run):
+    result = traced_run
+    sink = result.telemetry
+    series = sample(sink, end_cycle=result.cycles, epochs=8)
+    path = write_jsonl(sink, tmp_path / "events.jsonl", series=series)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == len(sink.events) + 1
+    ts = [line["ts"] for line in lines[:-1]]
+    assert ts == sorted(ts)
+    assert {line["kind"] for line in lines[:-1]} == set(sink.counts())
+    assert lines[-1]["kind"] == "time-series"
+    assert lines[-1]["end_cycle"] == result.cycles

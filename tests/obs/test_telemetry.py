@@ -1,0 +1,136 @@
+"""Event-sink semantics and the record-only determinism invariant.
+
+Telemetry must be a pure observer: attaching an :class:`EventSink` may
+not change a single simulated cycle, steal decision, or LFSR draw.
+These tests run each workload with telemetry off and on (and across both
+park modes) and require the timing signatures to match bit-exactly.
+"""
+
+import pytest
+
+from repro.harness.runners import run_cpu, run_flex, run_lite
+from repro.obs import events as ev
+
+
+def signature(result):
+    """Every steal/timing observable telemetry could perturb."""
+    return {
+        "cycles": result.cycles,
+        "pe_stats": [
+            (s.tasks_executed, s.busy_cycles, s.steal_attempts,
+             s.steal_hits, s.tasks_stolen_from, s.queue_high_water,
+             s.compute_cycles, s.mem_stall_cycles)
+            for s in result.pe_stats
+        ],
+        "counters": sorted(result.counters.items()),
+        "value": result.value,
+    }
+
+
+@pytest.mark.parametrize("park", [False, True])
+def test_flex_bit_exact_with_telemetry(park):
+    plain = run_flex("fib", 8, quick=True, park_idle_pes=park)
+    traced = run_flex("fib", 8, quick=True, park_idle_pes=park,
+                      telemetry=True)
+    assert signature(traced) == signature(plain)
+    assert plain.telemetry is None
+    assert traced.telemetry is not None
+
+
+def test_lite_bit_exact_with_telemetry():
+    plain = run_lite("quicksort", 8, quick=True)
+    traced = run_lite("quicksort", 8, quick=True, telemetry=True)
+    assert signature(traced) == signature(plain)
+
+
+def test_cpu_bit_exact_with_telemetry():
+    plain = run_cpu("queens", 4, quick=True)
+    traced = run_cpu("queens", 4, quick=True, telemetry=True)
+    assert signature(traced) == signature(plain)
+
+
+def test_steal_timeline_park_invariant():
+    """The recorded steal event timeline (including virtual-timestamp
+    replays of elided polls) must match the polling execution's."""
+
+    def steal_events(result):
+        return sorted(
+            (e.ts, e.kind, e.pe)
+            for e in result.telemetry.events
+            if e.kind in (ev.STEAL_REQUEST, ev.STEAL_HIT, ev.STEAL_MISS)
+        )
+
+    polled = run_flex("fib", 8, quick=True, park_idle_pes=False,
+                      telemetry=True)
+    parked = run_flex("fib", 8, quick=True, park_idle_pes=True,
+                      telemetry=True)
+    assert steal_events(parked) == steal_events(polled)
+
+
+def fib_sink(pes=8, **kw):
+    return run_flex("fib", pes, quick=True, telemetry=True, **kw).telemetry
+
+
+def test_event_counts_match_run_stats():
+    result = run_flex("fib", 8, quick=True, telemetry=True)
+    sink = result.telemetry
+    counts = sink.counts()
+    assert counts[ev.EXEC_START] == result.tasks_executed
+    assert counts[ev.EXEC_END] == result.tasks_executed
+    assert counts[ev.STEAL_REQUEST] == result.counters["steal_requests"]
+    assert counts[ev.STEAL_HIT] == result.total_steals
+    assert counts[ev.STEAL_HIT] + counts[ev.STEAL_MISS] == \
+        counts[ev.STEAL_REQUEST]
+    assert counts[ev.INJECT] == 1
+    assert counts[ev.HOST_RESULT] == 1
+
+
+def test_task_records_complete_and_ordered():
+    result = run_flex("fib", 8, quick=True, telemetry=True)
+    sink = result.telemetry
+    assert len(sink.tasks) == result.tasks_executed
+    for rec in sink.tasks:
+        assert 0 <= rec.created <= rec.exec_start <= rec.exec_end
+        assert rec.exec_end <= result.cycles
+        assert 0 <= rec.pe < 8
+        assert rec.exec_cycles == rec.exec_end - rec.exec_start
+        # Causal dependencies only point at earlier tasks.
+        for dep, offset in rec.deps:
+            assert dep < rec.uid
+            assert offset >= 0
+
+
+def test_busy_cycles_match_exec_windows():
+    result = run_flex("fib", 8, quick=True, telemetry=True)
+    per_pe = [0] * 8
+    for rec in result.telemetry.tasks:
+        per_pe[rec.pe] += rec.exec_cycles
+    assert per_pe == [s.busy_cycles for s in result.pe_stats]
+
+
+def test_events_have_valid_timestamps():
+    result = run_flex("fib", 4, quick=True, telemetry=True)
+    sink = result.telemetry
+    for e in sink.events:
+        assert 0 <= e.ts <= result.cycles
+    ts = [e.ts for e in sink.sorted_events()]
+    assert ts == sorted(ts)
+
+
+def test_park_wake_events_balance():
+    sink = fib_sink(park_idle_pes=True)
+    counts = sink.counts()
+    assert counts[ev.PARK] == counts[ev.WAKE]
+    assert counts[ev.PARK] > 0
+
+
+def test_pstore_alloc_free_balance():
+    counts = fib_sink().counts()
+    assert counts[ev.PSTORE_ALLOC] > 0
+    assert counts[ev.PSTORE_ALLOC] == counts[ev.PSTORE_FREE]
+    assert counts[ev.CONT_READY] == counts[ev.PSTORE_ALLOC]
+
+
+def test_sink_repr_mentions_size():
+    sink = fib_sink()
+    assert "events" in repr(sink) and "tasks" in repr(sink)

@@ -25,6 +25,27 @@ def test_histogram_empty_mean():
     assert Histogram("e").mean == 0.0
 
 
+def test_histogram_empty_extremes():
+    h = Histogram("e")
+    assert h.count == 0
+    assert h.minimum is None
+    assert h.maximum is None
+
+
+def test_histogram_single_sample():
+    h = Histogram("one")
+    h.record(7)
+    assert (h.count, h.mean, h.minimum, h.maximum) == (1, 7.0, 7, 7)
+
+
+def test_histogram_negative_and_zero_samples():
+    h = Histogram("z")
+    h.record(0)
+    h.record(-3)
+    assert h.minimum == -3
+    assert h.maximum == 0
+
+
 def test_registry_reuses_instances():
     reg = StatsRegistry()
     assert reg.counter("a") is reg.counter("a")
@@ -38,6 +59,26 @@ def test_registry_reuses_instances():
     assert any("a = 3" in line for line in reg.report())
 
 
+def test_as_dict_includes_extremes():
+    reg = StatsRegistry()
+    for sample in (4, 9, 6):
+        reg.histogram("lat").record(sample)
+    flat = reg.as_dict()
+    assert flat["lat.min"] == 4
+    assert flat["lat.max"] == 9
+    snap = reg.snapshot("pe.")
+    assert snap["pe.lat.min"] == 4
+    assert snap["pe.lat.max"] == 9
+
+
+def test_as_dict_empty_histogram_has_no_extremes():
+    reg = StatsRegistry()
+    reg.histogram("lat")  # registered, never recorded
+    flat = reg.as_dict()
+    assert flat["lat.count"] == 0
+    assert "lat.min" not in flat and "lat.max" not in flat
+
+
 def test_utilization_tracker():
     eng = Engine()
     tracker = UtilizationTracker(eng, "pe")
@@ -47,6 +88,27 @@ def test_utilization_tracker():
     eng.run()
     assert tracker.busy_time() == 30
     assert tracker.utilization() == 0.3
+
+
+def test_utilization_read_mid_busy_interval():
+    """busy_time/utilization sampled while a busy interval is still
+    open must include the elapsed part of that interval."""
+    eng = Engine()
+    tracker = UtilizationTracker(eng, "pe")
+    seen = {}
+
+    def probe():
+        seen["busy"] = tracker.busy_time()
+        seen["util"] = tracker.utilization()
+
+    eng.schedule(10, tracker.set_busy)
+    eng.schedule(40, probe)           # mid-interval: busy since t=10
+    eng.schedule(100, tracker.set_idle)
+    eng.run()
+    assert seen["busy"] == 30
+    assert seen["util"] == 30 / 40
+    # The probe must not have closed the interval.
+    assert tracker.busy_time() == 90
 
 
 def test_utilization_still_busy_at_end():
