@@ -65,6 +65,12 @@ class BaseAccelerator:
     #: Record-only: attaching one does not perturb simulated cycles.
     telemetry = None
 
+    #: Optional :class:`repro.resil.FaultPlan` injecting deterministic
+    #: faults (set via ``repro.resil.attach_faults``).  With no plan
+    #: attached the fault checks are single pointer comparisons and the
+    #: run is bit-identical to one without the subsystem.
+    faults = None
+
     def __init__(self, config: AcceleratorConfig, worker: Worker) -> None:
         self.config = config
         self.worker = worker
@@ -199,19 +205,61 @@ class BaseAccelerator:
                 "make progress (raise task_queue_entries)"
             ) from exc
 
+    def _run_to_completion(self, max_cycles: int) -> int:
+        """Drive the engine to completion, optionally under the watchdog.
+
+        With ``watchdog_interval`` set, the engine runs in interval-sized
+        chunks and a progress signature is compared between chunks — a
+        stall is diagnosed within two intervals instead of after the full
+        cycle budget.  The watchdog never schedules engine events, so the
+        chunked execution processes the identical event sequence and
+        returns the identical end cycle as the single-call path (asserted
+        by ``tests/resil/test_null_invariant.py``).
+        """
+        interval = self.config.watchdog_interval
+        if interval is None:
+            return self.engine.run(until=max_cycles)
+        from repro.resil.watchdog import (
+            diagnose,
+            live_execution,
+            progress_signature,
+        )
+
+        last_sig = None
+        deadline = 0
+        while deadline < max_cycles:
+            deadline = min(deadline + interval, max_cycles)
+            end = self.engine.run(until=deadline)
+            if self.done:
+                # Drain the remaining PE-exit events so ``end`` matches
+                # the unchunked run (now may sit at a chunk boundary).
+                return self.engine.run(until=max_cycles)
+            if self.engine.finished:
+                raise diagnose(
+                    self, "the event heap drained with the run incomplete"
+                )
+            sig = progress_signature(self)
+            if sig == last_sig and not live_execution(self):
+                raise diagnose(
+                    self,
+                    f"no progress for {interval} cycles "
+                    "(watchdog stagnation check)",
+                )
+            last_sig = sig
+        return end
+
     def _finish(self, max_cycles: int, label: str) -> RunResult:
-        end = self.engine.run(until=max_cycles)
+        end = self._run_to_completion(max_cycles)
         if not self.done:
+            from repro.resil.watchdog import diagnose
+
             pending = self.engine.pending_events
             reason = (
                 f"simulation hit the {max_cycles}-cycle limit"
                 if pending
                 else "the event heap drained with the run incomplete"
             )
-            raise DeadlockError(
-                f"{reason}: {self.outstanding} work item(s) outstanding, "
-                f"{pending} event(s) pending"
-            )
+            raise diagnose(self, reason)
         mem_summary = self.memory.summary()
         counters = {
             "steal_requests": self.net.steal_stats.steal_requests,
@@ -222,6 +270,8 @@ class BaseAccelerator:
             counters.update(self.park_registry.stats.snapshot(prefix="park."))
         if self.worker_units is not None:
             counters.update(self.worker_units.summary())
+        if self.faults is not None:
+            counters.update(self.faults.counters())
         return RunResult(
             cycles=end,
             clock_mhz=self.config.clock.freq_mhz,
@@ -243,7 +293,9 @@ class FlexAccelerator(BaseAccelerator):
             raise ConfigError("FlexAccelerator requires arch='flex'")
         super().__init__(config, worker)
         self.pstores = [
-            HardwarePStore(t, config.pstore_entries)
+            HardwarePStore(t, config.pstore_entries,
+                           backpressure=config.pstore_backpressure,
+                           ecc=config.pstore_ecc)
             for t in range(config.num_tiles)
         ]
 
@@ -279,7 +331,17 @@ class FlexAccelerator(BaseAccelerator):
         return cont
 
     def send_arg(self, pe_id: int, cont: Continuation, value) -> None:
-        """Route an argument message (fire-and-forget from the PE)."""
+        """Route an argument message (fire-and-forget from the PE).
+
+        With a fault plan attached, a P-Store-bound message may be
+        dropped, duplicated or delayed in the argument network (host
+        results ride the memory-mapped interface and are not subject to
+        network faults).  ``arg_retransmit`` recovers drops (sender-side
+        timeout + retransmit) and duplicates (sequence-number dedup at
+        the P-Store); without it a drop strands the in-flight work unit
+        — the watchdog or cycle budget reports the stall — and a
+        duplicate delivery trips the P-Store's double-write check.
+        """
         self.add_work()  # the in-flight argument
         from_tile = self.config.tile_of(pe_id)
         if cont.is_host:
@@ -290,6 +352,50 @@ class FlexAccelerator(BaseAccelerator):
             return
         latency = self.net.arg_latency(from_tile, cont.owner)
         local = from_tile == cont.owner
+        fault = self.faults.arg_fault() if self.faults is not None else None
+        if fault is not None:
+            from repro.resil.faults import ARG_DELAY, ARG_DROP, ARG_DUP
+
+            kind, extra = fault
+            if self.telemetry is not None:
+                self.telemetry.fault(
+                    f"arg-{kind}", pe=pe_id,
+                    data={"owner": cont.owner, "entry": cont.entry,
+                          "slot": cont.slot},
+                )
+            if kind == "drop":
+                if not self.config.arg_retransmit:
+                    return  # lost: the work unit stays outstanding
+                # Sender-side timeout, then the retransmitted message
+                # traverses the network again (a real second message).
+                retrans = self.net.arg_latency(from_tile, cont.owner)
+                self.faults.note_recovery(ARG_DROP)
+                if self.telemetry is not None:
+                    self.telemetry.recovery("arg-retransmit", pe=pe_id)
+                self.engine.schedule(
+                    latency + self.config.arg_retransmit_cycles + retrans,
+                    lambda: self._deliver_arg(pe_id, cont, value, local),
+                )
+                return
+            if kind == "dup":
+                # Original delivers normally; the duplicate follows as a
+                # real second message slightly behind it.
+                dup_latency = self.net.arg_latency(from_tile, cont.owner)
+                self.add_work()  # the duplicate in flight
+                self.engine.schedule(
+                    latency, lambda: self._deliver_arg(pe_id, cont, value,
+                                                       local)
+                )
+                self.engine.schedule(
+                    latency + dup_latency,
+                    lambda: self._deliver_arg(pe_id, cont, value, local,
+                                              duplicate=True),
+                )
+                return
+            # Delayed in the network: absorbed by the asynchronous
+            # protocol, no recovery mechanism required.
+            latency += extra
+            self.faults.note_recovery(ARG_DELAY)
         self.engine.schedule(
             latency, lambda: self._deliver_arg(pe_id, cont, value, local)
         )
@@ -300,8 +406,31 @@ class FlexAccelerator(BaseAccelerator):
         self.interface.deliver(cont, value)
         self.sub_work()
 
+    def rollback_successor(self, cont: Continuation) -> None:
+        """Return a pending entry allocated by a NACKed task attempt
+        (allocation backpressure; see ``ProcessingElement._functional``)."""
+        self.pstores[cont.owner].rollback(cont.entry)
+        self.sub_work()  # the pending entry's work unit
+
     def _deliver_arg(self, producer_pe: int, cont: Continuation, value,
-                     local: bool) -> None:
+                     local: bool, duplicate: bool = False) -> None:
+        if duplicate and self.config.arg_retransmit:
+            # Sequence-number dedup at the P-Store ingress: the duplicate
+            # is recognised and discarded before touching the entry.
+            from repro.resil.faults import ARG_DUP
+
+            self.faults.note_recovery(ARG_DUP)
+            if self.telemetry is not None:
+                self.telemetry.recovery(
+                    "arg-dedup",
+                    data={"owner": cont.owner, "entry": cont.entry,
+                          "slot": cont.slot},
+                )
+            self.sub_work()
+            return
+        # An undetected duplicate falls through: it hits either the
+        # double-write check or (entry already readied) the unallocated-
+        # entry check in the functional table — loud, never silent.
         pstore = self.pstores[cont.owner]
         creator_pe = pstore.table.entry(cont.entry).creator
         ready = pstore.deliver(cont, value, local)

@@ -50,6 +50,34 @@ class AcceleratorConfig:
     # tests can compare the two executions and to debug the scheduler.
     park_idle_pes: bool = True
 
+    # Resilience knobs (docs/RESILIENCE.md).  Defaults reproduce the
+    # fail-fast behaviour: exhaustion raises, lost messages hang until the
+    # cycle budget (or the watchdog, when enabled) declares deadlock.
+    steal_retry: bool = False           # timeout + bounded retry on a lost
+    #                                     steal request (else: thief stalls)
+    steal_timeout_cycles: int = 64      # thief-side response timeout
+    steal_retry_limit: int = 8          # retries before treating as a NACK
+    arg_retransmit: bool = False        # link-level retransmit of dropped
+    #                                     argument messages + seq-number
+    #                                     dedup of duplicated ones
+    arg_retransmit_cycles: int = 32     # sender timeout before retransmit
+    pe_fault_retry: bool = False        # idempotent task re-execution after
+    #                                     a transient PE fault (else: the PE
+    #                                     fails permanently, task lost)
+    pe_fault_recovery_cycles: int = 32  # detect + restart latency
+    pstore_backpressure: bool = False   # full P-Store NACKs the allocation
+    #                                     and the creator retries (else:
+    #                                     PStoreFullError)
+    pstore_retry_backoff_cycles: int = 16   # base creator-side backoff
+    pstore_retry_limit: int = 16        # NACK retries before giving up
+    pstore_ecc: bool = False            # correct poisoned entries (else:
+    #                                     parity error => DataCorruptionError)
+    spawn_overflow_inline: bool = False  # full task queue: execute the
+    #                                     spawn inline at the spawning PE
+    #                                     (else: TaskQueueOverflowError)
+    watchdog_interval: Optional[int] = None  # progress check period in
+    #                                     cycles; None disables the watchdog
+
     # Scheduling-policy ablation knobs (defaults = the paper's design).
     local_order: str = "lifo"     # owner queue discipline: "lifo" | "fifo"
     steal_end: str = "head"       # thieves take the "head" or the "tail"
@@ -106,6 +134,12 @@ class AcceleratorConfig:
             raise ConfigError("task queue needs at least two entries")
         if self.pstore_entries < 1:
             raise ConfigError("P-Store needs at least one entry")
+        if self.watchdog_interval is not None and self.watchdog_interval < 1:
+            raise ConfigError(
+                f"watchdog interval must be positive: {self.watchdog_interval}"
+            )
+        if self.steal_retry_limit < 1 or self.pstore_retry_limit < 1:
+            raise ConfigError("retry limits must be at least one attempt")
         if self.local_order not in ("lifo", "fifo"):
             raise ConfigError(f"unknown local order {self.local_order!r}")
         if self.steal_end not in ("head", "tail"):

@@ -77,6 +77,9 @@ class CrossbarNetwork:
     def steal_response_latency(self, thief_tile: int, victim_tile: int) -> int:
         """Cycles for the response (task or NACK) to return to the thief,
         including the victim-side head dequeue."""
+        if self.telemetry is not None:
+            # The response travels victim -> thief.
+            self.telemetry.net_msg("steal-resp", victim_tile, thief_tile)
         base = self.config.queue_op_cycles
         if thief_tile == victim_tile:
             self.steal_stats.local_messages += 1

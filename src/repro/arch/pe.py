@@ -21,11 +21,28 @@ When the accelerator carries a :class:`~repro.arch.wakeup.ParkRegistry`
 no engine event until work becomes visible, and the registry replays the
 elided poll/steal cadence on wakeup so the simulated timeline is
 bit-exact with the polling loop (see ``repro/arch/wakeup.py``).
+
+Resilience hooks (``repro.resil``; every path below is unreachable
+without a fault plan or with the knobs at their fail-fast defaults):
+
+* a lost steal request is retried after ``steal_timeout_cycles`` when
+  ``steal_retry`` is on, else the thief stalls forever waiting for the
+  response (the watchdog names it);
+* a transient PE fault discards the in-progress attempt and re-executes
+  the task after ``pe_fault_recovery_cycles`` when ``pe_fault_retry`` is
+  on — requiring an *idempotent* worker, checked by comparing the
+  faulted attempt's operation stream against the retry — else the PE
+  fails permanently with the task lost;
+* a P-Store allocation NACK (``pstore_backpressure``) rolls back the
+  attempt's allocations in reverse order (so a retry draws the same
+  entry ids) and retries with exponential backoff;
+* a task-queue overflow on spawn executes the child inline at the
+  spawning PE when ``spawn_overflow_inline`` is on.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, List, Optional
 
 from repro.core.context import (
     ComputeOp,
@@ -36,12 +53,23 @@ from repro.core.context import (
     WorkerContext,
 )
 from repro.core.deque import WorkStealingDeque
-from repro.core.exceptions import ProtocolError
+from repro.core.exceptions import (
+    ProtocolError,
+    PStoreFullError,
+    PStoreNack,
+    TaskQueueOverflowError,
+)
 from repro.core.lfsr import LFSR16, default_seed
-from repro.core.task import Task
+from repro.core.task import Continuation, Task
 from repro.arch.result import PEStats
 from repro.arch.wakeup import SCOPE_GLOBAL, SCOPE_LOCAL
-from repro.sim.engine import Timeout
+from repro.resil.faults import (
+    PE_TRANSIENT,
+    STEAL_DELAY,
+    STEAL_DROP,
+    op_signature,
+)
+from repro.sim.engine import Park, Timeout
 
 
 class TaskManagementUnit:
@@ -83,6 +111,18 @@ class ProcessingElement:
         # Engine process handle, set by the accelerator when it starts the
         # PE; the park registry needs it to resume a parked loop.
         self.proc = None
+        # Execution-state visibility for the progress watchdog: the task
+        # being executed (None between tasks), when it started, whether
+        # the PE failed permanently, and why it is stalled (if it is).
+        self.current_task: Optional[Task] = None
+        self.exec_started_at = -1
+        self.failed = False
+        self.stall_reason: Optional[str] = None
+        self._exec_depth = 0
+        # Continuations allocated by the current functional attempt,
+        # tracked only while a P-Store NACK may roll them back.
+        self._attempt_allocs: Optional[List[Continuation]] = None
+        self._shadow_entries = 0
 
     # ------------------------------------------------------------------
     def run(self) -> Generator:
@@ -129,21 +169,60 @@ class ProcessingElement:
                 yield from self._execute(stolen)
 
     def _steal_once(self) -> Generator:
-        """One steal attempt over the work-stealing network."""
+        """One steal attempt over the work-stealing network (or several,
+        when a fault plan drops requests and ``steal_retry`` is on)."""
         accel = self.accel
-        victim_id = self.lfsr.pick_victim(accel.num_victims, self.pe_id)
-        self.stats.steal_attempts += 1
-        if accel.telemetry is not None:
-            accel.telemetry.steal_request(self.pe_id, victim_id)
-        yield Timeout(
-            accel.net.steal_request_latency(
+        cfg = self.config
+        plan = accel.faults
+        retries = 0
+        while True:
+            victim_id = self.lfsr.pick_victim(accel.num_victims, self.pe_id)
+            self.stats.steal_attempts += 1
+            if accel.telemetry is not None:
+                accel.telemetry.steal_request(self.pe_id, victim_id)
+            request = accel.net.steal_request_latency(
                 self.tile_id, accel.victim_tile(victim_id)
             )
-        )
-        stolen = yield from self._finish_steal(victim_id)
-        return stolen
+            fault = plan.steal_fault() if plan is not None else None
+            if fault is not None and fault[0] == "drop":
+                # The request died before the victim probe: no task can
+                # be lost with it, only the thief's response wait.
+                if accel.telemetry is not None:
+                    accel.telemetry.fault(STEAL_DROP, pe=self.pe_id,
+                                          data={"victim": victim_id})
+                if not cfg.steal_retry:
+                    self.stall_reason = (
+                        f"steal request to victim {victim_id} lost "
+                        "(steal_retry disabled)"
+                    )
+                    yield Park()  # waits forever; the watchdog names it
+                    return None
+                plan.note_recovery(STEAL_DROP)
+                retries += 1
+                if retries > cfg.steal_retry_limit:
+                    # Give up this round: treat the timeout like a NACK
+                    # and let the main loop back off and re-attempt.
+                    yield Timeout(cfg.steal_timeout_cycles)
+                    return None
+                self.stats.steal_retries += 1
+                if accel.telemetry is not None:
+                    accel.telemetry.recovery("steal-retry", pe=self.pe_id,
+                                             data={"victim": victim_id})
+                yield Timeout(cfg.steal_timeout_cycles)
+                continue
+            extra = 0
+            if fault is not None:  # ("delay", cycles): absorbed in flight
+                extra = fault[1]
+                plan.note_recovery(STEAL_DELAY)
+                if accel.telemetry is not None:
+                    accel.telemetry.fault(STEAL_DELAY, pe=self.pe_id,
+                                          data={"victim": victim_id,
+                                                "cycles": extra})
+            yield Timeout(request)
+            stolen = yield from self._finish_steal(victim_id, extra=extra)
+            return stolen
 
-    def _finish_steal(self, victim_id: int) -> Generator:
+    def _finish_steal(self, victim_id: int, extra: int = 0) -> Generator:
         """Probe the victim's queue and ride the response back."""
         accel = self.accel
         task = accel.steal_from(victim_id)
@@ -152,7 +231,7 @@ class ProcessingElement:
         yield Timeout(
             accel.net.steal_response_latency(
                 self.tile_id, accel.victim_tile(victim_id)
-            )
+            ) + extra
         )
         if task is not None:
             self.stats.steal_hits += 1
@@ -164,7 +243,15 @@ class ProcessingElement:
         accel = self.accel
         cfg = self.config
         tel = accel.telemetry
+        plan = accel.faults
         start = accel.engine.now
+        # Nested calls (inline spawn on queue overflow) share the outer
+        # task's busy window; only the outermost frame charges it.
+        outermost = self._exec_depth == 0
+        prev_task = self.current_task
+        self._exec_depth += 1
+        self.current_task = task
+        self.exec_started_at = start
         compute_before = self.stats.compute_cycles
         stall_before = self.stats.mem_stall_cycles
         uid = -1
@@ -172,8 +259,17 @@ class ProcessingElement:
             uid = tel.exec_start(self.pe_id, task)
         self.stats.tasks_executed += 1
         self.worker.check_task_type(task)
-        ctx = WorkerContext(self.pe_id, self._alloc_successor)
-        self.worker.execute(task, ctx)
+        shadow_sig = None
+        if plan is not None and plan.pe_fault():
+            shadow_sig = yield from self._transient_fault(task)
+        ctx = yield from self._functional(task)
+        if shadow_sig is not None and op_signature(ctx.ops) != shadow_sig:
+            raise ProtocolError(
+                f"non-idempotent re-execution of {task.task_type!r} on "
+                f"pe{self.pe_id}: the retried attempt recorded a different "
+                "operation stream than the faulted one — pe_fault_retry "
+                "requires idempotent workers"
+            )
         if not accel.allow_dynamic and (ctx.spawned or any(
                 isinstance(op, SuccessorOp) for op in ctx.ops)):
             raise ProtocolError(
@@ -211,13 +307,32 @@ class ProcessingElement:
                 accel.add_work()
                 if tel is not None:
                     tel.task_spawned(self.pe_id, op.task)
-                self.tmu.push_tail(op.task)
+                try:
+                    self.tmu.push_tail(op.task)
+                except TaskQueueOverflowError as exc:
+                    if not cfg.spawn_overflow_inline:
+                        raise TaskQueueOverflowError(
+                            f"pe{self.pe_id} task queue overflow spawning "
+                            f"{op.task.task_type!r}: "
+                            f"{len(self.tmu.deque)}/{self.tmu.deque.capacity}"
+                            " entries — raise task_queue_entries or enable "
+                            "spawn_overflow_inline"
+                        ) from exc
+                    # Graceful degradation: execute the child inline, as
+                    # a software runtime would on a full deque.  Serial
+                    # but correct; the spawn becomes a nested call.
+                    self.stats.inline_spawns += 1
+                    if tel is not None:
+                        tel.recovery("spawn-inline", pe=self.pe_id,
+                                     data={"type": op.task.task_type})
+                    yield from self._execute(op.task)
             elif isinstance(op, SendArgOp):
                 yield Timeout(1)  # arg_out issue
                 if tel is not None:
                     tel.arg_sent(self.pe_id, op.cont)
                 accel.send_arg(self.pe_id, op.cont, op.value)
-        self.stats.busy_cycles += accel.engine.now - start
+        if outermost:
+            self.stats.busy_cycles += accel.engine.now - start
         self.stats.queue_high_water = self.tmu.high_water
         if tel is not None:
             tel.exec_end(self.pe_id, uid,
@@ -226,9 +341,105 @@ class ProcessingElement:
         if accel.tracer is not None:
             accel.tracer.record(self.pe_id, start, accel.engine.now,
                                 task.task_type)
+        self._exec_depth -= 1
+        self.current_task = prev_task
         accel.task_done()
 
+    def _functional(self, task: Task) -> Generator:
+        """Functional execution, retrying on P-Store allocation NACKs.
+
+        Backpressure rollback frees this attempt's allocations in
+        *reverse* order so the free list is restored exactly and the
+        retry draws the same entry ids; the backoff grows exponentially
+        (capped) until ``pstore_retry_limit``, after which the enriched
+        :class:`PStoreFullError` reports a structurally undersized store.
+        """
+        accel = self.accel
+        cfg = self.config
+        attempt = 0
+        while True:
+            ctx = WorkerContext(self.pe_id, self._alloc_successor)
+            self._attempt_allocs = []
+            try:
+                self.worker.execute(task, ctx)
+            except PStoreNack as nack:
+                allocs, self._attempt_allocs = self._attempt_allocs, None
+                for cont in reversed(allocs):
+                    accel.rollback_successor(cont)
+                self.stats.pstore_nacks += 1
+                attempt += 1
+                if attempt >= cfg.pstore_retry_limit:
+                    err = PStoreFullError(
+                        f"P-Store tile {nack.tile} still full after "
+                        f"{attempt} backpressure retries allocating "
+                        f"{nack.task_type!r} for pe{self.pe_id} "
+                        f"({nack.occupancy}/{nack.capacity} entries) — "
+                        "the pending-task footprint exceeds the store "
+                        "structurally; raise pstore_entries"
+                    )
+                    err.tile = nack.tile
+                    err.occupancy = nack.occupancy
+                    err.capacity = nack.capacity
+                    err.task_type = nack.task_type
+                    err.creator_pe = self.pe_id
+                    raise err from nack
+                if accel.telemetry is not None:
+                    accel.telemetry.recovery(
+                        "pstore-retry", pe=self.pe_id,
+                        data={"tile": nack.tile, "attempt": attempt},
+                    )
+                yield Timeout(
+                    cfg.pstore_retry_backoff_cycles << min(attempt - 1, 6)
+                )
+            else:
+                self._attempt_allocs = None
+                return ctx
+
+    def _transient_fault(self, task: Task) -> Generator:
+        """Handle an injected transient PE fault at execution start.
+
+        Without ``pe_fault_retry`` the PE fails permanently (the task is
+        lost and the watchdog reports the PE as FAILED).  With it, the
+        faulted attempt runs against a shadow context — placeholder
+        successor allocations, no architectural side effects — and is
+        discarded; after ``pe_fault_recovery_cycles`` the caller re-runs
+        the task for real and checks the retry recorded the same
+        operation stream (idempotence).
+        """
+        accel = self.accel
+        cfg = self.config
+        tel = accel.telemetry
+        if tel is not None:
+            tel.fault(PE_TRANSIENT, pe=self.pe_id,
+                      data={"type": task.task_type})
+        if not cfg.pe_fault_retry:
+            self.failed = True
+            self.stall_reason = (
+                f"transient fault executing {task.task_type!r} "
+                "(pe_fault_retry disabled)"
+            )
+            yield Park()  # the PE is dead; nothing ever resumes it
+            return None   # pragma: no cover - unreachable
+        shadow = WorkerContext(self.pe_id, self._shadow_alloc)
+        self.worker.execute(task, shadow)
+        self.stats.pe_faults += 1
+        yield Timeout(cfg.pe_fault_recovery_cycles)
+        accel.faults.note_recovery(PE_TRANSIENT)
+        if tel is not None:
+            tel.recovery("pe-reexec", pe=self.pe_id,
+                         data={"type": task.task_type})
+        return op_signature(shadow.ops)
+
     def _alloc_successor(self, task_type, k, njoin, static_args):
-        return self.accel.alloc_successor(
+        cont = self.accel.alloc_successor(
             self.pe_id, task_type, k, njoin, static_args
         )
+        if self._attempt_allocs is not None:
+            self._attempt_allocs.append(cont)
+        return cont
+
+    def _shadow_alloc(self, task_type, k, njoin, static_args):
+        """Placeholder allocator for a faulted attempt: hands out distinct
+        throwaway continuations without touching any P-Store."""
+        self._shadow_entries += 1
+        return Continuation(-2, self._shadow_entries, 0)  # never HOST (-1)

@@ -21,6 +21,11 @@ class PEStats:
     queue_high_water: int = 0
     compute_cycles: int = 0
     mem_stall_cycles: int = 0
+    # Resilience counters (repro.resil; all zero on fault-free runs).
+    steal_retries: int = 0      # lost steal requests retried after timeout
+    pe_faults: int = 0          # transient faults recovered by re-execution
+    pstore_nacks: int = 0       # task attempts rolled back on a P-Store NACK
+    inline_spawns: int = 0      # spawns executed inline on queue overflow
 
     @property
     def steal_success_rate(self) -> float:

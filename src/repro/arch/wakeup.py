@@ -196,6 +196,10 @@ class ParkRegistry:
     def parked_count(self) -> int:
         return len(self._parked)
 
+    def is_parked(self, pe) -> bool:
+        """Whether ``pe`` currently holds no engine event (diagnostics)."""
+        return any(rec.pe is pe for rec in self._parked)
+
     # -- parking -----------------------------------------------------------
     def park(self, pe, scope: str = SCOPE_GLOBAL) -> Park:
         """Park ``pe`` at the current loop-top; returns the engine request.

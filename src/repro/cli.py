@@ -10,6 +10,8 @@ Commands:
 * ``table1|table2|table3|table4|table5`` — regenerate a paper table.
 * ``fig6|fig7|fig8|fig9`` — regenerate a paper figure's data.
 * ``ablations`` — run the design-choice ablations.
+* ``faults`` — fault-injection campaign: sweep fault rates with the
+  recovery mechanisms enabled, report recovery rate and overhead.
 * ``list`` — list benchmarks and experiments.
 
 All experiment commands accept ``--full`` for paper-size workloads
@@ -77,8 +79,12 @@ def _run_one(args, *, telemetry: bool):
         "zynq": run_zynq_flex,
         "zynq-cpu": run_zynq_cpu,
     }
-    return engines[args.engine](args.benchmark, args.pes,
-                                quick=not args.full, telemetry=telemetry)
+    kwargs = dict(quick=not args.full, telemetry=telemetry)
+    if args.max_cycles is not None:
+        kwargs["max_cycles"] = args.max_cycles
+    if args.watchdog is not None:
+        kwargs["watchdog_interval"] = args.watchdog
+    return engines[args.engine](args.benchmark, args.pes, **kwargs)
 
 
 def _cmd_run(args) -> int:
@@ -123,6 +129,29 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.resil.campaign import run_fault_campaign
+
+    kwargs = dict(num_pes=args.pes, quick=not args.full)
+    if args.rates:
+        kwargs["rates"] = tuple(
+            float(r) for r in args.rates.split(",") if r
+        )
+    if args.seeds:
+        kwargs["seeds"] = tuple(
+            int(s, 0) for s in args.seeds.split(",") if s
+        )
+    result = run_fault_campaign(args.benchmark, **kwargs)
+    print(result.render())
+    unrecovered = result.data["unrecovered"]
+    if unrecovered:
+        print(f"\n{unrecovered} run(s) terminated with a diagnostic error "
+              "instead of recovering")
+    if args.require_recovery and unrecovered:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ParallelXL reproduction toolkit"
@@ -140,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="paper-size workload")
         p.add_argument("--trace", metavar="PATH", default=None,
                        help="write a Perfetto-loadable Chrome trace")
+        p.add_argument("--max-cycles", type=int, default=None,
+                       metavar="N", help="cycle budget before the run is "
+                       "declared deadlocked (default 200M)")
+        p.add_argument("--watchdog", type=int, default=None, metavar="N",
+                       help="check progress every N cycles and fail early "
+                       "with per-PE diagnostics on stagnation")
 
     run_parser = sub.add_parser("run", help="simulate one benchmark")
     add_run_args(run_parser)
@@ -152,6 +187,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_args(report_parser)
     report_parser.add_argument("--epochs", type=int, default=16,
                                help="time-series epochs (default 16)")
+
+    faults_parser = sub.add_parser(
+        "faults", help="fault-injection campaign (repro.resil)"
+    )
+    faults_parser.add_argument("benchmark", nargs="?", default="fib",
+                               choices=PAPER_BENCHMARKS + ("fib",))
+    faults_parser.add_argument("--pes", type=int, default=4)
+    faults_parser.add_argument("--rates", default=None, metavar="R,R,...",
+                               help="comma-separated per-opportunity fault "
+                               "rates (default 0.0005,0.002,0.01)")
+    faults_parser.add_argument("--seeds", default=None, metavar="S,S,...",
+                               help="comma-separated fault-stream seeds "
+                               "(one run per rate x seed)")
+    faults_parser.add_argument("--full", action="store_true",
+                               help="paper-size workload")
+    faults_parser.add_argument("--require-recovery", action="store_true",
+                               help="exit 1 unless every run recovered "
+                               "(CI smoke gate)")
 
     for name in _experiment_commands():
         exp_parser = sub.add_parser(name, help=f"regenerate {name}")
@@ -168,6 +221,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     runner = _experiment_commands()[args.command]
     for result in runner(not args.full):
         print(result.render())

@@ -19,8 +19,45 @@ class TaskQueueOverflowError(ParallelXLError):
     """A hardware task queue exceeded its configured capacity."""
 
 
+class PStoreNack(ParallelXLError):
+    """Allocation backpressure signal: the P-Store refused an allocation.
+
+    Raised instead of :class:`PStoreFullError` when
+    ``AcceleratorConfig.pstore_backpressure`` is enabled.  Not an error in
+    the fail-fast sense — the creating PE catches it, rolls back the
+    current task attempt, backs off, and retries (bounded by
+    ``pstore_retry_limit``, after which the enriched
+    :class:`PStoreFullError` surfaces).
+    """
+
+    def __init__(self, tile: int, occupancy: int, capacity: int,
+                 task_type: str) -> None:
+        super().__init__(
+            f"P-Store tile {tile} NACK ({occupancy}/{capacity} entries) "
+            f"allocating {task_type!r}"
+        )
+        self.tile = tile
+        self.occupancy = occupancy
+        self.capacity = capacity
+        self.task_type = task_type
+
+
+class DataCorruptionError(ParallelXLError):
+    """Stored state was detected as corrupted (e.g. a poisoned P-Store
+    entry found by the parity check with ECC disabled)."""
+
+
 class DeadlockError(ParallelXLError):
-    """The computation stopped making progress before completing."""
+    """The computation stopped making progress before completing.
+
+    When raised by the progress watchdog or the cycle-budget check, the
+    message carries a structured diagnostic dump (per-PE state, queue
+    depths, P-Store occupancy, in-flight messages) and the
+    ``diagnostics`` attribute holds the same data as a dict.
+    """
+
+    #: Structured diagnostic snapshot, set by ``repro.resil.watchdog``.
+    diagnostics = None
 
 
 class ConfigError(ParallelXLError):

@@ -123,6 +123,19 @@ class PendingTable:
             self._free.append(cont.entry)
         return Task(entry.task_type, entry.k, tuple(entry.args) + entry.static_args)
 
+    def free(self, entry_id: int) -> None:
+        """Deallocate a live entry without readying it (rollback path).
+
+        Used by allocation backpressure: a task attempt that received a
+        P-Store NACK mid-execution returns the entries it already
+        allocated before retrying, so a retry never leaks capacity.
+        """
+        if entry_id not in self._entries:
+            raise ProtocolError(f"cannot free unallocated entry {entry_id}")
+        del self._entries[entry_id]
+        if self.capacity is not None:
+            self._free.append(entry_id)
+
     def entry(self, entry_id: int) -> PendingEntry:
         """Look up a live entry (for instrumentation and validation)."""
         if entry_id not in self._entries:

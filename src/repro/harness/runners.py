@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.arch.accelerator import FlexAccelerator
+from repro.arch.accelerator import DEFAULT_MAX_CYCLES, FlexAccelerator
 from repro.arch.config import flex_config, lite_config
 from repro.arch.lite import LiteAccelerator
 from repro.arch.result import RunResult
@@ -77,23 +77,46 @@ def _instrument(engine, telemetry: bool):
     return attach_telemetry(engine)
 
 
+def _inject_faults(engine, faults):
+    """Attach a fault plan (a ``FaultSpec`` or ready ``FaultPlan``)."""
+    if faults is None:
+        return None
+    from repro.resil.faults import FaultPlan, FaultSpec, attach_faults
+
+    plan = FaultPlan(faults) if isinstance(faults, FaultSpec) else faults
+    return attach_faults(engine, plan)
+
+
 def run_flex(name: str, num_pes: int, *, quick: bool = False,
              params: Optional[dict] = None, platform: str = "accel",
-             telemetry: bool = False, **config_overrides) -> RunResult:
-    """FlexArch accelerator run."""
+             telemetry: bool = False, faults=None,
+             max_cycles: Optional[int] = None,
+             **config_overrides) -> RunResult:
+    """FlexArch accelerator run.
+
+    ``faults`` accepts a :class:`repro.resil.FaultSpec` (or a prebuilt
+    ``FaultPlan``) and requires ``park_idle_pes=False``; ``max_cycles``
+    overrides the default 200M-cycle deadlock budget.
+    """
     bench = make_benchmark(name, **bench_params(name, quick, params))
     config = flex_config(num_pes, **config_overrides)
     engine = FlexAccelerator(config, bench.flex_worker(platform))
     sink = _instrument(engine, telemetry)
+    _inject_faults(engine, faults)
     _warm(engine, bench)
-    result = engine.run(bench.root_task(), label=f"{name}-flex{num_pes}")
+    result = engine.run(
+        bench.root_task(),
+        max_cycles=max_cycles if max_cycles is not None else DEFAULT_MAX_CYCLES,
+        label=f"{name}-flex{num_pes}",
+    )
     result.telemetry = sink
     return _verify(bench, result, result.label)
 
 
 def run_lite(name: str, num_pes: int, *, quick: bool = False,
              params: Optional[dict] = None, platform: str = "accel",
-             telemetry: bool = False, **config_overrides) -> RunResult:
+             telemetry: bool = False, max_cycles: Optional[int] = None,
+             **config_overrides) -> RunResult:
     """LiteArch accelerator run (benchmark must have a lite port)."""
     bench = make_benchmark(name, **bench_params(name, quick, params))
     if not bench.has_lite:
@@ -102,14 +125,18 @@ def run_lite(name: str, num_pes: int, *, quick: bool = False,
     engine = LiteAccelerator(config, bench.lite_worker(platform))
     sink = _instrument(engine, telemetry)
     _warm(engine, bench)
-    result = engine.run(bench.lite_program(num_pes),
-                        label=f"{name}-lite{num_pes}")
+    result = engine.run(
+        bench.lite_program(num_pes),
+        max_cycles=max_cycles if max_cycles is not None else DEFAULT_MAX_CYCLES,
+        label=f"{name}-lite{num_pes}",
+    )
     result.telemetry = sink
     return _verify(bench, result, result.label)
 
 
 def run_cpu(name: str, num_cores: int, *, quick: bool = False,
             params: Optional[dict] = None, telemetry: bool = False,
+            max_cycles: Optional[int] = None,
             **config_overrides) -> RunResult:
     """Software baseline run (Cilk-style runtime on OOO cores)."""
     bench = make_benchmark(name, **bench_params(name, quick, params))
@@ -117,33 +144,44 @@ def run_cpu(name: str, num_cores: int, *, quick: bool = False,
     engine = MulticoreCPU(config, bench.flex_worker("cpu"))
     sink = _instrument(engine, telemetry)
     _warm(engine, bench)
-    result = engine.run(bench.root_task(), label=f"{name}-cpu{num_cores}")
+    result = engine.run(
+        bench.root_task(),
+        max_cycles=max_cycles if max_cycles is not None else DEFAULT_MAX_CYCLES,
+        label=f"{name}-cpu{num_cores}",
+    )
     result.telemetry = sink
     return _verify(bench, result, result.label)
 
 
 def run_zynq_flex(name: str, num_pes: int, *, quick: bool = False,
-                  params: Optional[dict] = None,
-                  telemetry: bool = False) -> RunResult:
+                  params: Optional[dict] = None, telemetry: bool = False,
+                  max_cycles: Optional[int] = None,
+                  **config_overrides) -> RunResult:
     """Zedboard prototype accelerator: 100 MHz fabric, stream buffers over
     the single ACP port instead of coherent L1 caches (Section V-B)."""
     return run_flex(
         name, num_pes, quick=quick, params=params, telemetry=telemetry,
-        clock=ZYNQ_FABRIC_CLOCK, memory="stream",
+        max_cycles=max_cycles, clock=ZYNQ_FABRIC_CLOCK, memory="stream",
+        **config_overrides,
     )
 
 
 def run_zynq_cpu(name: str, num_cores: int = 2, *, quick: bool = False,
-                 params: Optional[dict] = None,
-                 telemetry: bool = False) -> RunResult:
+                 params: Optional[dict] = None, telemetry: bool = False,
+                 max_cycles: Optional[int] = None,
+                 **config_overrides) -> RunResult:
     """Zedboard's two Cortex-A9 cores running the parallel software."""
     bench = make_benchmark(name, **bench_params(name, quick, params))
-    config = zynq_cpu_config(num_cores)
+    config = zynq_cpu_config(num_cores, **config_overrides)
     worker = bench.flex_worker("cpu")
     worker.costs = worker.costs.scaled(A9_CPI_FACTOR)
     engine = MulticoreCPU(config, worker)
     sink = _instrument(engine, telemetry)
     _warm(engine, bench)
-    result = engine.run(bench.root_task(), label=f"{name}-a9x{num_cores}")
+    result = engine.run(
+        bench.root_task(),
+        max_cycles=max_cycles if max_cycles is not None else DEFAULT_MAX_CYCLES,
+        label=f"{name}-a9x{num_cores}",
+    )
     result.telemetry = sink
     return _verify(bench, result, result.label)

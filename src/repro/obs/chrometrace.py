@@ -25,10 +25,12 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from repro.obs.events import (
+    FAULT,
     HOST_RESULT,
     INJECT,
     NO_PE,
     PARK,
+    RECOVERY,
     STEAL_HIT,
     STEAL_MISS,
     STEAL_REQUEST,
@@ -42,7 +44,7 @@ _PID = 1
 
 #: Instant-event kinds shown as markers on their PE's track.
 _INSTANT_KINDS = (STEAL_REQUEST, STEAL_HIT, STEAL_MISS, PARK, WAKE,
-                  INJECT, HOST_RESULT)
+                  INJECT, HOST_RESULT, FAULT, RECOVERY)
 
 #: Counter-track display names per sampler series.
 _COUNTER_TRACKS = {

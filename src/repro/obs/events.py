@@ -61,13 +61,15 @@ WAKE = "wake"                   # parked PE resumed
 PROC_START = "proc-start"       # engine process registered
 PROC_END = "proc-end"           # engine process finished
 NET_MSG = "net-msg"             # crossbar traversal (arg or steal net)
+FAULT = "fault"                 # injected fault fired (repro.resil)
+RECOVERY = "recovery"           # a recovery mechanism absorbed a fault
 
 #: All kinds, for validation and docs.
 EVENT_KINDS = (
     SPAWN, INJECT, ENQUEUE, DISPATCH, EXEC_START, EXEC_END,
     STEAL_REQUEST, STEAL_HIT, STEAL_MISS, CONT_READY, ARG_SEND,
     ARG_DELIVER, HOST_RESULT, PSTORE_ALLOC, PSTORE_FREE, MEM_STALL,
-    PARK, WAKE, PROC_START, PROC_END, NET_MSG,
+    PARK, WAKE, PROC_START, PROC_END, NET_MSG, FAULT, RECOVERY,
 )
 
 #: ``pe`` value for events not tied to a PE (IF block, host, network).
@@ -409,6 +411,30 @@ class EventSink:
     def net_msg(self, net: str, from_tile: int, to_tile: int) -> None:
         self._emit(NET_MSG,
                    data={"net": net, "src": from_tile, "dst": to_tile})
+
+    # -- faults / recovery (repro.resil) ---------------------------------
+    def fault(self, kind: str, pe: int = NO_PE,
+              data: Optional[dict] = None) -> None:
+        """An injected fault fired (``kind`` is a resil fault label)."""
+        payload = {"fault": kind}
+        if data:
+            payload.update(data)
+        self._emit(FAULT, pe=pe, data=payload)
+
+    def recovery(self, kind: str, pe: int = NO_PE,
+                 data: Optional[dict] = None) -> None:
+        """A recovery mechanism absorbed a fault (or an exhaustion)."""
+        payload = {"recovery": kind}
+        if data:
+            payload.update(data)
+        self._emit(RECOVERY, pe=pe, data=payload)
+
+    def pstore_rollback(self, tile: int, entry: int) -> None:
+        """A pending entry was deallocated without readying (allocation
+        backpressure rolled back a NACKed task attempt)."""
+        self._pending.pop((tile, entry), None)
+        self._emit(PSTORE_FREE,
+                   data={"tile": tile, "entry": entry, "rollback": True})
 
     def __repr__(self) -> str:
         return (f"EventSink({len(self.events)} events, "

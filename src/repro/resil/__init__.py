@@ -1,0 +1,43 @@
+"""Resilience subsystem: fault injection, recovery, progress watchdog.
+
+Three cooperating layers (see docs/RESILIENCE.md):
+
+- :mod:`repro.resil.faults` — a seeded, deterministic :class:`FaultPlan`
+  injecting steal/argument/PE/P-Store faults via the same nil-check-guard
+  pattern as telemetry (no plan attached = bit-identical run);
+- recovery mechanisms in the architecture layer, each behind an
+  :class:`~repro.arch.config.AcceleratorConfig` knob defaulting to the
+  historical fail-fast behaviour;
+- :mod:`repro.resil.watchdog` — early stall detection turning a silent
+  hang into a diagnostic :class:`~repro.core.exceptions.DeadlockError`.
+
+The campaign runner lives in :mod:`repro.resil.campaign`; import it
+directly (it pulls in the harness layer, which imports the architecture,
+which imports this package — a lazy import keeps the cycle open).
+"""
+
+from repro.resil.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    attach_faults,
+    op_signature,
+)
+from repro.resil.watchdog import (
+    diagnose,
+    live_execution,
+    progress_signature,
+    snapshot,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "attach_faults",
+    "op_signature",
+    "diagnose",
+    "live_execution",
+    "progress_signature",
+    "snapshot",
+]

@@ -69,6 +69,29 @@ class TestCrossbarNetwork:
         assert (self.net.task_return_latency(0, 0)
                 < self.net.task_return_latency(0, 3))
 
+    def test_response_path_counts_local_and_remote(self):
+        self.net.steal_response_latency(0, 0)
+        assert self.net.steal_stats.local_messages == 1
+        assert self.net.steal_stats.remote_messages == 0
+        self.net.steal_response_latency(0, 3)
+        assert self.net.steal_stats.local_messages == 1
+        assert self.net.steal_stats.remote_messages == 1
+        # Responses are not new requests.
+        assert self.net.steal_stats.steal_requests == 0
+
+    def test_response_path_emits_net_msg(self):
+        from types import SimpleNamespace
+
+        from repro.obs.events import EventSink
+
+        sink = EventSink(SimpleNamespace(now=7))
+        self.net.telemetry = sink
+        self.net.steal_response_latency(thief_tile=2, victim_tile=1)
+        (event,) = sink.events
+        assert event.kind == "net-msg"
+        # The response travels victim -> thief.
+        assert event.data == {"net": "steal-resp", "src": 1, "dst": 2}
+
 
 class TestInterfaceBlock:
     def test_inject_and_steal(self):

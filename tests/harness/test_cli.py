@@ -67,6 +67,25 @@ def test_fig9_quick(capsys):
     assert "Figure 9" in capsys.readouterr().out
 
 
+def test_run_max_cycles_flag(capsys):
+    assert main(["run", "fib", "--pes", "2",
+                 "--max-cycles", "10000000"]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_run_watchdog_flag(capsys):
+    assert main(["run", "fib", "--pes", "2", "--watchdog", "5000"]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_faults_command(capsys):
+    assert main(["faults", "--pes", "2", "--rates", "0.005",
+                 "--seeds", "0xBEEF", "--require-recovery"]) == 0
+    out = capsys.readouterr().out
+    assert "fault-injection campaign" in out
+    assert "recovered" in out
+
+
 def test_unknown_benchmark_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "nonesuch"])

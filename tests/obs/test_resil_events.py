@@ -1,0 +1,52 @@
+"""Telemetry coverage of the resilience paths (net responses, faults)."""
+
+from repro.harness.runners import run_flex
+from repro.obs.events import FAULT, NET_MSG, RECOVERY
+from repro.resil.faults import FAULT_KINDS, FaultSpec
+
+
+def net_counts(sink):
+    counts = {}
+    for event in sink.events:
+        if event.kind == NET_MSG:
+            net = event.data["net"]
+            counts[net] = counts.get(net, 0) + 1
+    return counts
+
+
+def test_every_steal_request_has_a_response_message():
+    result = run_flex("fib", 4, quick=True, telemetry=True,
+                      park_idle_pes=False)
+    counts = net_counts(result.telemetry)
+    assert counts["steal"] > 0
+    assert counts["steal-resp"] == counts["steal"]
+    assert counts["steal"] == result.counters["steal_requests"]
+
+
+def test_fault_and_recovery_events_recorded():
+    result = run_flex(
+        "fib", 4, quick=True, telemetry=True,
+        faults=FaultSpec.uniform(0.01, seed=0xBEEF),
+        park_idle_pes=False, steal_retry=True, arg_retransmit=True,
+        pe_fault_retry=True, pstore_ecc=True, pstore_backpressure=True,
+        watchdog_interval=100_000,
+    )
+    sink = result.telemetry
+    faults = [e for e in sink.events if e.kind == FAULT]
+    recoveries = [e for e in sink.events if e.kind == RECOVERY]
+    assert len(faults) == result.counters["faults.injected"] > 0
+    assert recoveries
+    assert all(e.data["fault"] in FAULT_KINDS for e in faults)
+
+
+def test_telemetry_does_not_perturb_faulted_run():
+    spec = FaultSpec.uniform(0.01, seed=0x1234)
+    knobs = dict(park_idle_pes=False, steal_retry=True,
+                 arg_retransmit=True, pe_fault_retry=True,
+                 pstore_ecc=True, watchdog_interval=100_000)
+    dark = run_flex("fib", 4, quick=True, faults=spec, **knobs)
+    lit = run_flex("fib", 4, quick=True, faults=spec, telemetry=True,
+                   **knobs)
+    assert lit.cycles == dark.cycles
+    assert lit.counters["faults.injected"] == \
+           dark.counters["faults.injected"]

@@ -1,0 +1,33 @@
+"""Fault-injection campaign harness (the ``repro faults`` command)."""
+
+from repro.resil.campaign import RECOVERY_OVERRIDES, run_fault_campaign
+
+
+def test_small_campaign_fully_recovers():
+    result = run_fault_campaign(
+        "fib", num_pes=2, rates=(0.005,), seeds=(0xBEEF, 0x1234),
+        quick=True, params={"n": 10},
+    )
+    assert result.experiment == "faults"
+    assert result.data["unrecovered"] == 0
+    assert len(result.data["runs"]) == 2
+    assert all(r["outcome"] == "recovered" for r in result.data["runs"])
+    assert result.data["baseline_cycles"] > 0
+    rendered = result.render()
+    assert "fault-injection campaign" in rendered
+    assert "recovered" in rendered
+
+
+def test_campaign_is_deterministic():
+    kwargs = dict(num_pes=2, rates=(0.01,), seeds=(0x7A11,), quick=True,
+                  params={"n": 10})
+    a = run_fault_campaign("fib", **kwargs)
+    b = run_fault_campaign("fib", **kwargs)
+    assert a.rows == b.rows
+    assert a.data["runs"] == b.data["runs"]
+
+
+def test_recovery_overrides_disable_parking():
+    # Fault plans require real (non-elided) steal attempts.
+    assert RECOVERY_OVERRIDES["park_idle_pes"] is False
+    assert RECOVERY_OVERRIDES["watchdog_interval"] is not None

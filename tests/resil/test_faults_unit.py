@@ -1,0 +1,109 @@
+"""Unit tests for the fault-plan decision stream and its guards."""
+
+import pytest
+
+from repro.arch.accelerator import FlexAccelerator
+from repro.arch.config import flex_config
+from repro.core.context import Worker
+from repro.core.exceptions import ConfigError
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.resil.faults import (
+    FAULT_KINDS,
+    PE_TRANSIENT,
+    STEAL_DROP,
+    FaultPlan,
+    FaultSpec,
+    attach_faults,
+)
+
+
+class Echo(Worker):
+    task_types = ("E",)
+
+    def execute(self, task, ctx):
+        ctx.send_arg(task.k, 1)
+
+
+def flex(**overrides):
+    overrides.setdefault("memory", "perfect")
+    return FlexAccelerator(flex_config(2, **overrides), Echo())
+
+
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError, match="must be in"):
+            FaultSpec(arg_drop_rate=1.5)
+        with pytest.raises(ConfigError, match="must be in"):
+            FaultSpec(pe_fault_rate=-0.1)
+
+    def test_seed_must_be_nonzero_16bit(self):
+        with pytest.raises(ConfigError, match="seed"):
+            FaultSpec(seed=0x10000)  # & 0xFFFF == 0
+
+    def test_any_enabled(self):
+        assert not FaultSpec().any_enabled
+        assert FaultSpec(steal_delay_rate=0.01).any_enabled
+
+    def test_uniform_covers_every_kind(self):
+        spec = FaultSpec.uniform(0.25)
+        assert spec.steal_drop_rate == 0.25
+        assert spec.arg_drop_rate == 0.25
+        assert spec.pstore_poison_rate == 0.25
+        sparse = FaultSpec.uniform(0.25, include_arg_drop=False)
+        assert sparse.arg_drop_rate == 0.0
+        assert sparse.arg_dup_rate == 0.25
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decision_stream(self):
+        spec = FaultSpec.uniform(0.5, seed=0x1234)
+        a, b = FaultPlan(spec), FaultPlan(spec)
+        assert [a.steal_fault() for _ in range(100)] == \
+               [b.steal_fault() for _ in range(100)]
+        assert a.injected == b.injected
+
+    def test_zero_rate_consumes_no_lfsr_state(self):
+        plan = FaultPlan(FaultSpec())
+        state = plan._lfsr.state
+        for _ in range(10):
+            assert plan.steal_fault() is None
+            assert plan.arg_fault() is None
+            assert not plan.pe_fault()
+            assert not plan.poison_fault()
+        assert plan._lfsr.state == state
+        assert plan.total_injected == 0
+
+    def test_rate_one_always_hits(self):
+        plan = FaultPlan(FaultSpec(pe_fault_rate=1.0))
+        assert all(plan.pe_fault() for _ in range(50))
+        assert plan.injected[PE_TRANSIENT] == 50
+
+    def test_counters_shape(self):
+        plan = FaultPlan(FaultSpec(steal_drop_rate=1.0))
+        plan.steal_fault()
+        plan.note_recovery(STEAL_DROP)
+        counters = plan.counters()
+        assert counters["faults.injected"] == 1
+        assert counters["faults.recovered"] == 1
+        assert counters[f"faults.injected.{STEAL_DROP}"] == 1
+        assert counters[f"faults.recovered.{STEAL_DROP}"] == 1
+        assert set(plan.injected) <= set(FAULT_KINDS)
+
+
+class TestAttachFaults:
+    def test_rejects_parked_accelerator(self):
+        accel = flex(park_idle_pes=True)
+        with pytest.raises(ConfigError, match="park_idle_pes"):
+            attach_faults(accel, FaultPlan(FaultSpec()))
+
+    def test_rejects_started_accelerator(self):
+        accel = flex(park_idle_pes=False)
+        accel.run(Task("E", HOST_CONTINUATION))
+        with pytest.raises(ConfigError, match="before"):
+            attach_faults(accel, FaultPlan(FaultSpec()))
+
+    def test_wires_plan_into_pstores(self):
+        accel = flex(park_idle_pes=False)
+        plan = attach_faults(accel, FaultPlan(FaultSpec()))
+        assert accel.faults is plan
+        assert all(ps.faults is plan for ps in accel.pstores)

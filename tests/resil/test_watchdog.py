@@ -1,0 +1,107 @@
+"""Progress watchdog: early stall detection with named culprits."""
+
+import pytest
+
+from repro.arch.accelerator import FlexAccelerator
+from repro.arch.config import flex_config
+from repro.core.context import Worker
+from repro.core.exceptions import DeadlockError
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.harness.runners import run_flex
+from repro.resil.faults import FaultPlan, FaultSpec, attach_faults
+from repro.resil.watchdog import snapshot
+
+
+class Starver(Worker):
+    """Spawns a two-way join but only ever feeds one slot."""
+
+    task_types = ("S", "SUM")
+
+    def execute(self, task, ctx):
+        if task.task_type == "S":
+            k = ctx.make_successor("SUM", task.k, 2)
+            ctx.send_arg(k.with_slot(0), 1)  # slot 1 never arrives
+        else:
+            ctx.send_arg(task.k, 0)
+
+
+def flex(worker, **overrides):
+    overrides.setdefault("memory", "perfect")
+    return FlexAccelerator(flex_config(2, **overrides), worker)
+
+
+def test_stagnation_detected_within_two_intervals():
+    interval = 2000
+    accel = flex(Starver(), watchdog_interval=interval,
+                 park_idle_pes=False)
+    with pytest.raises(DeadlockError, match="outstanding") as ei:
+        accel.run(Task("S", HOST_CONTINUATION), max_cycles=10_000_000)
+    diag = ei.value.diagnostics
+    # Detection latency bound: one interval to snapshot, one to confirm.
+    assert diag["cycle"] <= 2 * interval
+    # The diagnostics localise the stall: the starved join entry.
+    assert diag["outstanding"] > 0
+    assert sum(st["occupancy"] for st in diag["pstores"].values()) >= 1
+    message = str(ei.value)
+    assert "pstore tile" in message
+    assert "IF block" in message
+
+
+def test_watchdog_composes_with_max_cycles_deadline():
+    """Without the watchdog the same stall burns the whole budget."""
+    accel = flex(Starver(), park_idle_pes=False)
+    with pytest.raises(DeadlockError) as ei:
+        accel.run(Task("S", HOST_CONTINUATION), max_cycles=20_000)
+    assert ei.value.diagnostics["cycle"] >= 20_000
+
+
+def test_failed_pe_named_in_diagnosis():
+    with pytest.raises(DeadlockError) as ei:
+        run_flex("fib", 2, quick=True, params={"n": 6},
+                 park_idle_pes=False, watchdog_interval=2000,
+                 faults=FaultSpec(pe_fault_rate=1.0))  # retry OFF
+    message = str(ei.value)
+    assert "FAILED" in message
+    assert "transient fault" in message
+    states = [st["state"] for st in ei.value.diagnostics["pes"].values()]
+    assert any(s.startswith("FAILED") for s in states)
+
+
+def test_lost_steal_requests_stall_with_reason():
+    """steal_drop at rate 1.0 with retries off parks every thief on its
+    first poll (before the root task is even injected), draining the
+    event heap — the diagnosis names each PE's lost request."""
+    with pytest.raises(DeadlockError) as ei:
+        run_flex("fib", 4, quick=True, park_idle_pes=False,
+                 faults=FaultSpec(steal_drop_rate=1.0))
+    message = str(ei.value)
+    assert "STALLED" in message
+    assert "steal_retry disabled" in message
+    assert ei.value.diagnostics["faults_injected"]["steal-drop"] == 4
+
+
+def test_snapshot_of_completed_run_is_quiescent():
+    class Done(Worker):
+        task_types = ("D",)
+
+        def execute(self, task, ctx):
+            ctx.send_arg(task.k, 42)
+
+    accel = flex(Done(), park_idle_pes=False)
+    result = accel.run(Task("D", HOST_CONTINUATION))
+    assert result.value == 42
+    diag = snapshot(accel)
+    assert diag["outstanding"] == 0
+    assert diag["in_flight"] == 0
+    assert diag["if_results"] == 1
+    assert all(st["state"] == "idle" for st in diag["pes"].values())
+
+
+def test_snapshot_reports_fault_counters():
+    accel = flex(Starver(), park_idle_pes=False, pe_fault_retry=True)
+    attach_faults(accel, FaultPlan(FaultSpec(pe_fault_rate=1.0)))
+    with pytest.raises(DeadlockError) as ei:
+        accel.run(Task("S", HOST_CONTINUATION), max_cycles=20_000)
+    diag = ei.value.diagnostics
+    assert diag["faults_injected"]["pe-transient"] >= 1
+    assert "faults:" in str(ei.value)
