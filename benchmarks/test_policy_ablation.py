@@ -1,0 +1,67 @@
+"""Scheduling-policy ablation: the ``repro.sched`` sweep as a benchmark.
+
+Regenerates the policy-ablation table (``repro policies``) under
+pytest-benchmark timing and asserts the sweep's headline property: a
+locality-aware policy (``hierarchical`` or ``occupancy``) performs fewer
+remote-hop steals than the paper's ``random`` baseline on at least one
+workload.  Run with ``-s`` to see the rendered table.
+"""
+
+from conftest import run_once
+
+from repro.harness.policies import run_policy_ablation
+from repro.sched import POLICY_NAMES
+
+
+def test_policy_ablation(benchmark, quick):
+    result = run_once(
+        benchmark,
+        lambda: run_policy_ablation(quick=quick, smoke=quick),
+    )
+    print()
+    print(result.render())
+
+    runs = result.data["runs"]
+    # Every policy ran on every (benchmark, pes) cell and verified
+    # (run_flex raises on a wrong result, so presence == verified).
+    cells = {(r["benchmark"], r["pes"]) for r in runs}
+    for cell in cells:
+        policies = {r["policy"] for r in runs
+                    if (r["benchmark"], r["pes"]) == cell}
+        assert policies == set(POLICY_NAMES)
+
+    # Steals-per-task and cycle counts are recorded for regression eyes.
+    for r in runs:
+        assert r["cycles"] > 0
+        assert r["steals_per_task"] >= 0.0
+
+    # The locality payoff: hierarchical or occupancy beats random on
+    # remote-hop steals somewhere in the sweep.
+    assert result.data["locality_wins"], (
+        "no locality-aware policy reduced remote steals vs random"
+    )
+    for win in result.data["locality_wins"]:
+        assert win["remote_steals"] < win["random_remote_steals"]
+        assert win["policy"] in ("hierarchical", "occupancy")
+
+
+def test_steal_half_reduces_steal_traffic(benchmark, quick):
+    """Bulk transfer amortisation: on at least one workload steal_half
+    needs fewer successful steal round trips per executed task than
+    head-one random stealing."""
+    result = run_once(
+        benchmark,
+        lambda: run_policy_ablation(
+            benchmarks=("uts", "quicksort"), pe_counts=(8,),
+            policies=("random", "steal_half"), quick=quick,
+        ),
+    )
+    print()
+    print(result.render())
+    runs = result.data["runs"]
+    by = {(r["benchmark"], r["policy"]): r for r in runs}
+    assert any(
+        by[(name, "steal_half")]["steals_per_task"]
+        < by[(name, "random")]["steals_per_task"]
+        for name in ("uts", "quicksort")
+    )

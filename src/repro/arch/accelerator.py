@@ -16,7 +16,7 @@ stops changing indicates a protocol bug and raises
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Sequence, Tuple, Union
 
 from repro.arch.config import (
     MEMORY_COHERENT,
@@ -39,6 +39,7 @@ from repro.core.exceptions import (
 )
 from repro.core.task import Continuation, Task
 from repro.mem.hierarchy import MemoryHierarchy, PerfectMemory, StreamBufferMemory
+from repro.sched import make_policy
 from repro.sim.engine import Engine
 
 #: Default simulation cycle budget before declaring deadlock.
@@ -84,6 +85,9 @@ class BaseAccelerator:
             self.worker_units = SharedWorkerUnits(config.shared_worker_kinds)
         else:
             self.worker_units = None
+        # Scheduling-policy layer (repro.sched): built before the PEs so
+        # each PE can request its per-PE scheduler from the policy.
+        self.sched_policy = make_policy(self)
         steal = self.allow_dynamic
         self.pes: List[ProcessingElement] = [
             ProcessingElement(self, i, worker, steal_enabled=steal)
@@ -310,15 +314,32 @@ class FlexAccelerator(BaseAccelerator):
             return -1  # never equals a PE tile => remote latency
         return self.config.tile_of(victim_id)
 
-    def steal_from(self, victim_id: int) -> Optional[Task]:
+    def steal_from(self, victim_id: int) -> Tuple[List[Task], int]:
+        """Service a steal probe at the victim side.
+
+        Returns ``(tasks, depth_after)``: the tasks granted (empty on a
+        miss) and the victim queue depth after the grant — the occupancy
+        hint the response message carries back to the thief.  The IF
+        block always grants head-one (root fetches are interface
+        protocol, not subject to the policy's steal plan); a PE victim
+        grants per ``sched_policy.steal_plan``.
+        """
         if victim_id == self.config.num_pes:
-            return self.interface.steal_head()
+            task = self.interface.steal_head()
+            return ([task] if task is not None else [],
+                    len(self.interface.deque))
         deque = self.pes[victim_id].tmu.deque
-        task = (deque.steal_head() if self.config.steal_end == "head"
-                else deque.steal_tail())
-        if task is not None:
-            self.pes[victim_id].stats.tasks_stolen_from += 1
-        return task
+        count, end = self.sched_policy.steal_plan(len(deque))
+        take = deque.steal_head if end == "head" else deque.steal_tail
+        tasks: List[Task] = []
+        while len(tasks) < count:
+            task = take()
+            if task is None:
+                break
+            tasks.append(task)
+        if tasks:
+            self.pes[victim_id].stats.tasks_stolen_from += len(tasks)
+        return tasks, len(deque)
 
     # -- P-Store services -------------------------------------------------
     def alloc_successor(self, pe_id: int, task_type: str, k: Continuation,

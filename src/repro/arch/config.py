@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 from repro.core.exceptions import ConfigError
 from repro.mem.coherence import MemLatencies
 from repro.mem.hierarchy import MemConfig
+from repro.sched import POLICY_NAMES
 from repro.sim.timing import ACCEL_CLOCK, ClockDomain
 
 #: Memory-system styles selectable in the template.
@@ -79,6 +80,10 @@ class AcceleratorConfig:
     #                                     cycles; None disables the watchdog
 
     # Scheduling-policy ablation knobs (defaults = the paper's design).
+    steal_policy: str = "random"  # victim-selection / steal-plan policy
+    #                               ("random" | "hierarchical" |
+    #                                "occupancy" | "steal_half"); see
+    #                               repro.sched and docs/SCHEDULING.md
     local_order: str = "lifo"     # owner queue discipline: "lifo" | "fifo"
     steal_end: str = "head"       # thieves take the "head" or the "tail"
     greedy: bool = True           # readied successor goes to the last-arg
@@ -140,6 +145,11 @@ class AcceleratorConfig:
             )
         if self.steal_retry_limit < 1 or self.pstore_retry_limit < 1:
             raise ConfigError("retry limits must be at least one attempt")
+        if self.steal_policy not in POLICY_NAMES:
+            raise ConfigError(
+                f"unknown steal policy {self.steal_policy!r} "
+                f"(choose from {', '.join(POLICY_NAMES)})"
+            )
         if self.local_order not in ("lifo", "fifo"):
             raise ConfigError(f"unknown local order {self.local_order!r}")
         if self.steal_end not in ("head", "tail"):

@@ -152,7 +152,9 @@ class LiteAccelerator(BaseAccelerator):
                 f"round{self.rounds_executed}"
             )
             for i, task in enumerate(tasks):
-                pe_id = i % cfg.num_pes  # static assignment
+                # Static assignment; the placement rule (round-robin by
+                # default) is the scheduling policy's decision point 4.
+                pe_id = self.sched_policy.place_round_task(i)
                 self.add_work()
                 self.engine.schedule(
                     cfg.net_hop_cycles,

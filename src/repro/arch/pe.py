@@ -3,11 +3,16 @@
 Each PE couples the application-specific worker datapath with a TMU that
 owns a bounded work-stealing deque (Section III-A).  The PE main loop:
 
-1. Pop a task from the local queue tail (LIFO — depth-first traversal of
-   the task graph for locality).
-2. If the queue is empty, pick a random victim with the LFSR and steal from
-   the *head* of its queue over the work-stealing network (the head task is
-   closest to the spawn-tree root, i.e. the biggest chunk of work).
+1. Pop a task from the local queue (LIFO by default — depth-first
+   traversal of the task graph for locality; the pop end is bound from
+   the scheduling policy).
+2. If the queue is empty, ask the scheduling policy (``repro.sched``)
+   for a victim and steal over the work-stealing network.  The default
+   ``random`` policy reproduces the paper's protocol bit-exactly: an
+   LFSR-drawn victim, one task from the *head* of its queue (the head
+   task is closest to the spawn-tree root, i.e. the biggest chunk of
+   work).  Other policies change the victim choice (``hierarchical``,
+   ``occupancy``) or the transfer amount (``steal_half``).
 3. Execute the task: the worker runs functionally, then its recorded
    operations are replayed with timing — compute cycles, memory-port
    stalls, P-Store round trips for successor creation, queue pushes for
@@ -59,7 +64,6 @@ from repro.core.exceptions import (
     PStoreNack,
     TaskQueueOverflowError,
 )
-from repro.core.lfsr import LFSR16, default_seed
 from repro.core.task import Continuation, Task
 from repro.arch.result import PEStats
 from repro.arch.wakeup import SCOPE_GLOBAL, SCOPE_LOCAL
@@ -105,7 +109,9 @@ class ProcessingElement:
         self.worker = worker
         self.steal_enabled = steal_enabled
         self.tmu = TaskManagementUnit(pe_id, accel.config.task_queue_entries)
-        self.lfsr = LFSR16(default_seed(pe_id))
+        # Per-PE scheduling state (victim selection + the scheduling
+        # LFSR), built by the accelerator's policy (repro.sched).
+        self.sched = accel.sched_policy.scheduler_for(self)
         self.stats = PEStats(pe_id)
         self._busy_since: Optional[int] = None
         # Engine process handle, set by the accelerator when it starts the
@@ -139,8 +145,7 @@ class ProcessingElement:
         cfg = self.config
         accel = self.accel
         registry = accel.park_registry
-        pop_local = (self.tmu.deque.pop_tail if cfg.local_order == "lifo"
-                     else self.tmu.deque.pop_head)
+        pop_local = accel.sched_policy.local_pop(self.tmu.deque)
         while not accel.done:
             task = pop_local()
             if task is not None:
@@ -149,6 +154,16 @@ class ProcessingElement:
                 yield Timeout(cfg.queue_op_cycles + cfg.dispatch_cycles)
                 yield from self._execute(task)
                 continue
+            # Fast path: a PE with no possible victim (stealing disabled,
+            # or a single-PE machine whose only peer is the IF block and
+            # the IF deque is the sole watched source) never enters the
+            # steal protocol here — *except* that a single-PE FlexArch
+            # still probes the IF block below (num_victims == 2 counts
+            # the IF).  Those root-fetch probes are timed identically to
+            # real steals but are interface protocol, not load
+            # balancing: ``sched.counts_steals`` keeps them out of the
+            # steal_attempts/steal_hits statistics (the single-PE
+            # bookkeeping fix — a 1-PE run now reports zero attempts).
             if not self.steal_enabled or accel.num_victims < 2:
                 if registry is not None:
                     yield registry.park(self, scope=SCOPE_LOCAL)
@@ -176,17 +191,22 @@ class ProcessingElement:
         plan = accel.faults
         retries = 0
         while True:
-            victim_id = self.lfsr.pick_victim(accel.num_victims, self.pe_id)
-            self.stats.steal_attempts += 1
+            victim_id = self.sched.pick_victim()
+            if self.sched.counts_steals:
+                self.stats.steal_attempts += 1
             if accel.telemetry is not None:
-                accel.telemetry.steal_request(self.pe_id, victim_id)
+                accel.telemetry.steal_request(
+                    self.pe_id, victim_id, hops=self._hops(victim_id)
+                )
             request = accel.net.steal_request_latency(
                 self.tile_id, accel.victim_tile(victim_id)
             )
             fault = plan.steal_fault() if plan is not None else None
             if fault is not None and fault[0] == "drop":
                 # The request died before the victim probe: no task can
-                # be lost with it, only the thief's response wait.
+                # be lost with it, only the thief's response wait.  The
+                # policy observes nothing (no response came back).
+                self.sched.note_drop(victim_id)
                 if accel.telemetry is not None:
                     accel.telemetry.fault(STEAL_DROP, pe=self.pe_id,
                                           data={"victim": victim_id})
@@ -222,20 +242,52 @@ class ProcessingElement:
             stolen = yield from self._finish_steal(victim_id, extra=extra)
             return stolen
 
-    def _finish_steal(self, victim_id: int, extra: int = 0) -> Generator:
-        """Probe the victim's queue and ride the response back."""
+    def _hops(self, victim_id: int) -> int:
+        """Victim distance in crossbar hops (0 = tile-local; the IF
+        block always sits a full hop away)."""
         accel = self.accel
-        task = accel.steal_from(victim_id)
+        return 0 if accel.victim_tile(victim_id) == self.tile_id else 1
+
+    def _finish_steal(self, victim_id: int, extra: int = 0) -> Generator:
+        """Probe the victim's queue and ride the response back.
+
+        The victim side grants per the policy's steal plan (head-one for
+        the paper's protocol; a bulk for ``steal_half``).  The first
+        granted task is dispatched by the caller; the rest land in this
+        PE's own queue, each serialising one extra ``queue_op_cycles``
+        beat on the response.  The response also carries the victim's
+        post-grant queue depth — the occupancy hint fed back to the
+        policy via ``note_steal``.
+        """
+        accel = self.accel
+        cfg = self.config
+        hops = self._hops(victim_id)
+        tasks, depth_after = accel.steal_from(victim_id)
+        self.sched.note_steal(victim_id, len(tasks), depth_after)
         if accel.telemetry is not None:
-            accel.telemetry.steal_result(self.pe_id, victim_id, task)
-        yield Timeout(
-            accel.net.steal_response_latency(
-                self.tile_id, accel.victim_tile(victim_id)
-            ) + extra
-        )
-        if task is not None:
+            accel.telemetry.steal_result(
+                self.pe_id, victim_id, tasks[0] if tasks else None,
+                hops=hops, count=len(tasks),
+            )
+        response = accel.net.steal_response_latency(
+            self.tile_id, accel.victim_tile(victim_id)
+        ) + extra
+        if len(tasks) > 1:
+            response += (len(tasks) - 1) * cfg.queue_op_cycles
+        yield Timeout(response)
+        if not tasks:
+            return None
+        if self.sched.counts_steals:
             self.stats.steal_hits += 1
-        return task
+            if hops:
+                self.stats.steal_hits_remote += 1
+        # Bulk surplus: everything beyond the dispatched task goes into
+        # this PE's own queue, locally poppable and stealable.
+        for surplus in tasks[1:]:
+            if accel.telemetry is not None:
+                accel.telemetry.task_enqueued(self.pe_id, surplus)
+            self.tmu.push_tail(surplus)
+        return tasks[0]
 
     # ------------------------------------------------------------------
     def _execute(self, task: Task) -> Generator:
@@ -307,6 +359,21 @@ class ProcessingElement:
                 accel.add_work()
                 if tel is not None:
                     tel.task_spawned(self.pe_id, op.task)
+                target = accel.sched_policy.spawn_target(self.pe_id)
+                if target is not None and target != self.pe_id:
+                    # Remote placement: the child rides the task network
+                    # to the policy-chosen PE (none of the built-in
+                    # policies use this — self-push is the hardware
+                    # default — but the decision point is the policy's).
+                    latency = accel.net.task_return_latency(
+                        self.tile_id, cfg.tile_of(target)
+                    )
+                    accel.engine.schedule(
+                        latency,
+                        lambda t=op.task, p=target:
+                            accel._enqueue_ready(p, t),
+                    )
+                    continue
                 try:
                     self.tmu.push_tail(op.task)
                 except TaskQueueOverflowError as exc:

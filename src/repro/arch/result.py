@@ -17,6 +17,7 @@ class PEStats:
     busy_cycles: int = 0
     steal_attempts: int = 0
     steal_hits: int = 0
+    steal_hits_remote: int = 0  # successful steals that crossed a tile hop
     tasks_stolen_from: int = 0
     queue_high_water: int = 0
     compute_cycles: int = 0
@@ -71,6 +72,16 @@ class RunResult:
     @property
     def total_steals(self) -> int:
         return sum(p.steal_hits for p in self.pe_stats)
+
+    @property
+    def total_steal_attempts(self) -> int:
+        return sum(p.steal_attempts for p in self.pe_stats)
+
+    @property
+    def remote_steals(self) -> int:
+        """Successful steals whose response crossed the crossbar (victim
+        on another tile, or the IF block)."""
+        return sum(p.steal_hits_remote for p in self.pe_stats)
 
     def utilization(self) -> float:
         """Mean PE busy fraction."""

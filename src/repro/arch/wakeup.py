@@ -20,9 +20,11 @@ Determinism argument
 
 While a steal-capable PE is parked, every queue it could probe is empty
 (that is the park precondition, and any push wakes it), so each poll it
-*would* have run is a guaranteed-failed steal whose timing and LFSR draw
-are pure arithmetic.  On wakeup the registry replays that virtual
-timeline from the anchor — drawing the same victims from the PE's LFSR,
+*would* have run is a guaranteed-failed steal whose timing and victim
+pick are pure arithmetic.  On wakeup the registry replays that virtual
+timeline from the anchor — drawing the same victims from the PE's
+scheduler (``pe.sched``, including each miss observation the policy
+would have made; see the determinism contract in ``repro/sched/base.py``),
 charging the same ``steal_attempts`` and network counters, walking the
 same request/response/backoff cadence — up to the waking event, then
 re-enters real execution at the first virtual event that would have run
@@ -274,47 +276,55 @@ class ParkRegistry:
         """Replay a stealing PE's failed-poll timeline up to the wakeup.
 
         Every virtual loop-top strictly before the waking event found the
-        local queue empty and launched a steal destined to fail; its LFSR
-        draw and statistics are charged here exactly as the polling loop
-        would have.  The PE re-enters real execution either at a loop-top
-        boundary (value ``None``) or mid-attempt at the victim-probe tick
-        (value = the already-drawn victim id), whichever comes first
-        at-or-after the waking event.
+        local queue empty and launched a steal destined to fail; its
+        policy pick (``pe.sched.pick_victim``), the policy's miss
+        observation (``note_steal(victim, 0, 0)`` — an empty queue's
+        response) and its statistics are charged here exactly as the
+        polling loop would have.  The PE re-enters real execution either
+        at a loop-top boundary (value ``None``) or mid-attempt at the
+        victim-probe tick (value = the already-drawn victim id),
+        whichever comes first at-or-after the waking event.
         """
         pe = rec.pe
         accel = self.accel
         net = accel.net
         tel = accel.telemetry
-        lfsr = pe.lfsr
+        sched = pe.sched
         backoff = accel.config.steal_backoff_cycles
-        num_victims = accel.num_victims
         thief_tile = pe.tile_id
         f, s, p = rec.anchor, rec.s_at, rec.p_s_at
         # Event times of the replayed cadence, newest first once reversed.
         times: List[int] = [rec.anchor]
         elided = 0
         while (f, s, p) < key:
-            victim = lfsr.pick_victim(num_victims, pe.pe_id)
-            pe.stats.steal_attempts += 1
+            victim = sched.pick_victim()
+            if sched.counts_steals:
+                pe.stats.steal_attempts += 1
+            victim_tile = accel.victim_tile(victim)
+            hops = 0 if victim_tile == thief_tile else 1
             # Replayed attempts are emitted with their *virtual*
             # timestamps so the recorded steal timeline matches the
             # polling execution (exports sort by timestamp).
             if tel is not None:
-                tel.steal_request(pe.pe_id, victim, ts=f)
-            victim_tile = accel.victim_tile(victim)
+                tel.steal_request(pe.pe_id, victim, ts=f, hops=hops)
             probe = f + net.steal_request_latency(thief_tile, victim_tile)
             elided += 1  # the loop-top / attempt-start event
             times.append(probe)
             if (probe, f, s) >= key:
                 # The victim-side probe lands at-or-after the waking event:
                 # run it for real — it may now see the new work.  Its
-                # steal-hit/miss event is emitted by the real probe.
+                # steal-hit/miss event (and the policy's observation of
+                # the real response) is emitted by the real probe.
                 times.reverse()
                 times += [rec.s_at, rec.p_s_at]
                 return _Plan(probe, f, s, victim, elided,
                              _list_chain(times))
+            # The virtual probe found an empty queue: the policy sees
+            # the same miss response the polling loop would have.
+            sched.note_steal(victim, 0, 0)
             if tel is not None:
-                tel.steal_result(pe.pe_id, victim, None, ts=probe)
+                tel.steal_result(pe.pe_id, victim, None, ts=probe,
+                                 hops=hops, count=0)
             nack = probe + net.steal_response_latency(thief_tile, victim_tile)
             elided += 2  # the probe and the NACK-then-backoff events
             f, s, p = nack + backoff, nack, probe

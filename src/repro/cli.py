@@ -10,9 +10,14 @@ Commands:
 * ``table1|table2|table3|table4|table5`` — regenerate a paper table.
 * ``fig6|fig7|fig8|fig9`` — regenerate a paper figure's data.
 * ``ablations`` — run the design-choice ablations.
+* ``policies`` — scheduling-policy ablation: sweep the ``repro.sched``
+  policies (``--smoke`` for the CI subset, ``--out`` to save JSON).
 * ``faults`` — fault-injection campaign: sweep fault rates with the
   recovery mechanisms enabled, report recovery rate and overhead.
 * ``list`` — list benchmarks and experiments.
+
+``run`` and ``report`` accept ``--steal-policy`` to select the
+work-stealing policy for a single simulation (docs/SCHEDULING.md).
 
 All experiment commands accept ``--full`` for paper-size workloads
 (default: quick sizes with the same shapes).
@@ -24,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.sched import POLICY_NAMES
 from repro.workers import PAPER_BENCHMARKS
 
 
@@ -84,6 +90,8 @@ def _run_one(args, *, telemetry: bool):
         kwargs["max_cycles"] = args.max_cycles
     if args.watchdog is not None:
         kwargs["watchdog_interval"] = args.watchdog
+    if args.steal_policy is not None:
+        kwargs["steal_policy"] = args.steal_policy
     return engines[args.engine](args.benchmark, args.pes, **kwargs)
 
 
@@ -126,6 +134,19 @@ def _cmd_report(args) -> int:
         )
         print(f"\ntrace: wrote {args.trace} "
               f"(load in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_policies(args) -> int:
+    from repro.harness.policies import run_policy_ablation
+
+    result = run_policy_ablation(quick=not args.full, smoke=args.smoke)
+    print(result.render())
+    if args.out:
+        from repro.harness.results_io import save_result
+
+        path = save_result(result, args.out)
+        print(f"\nsaved: {path}")
     return 0
 
 
@@ -175,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--watchdog", type=int, default=None, metavar="N",
                        help="check progress every N cycles and fail early "
                        "with per-PE diagnostics on stagnation")
+        p.add_argument("--steal-policy", default=None,
+                       choices=POLICY_NAMES,
+                       help="work-stealing scheduling policy "
+                       "(default: random, the paper's protocol)")
 
     run_parser = sub.add_parser("run", help="simulate one benchmark")
     add_run_args(run_parser)
@@ -187,6 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_args(report_parser)
     report_parser.add_argument("--epochs", type=int, default=16,
                                help="time-series epochs (default 16)")
+
+    policies_parser = sub.add_parser(
+        "policies", help="scheduling-policy ablation (repro.sched)"
+    )
+    policies_parser.add_argument("--smoke", action="store_true",
+                                 help="CI-sized subset of the sweep")
+    policies_parser.add_argument("--full", action="store_true",
+                                 help="paper-size workloads")
+    policies_parser.add_argument("--out", metavar="PATH", default=None,
+                                 help="save the result JSON")
 
     faults_parser = sub.add_parser(
         "faults", help="fault-injection campaign (repro.resil)"
@@ -221,6 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "policies":
+        return _cmd_policies(args)
     if args.command == "faults":
         return _cmd_faults(args)
     runner = _experiment_commands()[args.command]

@@ -36,6 +36,7 @@ from repro.obs.report import (
     LatencySummary,
     latency_decomposition,
     render_report,
+    steal_summary,
     summary,
 )
 from repro.obs.sampler import TimeSeries, sample
@@ -54,6 +55,7 @@ __all__ = [
     "LatencySummary",
     "latency_decomposition",
     "render_report",
+    "steal_summary",
     "summary",
     "TimeSeries",
     "sample",

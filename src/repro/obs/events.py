@@ -203,6 +203,9 @@ class EventSink:
     def __init__(self, engine, num_pes: int = 0) -> None:
         self.engine = engine
         self.num_pes = num_pes
+        #: Scheduling-policy name of the instrumented run (set by
+        #: :func:`attach_telemetry`); labels reports and exports.
+        self.policy: Optional[str] = None
         self.events: List[TraceEvent] = []
         self.tasks: List[TaskRecord] = []
         self._live: Dict[int, int] = {}       # id(task) -> uid
@@ -313,22 +316,37 @@ class EventSink:
                          "mem_stall": mem_stall_cycles})
 
     # -- work stealing ---------------------------------------------------
+    # Steal events carry the scheduling-policy dimensions: ``hops`` is
+    # the thief-to-victim crossbar distance (0 = tile-local) and
+    # ``count`` the number of tasks granted (bulk policies return >1).
+    # ``repro report`` aggregates these into the per-policy steal
+    # summary; omitting them keeps older event streams parseable.
     def steal_request(self, pe: int, victim: int,
-                      ts: Optional[int] = None) -> None:
-        self._emit(STEAL_REQUEST, pe=pe, data={"victim": victim}, ts=ts)
+                      ts: Optional[int] = None,
+                      hops: Optional[int] = None) -> None:
+        data = {"victim": victim}
+        if hops is not None:
+            data["hops"] = hops
+        self._emit(STEAL_REQUEST, pe=pe, data=data, ts=ts)
 
     def steal_result(self, pe: int, victim: int, task,
-                     ts: Optional[int] = None) -> None:
+                     ts: Optional[int] = None,
+                     hops: Optional[int] = None,
+                     count: Optional[int] = None) -> None:
+        data = {"victim": victim}
+        if hops is not None:
+            data["hops"] = hops
         if task is None:
-            self._emit(STEAL_MISS, pe=pe, data={"victim": victim}, ts=ts)
+            self._emit(STEAL_MISS, pe=pe, data=data, ts=ts)
             return
+        if count is not None:
+            data["count"] = count
         uid = self._live.get(id(task), NO_TASK)
         if uid >= 0:
             rec = self.tasks[uid]
             rec.dispatched = self.engine.now if ts is None else ts
             rec.stolen = True
-        self._emit(STEAL_HIT, pe=pe, uid=uid, data={"victim": victim},
-                   ts=ts)
+        self._emit(STEAL_HIT, pe=pe, uid=uid, data=data, ts=ts)
 
     # -- P-Store / argument network --------------------------------------
     def pstore_alloc(self, tile: int, entry: int, task_type: str,
@@ -449,6 +467,7 @@ def attach_telemetry(accel) -> EventSink:
     (which reuses the FlexArch engine).
     """
     sink = EventSink(accel.engine, num_pes=len(accel.pes))
+    sink.policy = accel.config.steal_policy
     accel.telemetry = sink
     accel.engine.telemetry = sink
     accel.net.telemetry = sink

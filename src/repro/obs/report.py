@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.obs.critical_path import critical_path
-from repro.obs.events import EventSink
+from repro.obs.events import STEAL_HIT, STEAL_MISS, STEAL_REQUEST, EventSink
 from repro.obs.sampler import sample
 
 #: Percentiles reported for every latency distribution.
@@ -92,6 +92,43 @@ def latency_decomposition(sink: EventSink) -> List[LatencySummary]:
     ]
 
 
+def steal_summary(sink: EventSink) -> Dict:
+    """Per-policy steal summary from the recorded steal events.
+
+    Aggregates the scheduling-policy dimensions the steal events carry:
+    attempts, successes, tasks transferred (bulk policies grant more
+    than one per hit), the mean victim hop distance of the probes, and
+    the remote fraction of the successful steals.  Events recorded
+    without the ``hops`` dimension (pre-policy streams) are excluded
+    from the distance aggregates.
+    """
+    attempts = hits = misses = tasks = remote_hits = 0
+    hop_sum = hop_n = 0
+    for event in sink.events:
+        if event.kind == STEAL_REQUEST:
+            attempts += 1
+            hops = event.data.get("hops") if event.data else None
+            if hops is not None:
+                hop_sum += hops
+                hop_n += 1
+        elif event.kind == STEAL_HIT:
+            hits += 1
+            tasks += event.data.get("count", 1) if event.data else 1
+            if event.data and event.data.get("hops"):
+                remote_hits += 1
+        elif event.kind == STEAL_MISS:
+            misses += 1
+    return {
+        "policy": sink.policy or "unknown",
+        "attempts": attempts,
+        "hits": hits,
+        "misses": misses,
+        "tasks_transferred": tasks,
+        "mean_hops": hop_sum / hop_n if hop_n else 0.0,
+        "remote_hit_fraction": remote_hits / hits if hits else 0.0,
+    }
+
+
 def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     """Minimal aligned text table (kept local: obs must not import the
     experiment harness)."""
@@ -136,6 +173,23 @@ def render_report(sink: EventSink, *, cycles: int = 0,
     parts.append(_table(
         ["phase", "n", "mean", "p50", "p90", "p99", "max"], rows))
 
+    steals = steal_summary(sink)
+    if steals["attempts"]:
+        parts.append("")
+        parts.append(f"-- work stealing (policy: {steals['policy']}) --")
+        parts.append(_table(
+            ["metric", "value"],
+            [
+                ["attempts", str(steals["attempts"])],
+                ["successes", str(steals["hits"])],
+                ["tasks transferred", str(steals["tasks_transferred"])],
+                ["mean victim hop distance",
+                 f"{steals['mean_hops']:.2f}"],
+                ["remote hit fraction",
+                 f"{steals['remote_hit_fraction']:.0%}"],
+            ],
+        ))
+
     series = sample(sink, end_cycle=end, epochs=epochs)
     if series.num_epochs:
         parts.append("")
@@ -172,6 +226,7 @@ def summary(sink: EventSink, *, cycles: int = 0,
     return {
         "events": sink.counts(),
         "num_tasks": len(sink.tasks),
+        "steal": steal_summary(sink),
         "latency": {s.name: s.as_dict()
                     for s in latency_decomposition(sink)},
         "series": sample(sink, end_cycle=end, epochs=epochs).as_dict(),

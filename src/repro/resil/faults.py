@@ -11,7 +11,13 @@ decision            consulted at
 ``steal_fault``     after a steal request's network traversal, before the
                     victim probe (drop = the request was lost in flight,
                     so no task can be lost with it; delay = extra cycles
-                    on the response)
+                    on the response).  The faulted request wraps a probe
+                    the scheduling policy (``repro.sched``) already
+                    issued: the victim pick consumed the PE's scheduling
+                    LFSR, this plan's decision draws from the fault
+                    stream, and a dropped request feeds ``note_drop``
+                    (not ``note_steal``) back to the policy — the two
+                    streams never interleave
 ``arg_fault``       when a PE issues an argument message (drop /
                     duplicate / delay in the argument network)
 ``pe_fault``        at task-execution start (transient PE failure)

@@ -12,6 +12,7 @@ and enabled, and require the signatures to match exactly.
 import pytest
 
 from repro.harness.runners import run_cpu, run_flex, run_lite
+from repro.sched import POLICY_NAMES
 
 
 def signature(result):
@@ -20,7 +21,8 @@ def signature(result):
         "cycles": result.cycles,
         "pe_stats": [
             (s.tasks_executed, s.busy_cycles, s.steal_attempts,
-             s.steal_hits, s.tasks_stolen_from, s.queue_high_water)
+             s.steal_hits, s.steal_hits_remote, s.tasks_stolen_from,
+             s.queue_high_water)
             for s in result.pe_stats
         ],
         "steal_requests": result.counters["steal_requests"],
@@ -44,6 +46,26 @@ def test_flex8_bit_exact_with_parking(name, params):
     # The speedup is real, not semantic: events were actually elided.
     assert parked.counters["park.events_elided"] > 0
     assert "park.events_elided" not in polled.counters
+
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+@pytest.mark.parametrize("name,pes", [("uts", 8), ("fib", 16)])
+def test_every_policy_bit_exact_with_parking(policy, name, pes):
+    """The wakeup replay must reproduce *any* policy's elided picks.
+
+    The replay contract (``repro/sched/base.py``): while a PE is
+    parked every probe it would have run is a guaranteed miss, and the
+    registry feeds each elided ``pick_victim``/``note_steal(victim,0,0)``
+    pair back through the PE's scheduler.  A policy whose state could
+    drift while parked (e.g. hints mutated by received messages) would
+    diverge here.
+    """
+    polled = run_flex(name, pes, quick=True, steal_policy=policy,
+                      park_idle_pes=False)
+    parked = run_flex(name, pes, quick=True, steal_policy=policy,
+                      park_idle_pes=True)
+    assert signature(parked) == signature(polled)
+    assert parked.counters["park.events_elided"] > 0
 
 
 def test_lite_bit_exact_with_parking():

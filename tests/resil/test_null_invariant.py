@@ -11,6 +11,7 @@ import pytest
 
 from repro.harness.runners import run_flex
 from repro.resil.faults import FaultSpec
+from repro.sched import POLICY_NAMES
 
 #: Recovery knobs at full strength (park off: fault plans require it).
 KNOBS = dict(
@@ -30,8 +31,9 @@ def signature(result):
         "cycles": result.cycles,
         "pe_stats": [
             (s.tasks_executed, s.busy_cycles, s.steal_attempts,
-             s.steal_hits, s.tasks_stolen_from, s.queue_high_water,
-             s.steal_retries, s.pe_faults, s.pstore_nacks, s.inline_spawns)
+             s.steal_hits, s.steal_hits_remote, s.tasks_stolen_from,
+             s.queue_high_water, s.steal_retries, s.pe_faults,
+             s.pstore_nacks, s.inline_spawns)
             for s in result.pe_stats
         ],
         "steal_requests": result.counters["steal_requests"],
@@ -50,6 +52,24 @@ def test_zero_rate_plan_is_bit_exact(name):
     # The plan was attached and consulted zero times.
     assert nulled.counters["faults.injected"] == 0
     assert "faults.injected" not in plain.counters
+
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_zero_rate_plan_is_bit_exact_under_every_policy(policy):
+    """LFSR stream isolation, per scheduling policy.
+
+    The fault plan draws from its own LFSR and every policy draws
+    victims from the scheduling LFSRs only (``repro/sched/base.py``),
+    so attaching a zero-rate plan must be bit-identical to no plan no
+    matter which ``steal_policy`` shapes the victim sequence — the two
+    streams never interleave.
+    """
+    plain = run_flex("uts", 8, quick=True, park_idle_pes=False,
+                     steal_policy=policy)
+    nulled = run_flex("uts", 8, quick=True, park_idle_pes=False,
+                      steal_policy=policy, faults=FaultSpec())
+    assert signature(nulled) == signature(plain)
+    assert nulled.counters["faults.injected"] == 0
 
 
 @pytest.mark.parametrize("name", ["fib", "uts"])
