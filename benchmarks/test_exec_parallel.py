@@ -1,0 +1,78 @@
+"""Execution-layer payoff: parallel fan-out and the result cache.
+
+A 12-point quick sweep (three benchmarks x two PE counts x two hop
+latencies) is run three ways:
+
+* serially (``jobs=1``) — the bit-exact reference;
+* with ``jobs=4`` worker processes — must produce identical record
+  digests, and on a machine with >= 4 cores must cut wall-clock by
+  >= 2x;
+* twice against a cold-then-warm result cache — the warm pass performs
+  zero simulations and must beat the cold pass.
+
+Run with ``-s`` to see the measured timings.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.exec import JobRunner, ResultCache, make_spec
+
+BENCHMARKS = ("fib", "quicksort", "uts")
+PE_COUNTS = (2, 4)
+HOP_CYCLES = (4, 16)
+
+
+def _sweep_specs():
+    return [
+        make_spec(name, pes, quick=True, net_hop_cycles=hops)
+        for name in BENCHMARKS
+        for pes in PE_COUNTS
+        for hops in HOP_CYCLES
+    ]
+
+
+def _timed(runner, specs):
+    start = time.perf_counter()
+    records = runner.run_checked(specs)
+    return time.perf_counter() - start, records
+
+
+def test_parallel_speedup_with_identical_results():
+    specs = _sweep_specs()
+    assert len(specs) >= 12
+    serial_s, serial = _timed(JobRunner(jobs=1), specs)
+    parallel_s, parallel = _timed(JobRunner(jobs=4), specs)
+
+    assert [r.digest for r in parallel] == [r.digest for r in serial], \
+        "parallel execution must be bit-identical to serial"
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(f"\nserial {serial_s:.2f}s, jobs=4 {parallel_s:.2f}s "
+          f"-> {speedup:.2f}x on {multiprocessing.cpu_count()} cores")
+    if multiprocessing.cpu_count() < 4:
+        pytest.skip("need >= 4 cores to assert the 2x speedup")
+    assert speedup >= 2.0, (
+        f"expected >= 2x at jobs=4, measured {speedup:.2f}x"
+    )
+
+
+def test_cold_vs_warm_cache(tmp_path):
+    specs = _sweep_specs()
+    cache = ResultCache(tmp_path)
+
+    cold_runner = JobRunner(jobs=1, cache=cache)
+    cold_s, cold = _timed(cold_runner, specs)
+    assert cold_runner.stats.executed == len(specs)
+
+    warm_runner = JobRunner(jobs=1, cache=cache)
+    warm_s, warm = _timed(warm_runner, specs)
+    assert warm_runner.stats.executed == 0
+    assert warm_runner.stats.cached == len(specs)
+    assert [r.digest for r in warm] == [r.digest for r in cold]
+
+    print(f"\ncold {cold_s:.2f}s, warm {warm_s:.3f}s "
+          f"({cold_s / max(warm_s, 1e-9):.0f}x)")
+    assert warm_s < cold_s, "warm cache pass must beat simulation"

@@ -265,11 +265,21 @@ class BaseAccelerator:
             )
             raise diagnose(self, reason)
         mem_summary = self.memory.summary()
+        # Finalise occupancy high-water marks (a PE's last stats update
+        # happens at its last executed task, which can miss late pushes).
+        for pe in self.pes:
+            pe.stats.queue_high_water = pe.tmu.high_water
         counters = {
             "steal_requests": self.net.steal_stats.steal_requests,
             "arg_messages_local": self.net.arg_stats.local_messages,
             "arg_messages_remote": self.net.arg_stats.remote_messages,
+            "outstanding_high_water": self.max_outstanding,
         }
+        pstores = getattr(self, "pstores", None)
+        if pstores:
+            counters["pstore_high_water"] = max(
+                ps.stats.high_water for ps in pstores
+            )
         if self.park_registry is not None:
             counters.update(self.park_registry.stats.snapshot(prefix="park."))
         if self.worker_units is not None:

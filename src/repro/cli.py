@@ -20,7 +20,12 @@ Commands:
 work-stealing policy for a single simulation (docs/SCHEDULING.md).
 
 All experiment commands accept ``--full`` for paper-size workloads
-(default: quick sizes with the same shapes).
+(default: quick sizes with the same shapes) plus the execution-layer
+options (docs/EXECUTION.md): ``--jobs N`` fans simulations out over N
+worker processes (bit-identical to serial), ``--cache-dir``/
+``--no-cache`` control the content-addressed result cache,
+``--out PATH`` saves the result JSON, and ``--expect-cached`` exits 1
+if anything actually simulated (CI cache-integrity gate).
 """
 
 from __future__ import annotations
@@ -46,21 +51,75 @@ def _experiment_commands():
     from repro.harness.tables123 import run_table1, run_table2, run_table3
 
     return {
-        "table1": lambda quick: [run_table1()],
-        "table2": lambda quick: [run_table2()],
-        "table3": lambda quick: [run_table3()],
-        "table4": lambda quick: [run_table4(quick=quick)],
-        "table5": lambda quick: [run_table5()],
-        "fig6": lambda quick: [run_fig6(quick=quick)],
-        "fig7": lambda quick: [run_fig7(quick=quick)],
-        "fig8": lambda quick: [run_fig8(quick=quick)],
-        "fig9": lambda quick: [run_fig9(quick=quick)],
-        "ablations": lambda quick: list(
-            run_all_ablations(quick=quick).values()
+        "table1": lambda quick, runner: [run_table1()],
+        "table2": lambda quick, runner: [run_table2()],
+        "table3": lambda quick, runner: [run_table3()],
+        "table4": lambda quick, runner: [run_table4(quick=quick,
+                                                    runner=runner)],
+        "table5": lambda quick, runner: [run_table5()],
+        "fig6": lambda quick, runner: [run_fig6(quick=quick,
+                                                runner=runner)],
+        "fig7": lambda quick, runner: [run_fig7(quick=quick,
+                                                runner=runner)],
+        "fig8": lambda quick, runner: [run_fig8(quick=quick,
+                                                runner=runner)],
+        "fig9": lambda quick, runner: [run_fig9(quick=quick,
+                                                runner=runner)],
+        "ablations": lambda quick, runner: list(
+            run_all_ablations(quick=quick, runner=runner).values()
         ),
-        "memstyles": lambda quick: [run_memstyles(quick=quick)],
-        "sizing": lambda quick: [run_sizing(quick=quick)],
+        "memstyles": lambda quick, runner: [run_memstyles(quick=quick,
+                                                          runner=runner)],
+        "sizing": lambda quick, runner: [run_sizing(quick=quick,
+                                                    runner=runner)],
     }
+
+
+def _make_runner(args):
+    """Build the :class:`~repro.exec.JobRunner` an experiment uses."""
+    from repro.exec import JobRunner, ResultCache, default_cache_dir
+    from repro.exec.runner import stderr_progress
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return JobRunner(jobs=args.jobs, cache=cache,
+                     progress=stderr_progress)
+
+
+def _finish_experiment(args, runner, results) -> int:
+    """Shared tail of every experiment command: save, gate, exit code."""
+    if args.out:
+        from repro.harness.results_io import save_result
+
+        if len(results) == 1:
+            paths = [save_result(results[0], args.out)]
+        else:
+            # Multi-result commands (ablations) fan out to one file per
+            # result, suffixed with the experiment's short name.
+            from pathlib import Path
+
+            base = Path(args.out)
+            paths = []
+            for result in results:
+                slug = "".join(c if c.isalnum() else "-"
+                               for c in result.experiment.lower())
+                target = base.with_name(
+                    f"{base.stem}-{slug.strip('-')}{base.suffix}"
+                )
+                paths.append(save_result(result, target))
+        for path in paths:
+            print(f"saved: {path}")
+    stats = runner.stats
+    if stats.submitted:
+        print(f"jobs: {stats.submitted} submitted, "
+              f"{stats.deduplicated} deduplicated, {stats.cached} cached, "
+              f"{stats.executed} simulated")
+    if args.expect_cached and stats.executed > 0:
+        print(f"error: --expect-cached but {stats.executed} job(s) "
+              "simulated (cache cold or stale)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_list() -> int:
@@ -140,14 +199,11 @@ def _cmd_report(args) -> int:
 def _cmd_policies(args) -> int:
     from repro.harness.policies import run_policy_ablation
 
-    result = run_policy_ablation(quick=not args.full, smoke=args.smoke)
+    runner = _make_runner(args)
+    result = run_policy_ablation(quick=not args.full, smoke=args.smoke,
+                                 runner=runner)
     print(result.render())
-    if args.out:
-        from repro.harness.results_io import save_result
-
-        path = save_result(result, args.out)
-        print(f"\nsaved: {path}")
-    return 0
+    return _finish_experiment(args, runner, [result])
 
 
 def _cmd_faults(args) -> int:
@@ -162,15 +218,17 @@ def _cmd_faults(args) -> int:
         kwargs["seeds"] = tuple(
             int(s, 0) for s in args.seeds.split(",") if s
         )
-    result = run_fault_campaign(args.benchmark, **kwargs)
+    runner = _make_runner(args)
+    result = run_fault_campaign(args.benchmark, runner=runner, **kwargs)
     print(result.render())
     unrecovered = result.data["unrecovered"]
     if unrecovered:
         print(f"\n{unrecovered} run(s) terminated with a diagnostic error "
               "instead of recovering")
+    status = _finish_experiment(args, runner, [result])
     if args.require_recovery and unrecovered:
         return 1
-    return 0
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -213,6 +271,23 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--epochs", type=int, default=16,
                                help="time-series epochs (default 16)")
 
+    def add_exec_args(p):
+        """Execution-layer options shared by every experiment command."""
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for simulations "
+                       "(default: $REPRO_JOBS or 1; results are "
+                       "bit-identical to serial)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="result-cache directory (default: "
+                       "$REPRO_CACHE_DIR or .repro-cache)")
+        p.add_argument("--out", metavar="PATH", default=None,
+                       help="save the result JSON")
+        p.add_argument("--expect-cached", action="store_true",
+                       help="exit 1 if any job actually simulated "
+                       "(CI cache-integrity gate)")
+
     policies_parser = sub.add_parser(
         "policies", help="scheduling-policy ablation (repro.sched)"
     )
@@ -220,8 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="CI-sized subset of the sweep")
     policies_parser.add_argument("--full", action="store_true",
                                  help="paper-size workloads")
-    policies_parser.add_argument("--out", metavar="PATH", default=None,
-                                 help="save the result JSON")
+    add_exec_args(policies_parser)
 
     faults_parser = sub.add_parser(
         "faults", help="fault-injection campaign (repro.resil)"
@@ -240,11 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--require-recovery", action="store_true",
                                help="exit 1 unless every run recovered "
                                "(CI smoke gate)")
+    add_exec_args(faults_parser)
 
     for name in _experiment_commands():
         exp_parser = sub.add_parser(name, help=f"regenerate {name}")
         exp_parser.add_argument("--full", action="store_true",
                                 help="paper-size workloads")
+        add_exec_args(exp_parser)
     return parser
 
 
@@ -260,11 +336,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_policies(args)
     if args.command == "faults":
         return _cmd_faults(args)
-    runner = _experiment_commands()[args.command]
-    for result in runner(not args.full):
+    command = _experiment_commands()[args.command]
+    runner = _make_runner(args)
+    results = command(not args.full, runner)
+    for result in results:
         print(result.render())
         print()
-    return 0
+    return _finish_experiment(args, runner, results)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -54,6 +54,32 @@ class PowerReport:
         return self.total_w * seconds
 
 
+def accel_power_curve(benchmark: str, arch: str, num_tiles: int,
+                      pes_per_tile: int = 4, cache_bytes: int = 32 * 1024,
+                      freq_mhz: float = 200.0):
+    """Activity -> :class:`PowerReport` curve for one configuration.
+
+    The resource composition is activity-independent, so sweeps memoise
+    this curve per machine shape and evaluate it per simulated point;
+    ``curve(activity)`` is bit-identical to calling :func:`accel_power`
+    with the same arguments.
+    """
+    tile = tile_resources(benchmark, arch, pes_per_tile, cache_bytes)
+    total: ResourceVector = tile.scale(num_tiles)
+    coefficient = (
+        total.lut * LUT_W_PER_MHZ
+        + total.ff * FF_W_PER_MHZ
+        + total.dsp * DSP_W_PER_MHZ
+        + total.bram * BRAM_W_PER_MHZ
+    )
+    static = ACCEL_STATIC_W + TILE_STATIC_W * num_tiles
+
+    def curve(activity: float = 1.0) -> PowerReport:
+        return PowerReport(freq_mhz * activity * coefficient, static)
+
+    return curve
+
+
 def accel_power(benchmark: str, arch: str, num_tiles: int,
                 pes_per_tile: int = 4, cache_bytes: int = 32 * 1024,
                 freq_mhz: float = 200.0, activity: float = 1.0
@@ -63,16 +89,8 @@ def accel_power(benchmark: str, arch: str, num_tiles: int,
     ``activity`` is the mean PE busy fraction from the simulation
     (:meth:`repro.arch.result.RunResult.utilization`).
     """
-    tile = tile_resources(benchmark, arch, pes_per_tile, cache_bytes)
-    total: ResourceVector = tile.scale(num_tiles)
-    dynamic = freq_mhz * activity * (
-        total.lut * LUT_W_PER_MHZ
-        + total.ff * FF_W_PER_MHZ
-        + total.dsp * DSP_W_PER_MHZ
-        + total.bram * BRAM_W_PER_MHZ
-    )
-    static = ACCEL_STATIC_W + TILE_STATIC_W * num_tiles
-    return PowerReport(dynamic, static)
+    return accel_power_curve(benchmark, arch, num_tiles, pes_per_tile,
+                             cache_bytes, freq_mhz)(activity)
 
 
 def cpu_power(num_cores: int, activity: float = 1.0) -> PowerReport:

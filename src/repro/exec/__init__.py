@@ -1,0 +1,73 @@
+"""Unified experiment-execution layer (docs/EXECUTION.md).
+
+The paper's methodology claim — "design space exploration can be done
+easily by changing the parameters given to the framework" — is served
+here as three pieces:
+
+* **Job specs** (:mod:`repro.exec.spec`): a frozen, hashable
+  :class:`JobSpec` naming everything that determines a simulation's
+  outcome, with a canonical JSON form and a stable content digest.
+* **Parallel runner** (:mod:`repro.exec.runner`): :class:`JobRunner`
+  executes batches of specs serially (the default) or across worker
+  processes, bit-identically, with per-job timeouts, structured
+  failure capture, and progress reporting.
+* **Result cache** (:mod:`repro.exec.cache`): a content-addressed
+  on-disk store of :class:`RunRecord` outcomes keyed by spec digest and
+  a code-version salt, so overlapping sweeps reuse points and
+  interrupted campaigns resume for free.
+
+Every experiment producer in the repo (``repro.harness.*``,
+``repro.resil.campaign``) emits spec lists and consumes records through
+this layer; ``repro <experiment> --jobs N --cache-dir PATH`` exposes it
+on the command line.
+"""
+
+from repro.exec.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    code_salt,
+    default_cache_dir,
+)
+from repro.exec.engines import (
+    QUICK_PARAMS,
+    VerificationError,
+    bench_params,
+    simulate,
+)
+from repro.exec.record import (
+    JobFailedError,
+    JobFailure,
+    RunRecord,
+    check_outcomes,
+)
+from repro.exec.runner import (
+    JobRunner,
+    RunnerStats,
+    default_jobs,
+    execute,
+    stderr_progress,
+)
+from repro.exec.spec import ENGINES, JobSpec, make_spec
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ENGINES",
+    "JobFailedError",
+    "JobFailure",
+    "JobRunner",
+    "JobSpec",
+    "QUICK_PARAMS",
+    "ResultCache",
+    "RunRecord",
+    "RunnerStats",
+    "VerificationError",
+    "bench_params",
+    "check_outcomes",
+    "code_salt",
+    "default_cache_dir",
+    "default_jobs",
+    "execute",
+    "make_spec",
+    "simulate",
+    "stderr_progress",
+]

@@ -1,0 +1,122 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Layout::
+
+    .repro-cache/
+        <code-salt>/            one directory per simulator version
+            <spec-digest>.json  {"salt", "spec", "record"}
+
+The **code salt** is a digest of every ``repro`` source file, so any
+change to the simulator (timing model, scheduler, worker code...)
+automatically invalidates the whole cache — a cached record can only
+ever be returned for the exact code that produced it.  Within one salt,
+records are keyed by the :class:`~repro.exec.spec.JobSpec` content
+digest, so re-running a figure or sweep with overlapping points reuses
+every already-simulated point and interrupted campaigns resume for
+free.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers
+and interrupted runs can never leave a truncated entry behind;
+unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exec.record import RunRecord
+from repro.exec.spec import JobSpec
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_code_salt: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Digest of the ``repro`` package sources (cache-invalidation salt).
+
+    Hashes every ``*.py`` file under the installed ``repro`` package, in
+    sorted relative-path order.  Computed once per process.
+    """
+    global _code_salt
+    if _code_salt is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_salt = digest.hexdigest()[:16]
+    return _code_salt
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """Spec-digest-addressed store of :class:`RunRecord` JSON files."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, spec: JobSpec) -> Path:
+        return self.root / code_salt() / f"{spec.digest}.json"
+
+    def get(self, spec: JobSpec) -> Optional[RunRecord]:
+        """Cached record for ``spec``, or ``None`` on a miss."""
+        path = self._path(spec)
+        try:
+            payload = json.loads(path.read_text())
+            record = RunRecord.from_dict(payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        if record.spec_digest != spec.digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, spec: JobSpec, record: RunRecord) -> Path:
+        """Store ``record`` under ``spec``'s digest (atomic write)."""
+        path = self._path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "salt": code_salt(),
+            "spec": spec.canonical_dict(),
+            "record": record.to_dict(),
+        }
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+        return path
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({str(self.root)!r}: {self.hits} hits, "
+                f"{self.misses} misses, {self.puts} puts)")

@@ -1,0 +1,264 @@
+"""Parallel job execution with caching, timeouts, and failure capture.
+
+:func:`execute` is the single-job entry point: cache lookup, simulate,
+distill to a :class:`~repro.exec.record.RunRecord`, cache store.
+
+:class:`JobRunner` executes *batches* of specs:
+
+* ``jobs=1`` (the default, or ``REPRO_JOBS``) runs serially in-process —
+  the reference path every parallel execution must match bit-for-bit;
+* ``jobs>1`` fans the non-cached jobs out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  Each worker builds its
+  engine from scratch, so results are bit-identical to the serial path
+  (every run owns its seeded LFSR streams; asserted by
+  ``tests/exec/test_bitexact.py``);
+* duplicate specs within a batch are simulated once and fanned back to
+  every position — overlapping sweep grids get reuse even without a
+  cache;
+* a worker exception never kills the batch: it comes back as a
+  structured :class:`~repro.exec.record.JobFailure`;
+* ``timeout`` (seconds per job) bounds runaway simulations via
+  ``SIGALRM`` inside the worker (Unix; ignored where unavailable);
+* a ``progress`` callback — e.g. :func:`stderr_progress` — observes
+  every completion, cached or simulated.
+
+The ``fork`` start method is used when available so workers inherit the
+parent's interpreter state (including ``PYTHONHASHSEED``); see
+docs/EXECUTION.md for the bit-exactness argument.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.exec.cache import ResultCache
+from repro.exec.record import JobFailure, RunRecord, check_outcomes
+from repro.exec.spec import JobSpec
+
+#: Environment variable providing the default ``jobs`` value.
+JOBS_ENV = "REPRO_JOBS"
+
+Outcome = Union[RunRecord, JobFailure]
+ProgressFn = Callable[[int, int, JobSpec, Outcome, bool], None]
+
+
+def default_jobs() -> int:
+    """Default parallelism: ``REPRO_JOBS`` or 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+class _JobTimeout(Exception):
+    """Internal: the per-job SIGALRM deadline fired."""
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`_JobTimeout` after ``seconds`` (best effort).
+
+    Uses ``SIGALRM``, so it only arms on Unix main threads; everywhere
+    else the job simply runs without a timeout.
+    """
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise _JobTimeout(f"job exceeded {seconds:g}s timeout")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _fire)
+    except ValueError:          # not the main thread
+        yield
+        return
+    signal.alarm(max(1, math.ceil(seconds)))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_job(spec: JobSpec, timeout: Optional[float]) -> Outcome:
+    """Simulate one spec, converting any exception into a JobFailure."""
+    from repro.exec.engines import simulate
+
+    try:
+        with _deadline(timeout):
+            result = simulate(spec)
+        return RunRecord.from_result(spec.digest, result)
+    except _JobTimeout as exc:
+        return JobFailure.from_exception(spec.digest, spec.label, exc,
+                                         timed_out=True)
+    except Exception as exc:
+        return JobFailure.from_exception(spec.digest, spec.label, exc)
+
+
+def execute(spec: JobSpec, *, cache: Optional[ResultCache] = None
+            ) -> RunRecord:
+    """Run one job (through the cache when given), raising on failure."""
+    if cache is not None:
+        record = cache.get(spec)
+        if record is not None:
+            return record
+    from repro.exec.engines import simulate
+
+    record = RunRecord.from_result(spec.digest, simulate(spec))
+    if cache is not None:
+        cache.put(spec, record)
+    return record
+
+
+def stderr_progress(done: int, total: int, spec: JobSpec,
+                    outcome: Outcome, cached: bool) -> None:
+    """Simple progress line on stderr (one line per job when piped)."""
+    tag = "cache" if cached else ("ok" if outcome.ok else "FAIL")
+    line = f"[{done}/{total}] {spec.label}: {tag}"
+    if sys.stderr.isatty():
+        end = "\n" if done == total else ""
+        sys.stderr.write(f"\r\x1b[2K{line}{end}")
+    else:
+        sys.stderr.write(line + "\n")
+    sys.stderr.flush()
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate execution counts for one :class:`JobRunner`."""
+
+    submitted: int = 0      # specs handed to run() (incl. duplicates)
+    deduplicated: int = 0   # duplicate specs folded into another job
+    cached: int = 0         # cache hits
+    executed: int = 0       # real simulations
+    failed: int = 0         # jobs that returned a JobFailure
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(submitted=self.submitted,
+                    deduplicated=self.deduplicated, cached=self.cached,
+                    executed=self.executed, failed=self.failed)
+
+
+class JobRunner:
+    """Execute batches of :class:`JobSpec` jobs, serially or in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; 1 (default) runs in-process.  ``None``
+        reads ``REPRO_JOBS``.
+    cache:
+        A :class:`ResultCache`, or ``None`` (default) for no caching.
+    timeout:
+        Per-job wall-clock budget in seconds (``None`` = unbounded).
+    progress:
+        Callback ``(done, total, spec, outcome, cached)`` observed on
+        every job completion.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None,
+                 progress: Optional[ProgressFn] = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self.timeout = timeout
+        self.progress = progress
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[JobSpec]) -> List[Outcome]:
+        """Execute every spec; returns outcomes aligned with ``specs``.
+
+        Failures come back as :class:`JobFailure` entries — the batch
+        always completes.  Use :meth:`run_checked` to raise instead.
+        """
+        self.stats.submitted += len(specs)
+        unique: Dict[str, JobSpec] = {}
+        for spec in specs:
+            if spec.digest in unique:
+                self.stats.deduplicated += 1
+            else:
+                unique[spec.digest] = spec
+
+        outcomes: Dict[str, Outcome] = {}
+        done = 0
+        total = len(unique)
+
+        def _complete(spec: JobSpec, outcome: Outcome,
+                      cached: bool) -> None:
+            nonlocal done
+            done += 1
+            outcomes[spec.digest] = outcome
+            if cached:
+                self.stats.cached += 1
+            elif outcome.ok:
+                self.stats.executed += 1
+            if not outcome.ok:
+                self.stats.failed += 1
+            if self.progress is not None:
+                self.progress(done, total, spec, outcome, cached)
+
+        pending: List[JobSpec] = []
+        for spec in unique.values():
+            record = self.cache.get(spec) if self.cache else None
+            if record is not None:
+                _complete(spec, record, cached=True)
+            else:
+                pending.append(spec)
+
+        if self.jobs > 1 and len(pending) > 1:
+            self._run_parallel(pending, _complete)
+        else:
+            for spec in pending:
+                outcome = _run_job(spec, self.timeout)
+                if outcome.ok and self.cache is not None:
+                    self.cache.put(spec, outcome)
+                _complete(spec, outcome, cached=False)
+
+        return [outcomes[spec.digest] for spec in specs]
+
+    def _run_parallel(self, pending: List[JobSpec],
+                      complete: Callable[[JobSpec, Outcome, bool], None]
+                      ) -> None:
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context("fork")
+        except ValueError:      # pragma: no cover - non-Unix fallback
+            context = None
+        with ProcessPoolExecutor(max_workers=self.jobs,
+                                 mp_context=context) as pool:
+            futures = {
+                pool.submit(_run_job, spec, self.timeout): spec
+                for spec in pending
+            }
+            for future in as_completed(futures):
+                spec = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception as exc:   # worker process died
+                    outcome = JobFailure.from_exception(
+                        spec.digest, spec.label, exc
+                    )
+                if outcome.ok and self.cache is not None:
+                    self.cache.put(spec, outcome)
+                complete(spec, outcome, cached=False)
+
+    # ------------------------------------------------------------------
+    def run_checked(self, specs: Sequence[JobSpec]) -> List[RunRecord]:
+        """Like :meth:`run` but raises ``JobFailedError`` on any failure."""
+        return check_outcomes(self.run(specs))
+
+    def run_map(self, specs: Sequence[JobSpec]
+                ) -> Dict[JobSpec, Outcome]:
+        """Outcomes keyed by spec (deduplicated)."""
+        return dict(zip(specs, self.run(specs)))

@@ -22,37 +22,47 @@ exercise it:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.exec import JobRunner, make_spec
 from repro.harness.common import ExperimentResult
-from repro.harness.runners import run_flex
 
 #: Benchmarks exercising dynamic scheduling hardest.
 DEFAULT_BENCHMARKS = ("uts", "cilksort", "nw")
 NUM_PES = 16
 
 
-def _cycles(name: str, quick: bool, **overrides) -> int:
-    return run_flex(name, NUM_PES, quick=quick, **overrides).cycles
+def _queue_high_water(record) -> int:
+    return max(p["queue_high_water"] for p in record.pe_stats)
 
 
 def run_ablation_queue_order(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                              quick: bool = True,
-                             num_pes: int = NUM_PES) -> ExperimentResult:
+                             num_pes: int = NUM_PES,
+                             runner: Optional[JobRunner] = None
+                             ) -> ExperimentResult:
     """LIFO vs FIFO owner queue discipline.
 
     The space effect (FIFO walks the task graph breadth-first, so queues
     hold whole frontiers) is clearest at low PE counts, where one queue
     carries the full frontier.
     """
+    runner = runner or JobRunner()
+    specs = {}
+    for name in benchmarks:
+        specs[(name, "lifo")] = make_spec(name, num_pes, quick=quick,
+                                          local_order="lifo")
+        specs[(name, "fifo")] = make_spec(name, num_pes, quick=quick,
+                                          local_order="fifo",
+                                          task_queue_entries=65536,
+                                          pstore_entries=65536)
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
     rows, data = [], {}
     for name in benchmarks:
-        lifo = run_flex(name, num_pes, quick=quick, local_order="lifo")
-        fifo = run_flex(name, num_pes, quick=quick, local_order="fifo",
-                        task_queue_entries=65536, pstore_entries=65536)
-        queue_growth = (max(p.queue_high_water for p in fifo.pe_stats)
-                        / max(1, max(p.queue_high_water
-                                     for p in lifo.pe_stats)))
+        lifo = records[(name, "lifo")]
+        fifo = records[(name, "fifo")]
+        queue_growth = (_queue_high_water(fifo)
+                        / max(1, _queue_high_water(lifo)))
         data[name] = {
             "slowdown": fifo.cycles / lifo.cycles,
             "queue_growth": queue_growth,
@@ -69,12 +79,20 @@ def run_ablation_queue_order(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
 
 
 def run_ablation_steal_end(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
-                           quick: bool = True) -> ExperimentResult:
+                           quick: bool = True,
+                           runner: Optional[JobRunner] = None
+                           ) -> ExperimentResult:
     """Steal-from-head vs steal-from-tail."""
+    runner = runner or JobRunner()
+    specs = {
+        (name, end): make_spec(name, NUM_PES, quick=quick, steal_end=end)
+        for name in benchmarks for end in ("head", "tail")
+    }
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
     rows, data = [], {}
     for name in benchmarks:
-        head = run_flex(name, NUM_PES, quick=quick, steal_end="head")
-        tail = run_flex(name, NUM_PES, quick=quick, steal_end="tail")
+        head = records[(name, "head")]
+        tail = records[(name, "tail")]
         steals_ratio = (tail.total_steals / max(1, head.total_steals))
         data[name] = {
             "slowdown": tail.cycles / head.cycles,
@@ -92,14 +110,22 @@ def run_ablation_steal_end(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
 
 
 def run_ablation_greedy(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
-                        quick: bool = True) -> ExperimentResult:
+                        quick: bool = True,
+                        runner: Optional[JobRunner] = None
+                        ) -> ExperimentResult:
     """Greedy vs creator-returned successor placement."""
+    runner = runner or JobRunner()
+    specs = {
+        (name, flag): make_spec(name, NUM_PES, quick=quick, greedy=flag)
+        for name in benchmarks for flag in (True, False)
+    }
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
     rows, data = [], {}
     for name in benchmarks:
-        greedy = _cycles(name, quick, greedy=True)
-        lazy = _cycles(name, quick, greedy=False)
-        data[name] = {"slowdown": lazy / greedy}
-        rows.append([name, f"{data[name]['slowdown']:.2f}x"])
+        slowdown = (records[(name, False)].cycles
+                    / records[(name, True)].cycles)
+        data[name] = {"slowdown": slowdown}
+        rows.append([name, f"{slowdown:.2f}x"])
     return ExperimentResult(
         experiment="Ablation: greedy placement",
         title="Returning readied tasks to their creator vs the last-arg "
@@ -111,13 +137,23 @@ def run_ablation_greedy(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
 
 
 def run_ablation_pstore(benchmarks: Sequence[str] = ("nw", "cilksort"),
-                        quick: bool = True) -> ExperimentResult:
+                        quick: bool = True,
+                        runner: Optional[JobRunner] = None
+                        ) -> ExperimentResult:
     """Distributed per-tile P-Store vs one central P-Store."""
+    runner = runner or JobRunner()
+    specs = {}
+    for name in benchmarks:
+        specs[(name, "dist")] = make_spec(name, NUM_PES, quick=quick,
+                                          central_pstore=False)
+        specs[(name, "cent")] = make_spec(name, NUM_PES, quick=quick,
+                                          central_pstore=True,
+                                          pstore_entries=65536)
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
     rows, data = [], {}
     for name in benchmarks:
-        dist = run_flex(name, NUM_PES, quick=quick, central_pstore=False)
-        cent = run_flex(name, NUM_PES, quick=quick, central_pstore=True,
-                        pstore_entries=65536)
+        dist = records[(name, "dist")]
+        cent = records[(name, "cent")]
         remote_dist = dist.counters["arg_messages_remote"]
         remote_cent = cent.counters["arg_messages_remote"]
         data[name] = {
@@ -139,14 +175,18 @@ def run_ablation_steal_latency(
     benchmark: str = "uts",
     hop_cycles: Sequence[int] = (4, 16, 64, 256),
     quick: bool = True,
+    runner: Optional[JobRunner] = None,
 ) -> ExperimentResult:
     """Sweep the work-stealing network latency toward software costs."""
+    runner = runner or JobRunner()
+    specs = [make_spec(benchmark, NUM_PES, quick=quick,
+                       net_hop_cycles=hops)
+             for hops in hop_cycles]
+    records = runner.run_checked(specs)
     rows, data = [], {}
-    base = None
-    for hops in hop_cycles:
-        cycles = _cycles(benchmark, quick, net_hop_cycles=hops)
-        if base is None:
-            base = cycles
+    base = records[0].cycles
+    for hops, record in zip(hop_cycles, records):
+        cycles = record.cycles
         data[hops] = {"cycles": cycles, "slowdown": cycles / base}
         rows.append([f"{hops}", f"{cycles}", f"{cycles / base:.2f}x"])
     return ExperimentResult(
@@ -161,6 +201,7 @@ def run_ablation_steal_latency(
 def run_ablation_worker_sharing(
     benchmarks: Sequence[str] = ("fib", "cilksort", "uts"),
     quick: bool = True,
+    runner: Optional[JobRunner] = None,
 ) -> ExperimentResult:
     """Heterogeneous workers: tile-shared datapath vs dedicated per-PE.
 
@@ -173,13 +214,19 @@ def run_ablation_worker_sharing(
     from repro.design.resources import tile_resources
     from repro.workers import make_benchmark
 
-    rows, data = [], {}
+    runner = runner or JobRunner()
+    specs = {}
     for name in benchmarks:
         bench = make_benchmark(name)
         kinds = kinds_from([tuple(bench.flex_worker().task_types)])
-        dedicated = run_flex(name, NUM_PES, quick=quick)
-        shared = run_flex(name, NUM_PES, quick=quick,
-                          shared_worker_kinds=kinds)
+        specs[(name, "dedicated")] = make_spec(name, NUM_PES, quick=quick)
+        specs[(name, "shared")] = make_spec(name, NUM_PES, quick=quick,
+                                            shared_worker_kinds=kinds)
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
+    rows, data = [], {}
+    for name in benchmarks:
+        dedicated = records[(name, "dedicated")]
+        shared = records[(name, "shared")]
         lut_saving = 1.0 - (shared_tile_resources(name).lut
                             / tile_resources(name, "flex").lut)
         data[name] = {
@@ -197,13 +244,18 @@ def run_ablation_worker_sharing(
     )
 
 
-def run_all_ablations(quick: bool = True) -> Dict[str, ExperimentResult]:
+def run_all_ablations(quick: bool = True,
+                      runner: Optional[JobRunner] = None
+                      ) -> Dict[str, ExperimentResult]:
     """All ablations keyed by short name."""
+    runner = runner or JobRunner()
     return {
-        "queue_order": run_ablation_queue_order(quick=quick),
-        "steal_end": run_ablation_steal_end(quick=quick),
-        "greedy": run_ablation_greedy(quick=quick),
-        "pstore": run_ablation_pstore(quick=quick),
-        "steal_latency": run_ablation_steal_latency(quick=quick),
-        "worker_sharing": run_ablation_worker_sharing(quick=quick),
+        "queue_order": run_ablation_queue_order(quick=quick, runner=runner),
+        "steal_end": run_ablation_steal_end(quick=quick, runner=runner),
+        "greedy": run_ablation_greedy(quick=quick, runner=runner),
+        "pstore": run_ablation_pstore(quick=quick, runner=runner),
+        "steal_latency": run_ablation_steal_latency(quick=quick,
+                                                    runner=runner),
+        "worker_sharing": run_ablation_worker_sharing(quick=quick,
+                                                      runner=runner),
     }

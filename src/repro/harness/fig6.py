@@ -11,11 +11,11 @@ coherent sharing (bfsqueue, knapsack) were not implemented on the board.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.exec import JobRunner, make_spec
 from repro.harness import paper_data
 from repro.harness.common import ExperimentResult
-from repro.harness.runners import run_zynq_cpu, run_zynq_flex
 from repro.workers import PAPER_BENCHMARKS
 
 
@@ -29,17 +29,25 @@ def run_fig6(
     benchmarks: Sequence[str] = None,
     pe_counts: Sequence[int] = (4, 8),
     quick: bool = True,
+    runner: Optional[JobRunner] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 6 bars (speedup over 2-core ARM software)."""
     if benchmarks is None:
         benchmarks = zedboard_benchmarks()
-    data: Dict[str, Dict[int, float]] = {}
-    for name in benchmarks:
-        sw_ns = run_zynq_cpu(name, 2, quick=quick).ns
-        data[name] = {
-            p: sw_ns / run_zynq_flex(name, p, quick=quick).ns
+    runner = runner or JobRunner()
+    sw = {name: make_spec(name, 2, engine="zynq-cpu", quick=quick)
+          for name in benchmarks}
+    hw = {(name, p): make_spec(name, p, engine="zynq", quick=quick)
+          for name in benchmarks for p in pe_counts}
+    specs = list(sw.values()) + list(hw.values())
+    records = dict(zip(specs, runner.run_checked(specs)))
+    data: Dict[str, Dict[int, float]] = {
+        name: {
+            p: records[sw[name]].ns / records[hw[(name, p)]].ns
             for p in pe_counts
         }
+        for name in benchmarks
+    }
 
     headers = ["benchmark"] + [f"accel{p}pe" for p in pe_counts]
     rows = [[name] + [f"{data[name][p]:.2f}" for p in pe_counts]

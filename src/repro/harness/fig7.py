@@ -10,30 +10,44 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro.exec import JobRunner, make_spec
 from repro.harness import paper_data
 from repro.harness.common import ExperimentResult
-from repro.harness.runners import run_cpu, run_flex, run_lite
-from repro.workers import PAPER_BENCHMARKS
+from repro.workers import PAPER_BENCHMARKS, benchmark_has_lite
 
 
 def run_fig7(
     benchmarks: Sequence[str] = PAPER_BENCHMARKS,
     pe_counts: Sequence[int] = paper_data.ACCEL_PES,
     quick: bool = True,
+    runner: Optional[JobRunner] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 7 series."""
+    runner = runner or JobRunner()
+    specs = {}
+    for name in benchmarks:
+        specs[(name, "cpu", 1)] = make_spec(name, 1, engine="cpu",
+                                            quick=quick)
+        specs[(name, "cpu", 8)] = make_spec(name, 8, engine="cpu",
+                                            quick=quick)
+        for p in pe_counts:
+            specs[(name, "flex", p)] = make_spec(name, p, quick=quick)
+            if benchmark_has_lite(name):
+                specs[(name, "lite", p)] = make_spec(name, p,
+                                                     engine="lite",
+                                                     quick=quick)
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
+
     data: Dict[str, Dict] = {}
     for name in benchmarks:
-        one_core = run_cpu(name, 1, quick=quick).ns
-        eight_core = run_cpu(name, 8, quick=quick).ns
-        flex = [one_core / run_flex(name, p, quick=quick).ns
+        one_core = records[(name, "cpu", 1)].ns
+        eight_core = records[(name, "cpu", 8)].ns
+        flex = [one_core / records[(name, "flex", p)].ns
                 for p in pe_counts]
         lite: Optional[list] = None
-        try:
-            lite = [one_core / run_lite(name, p, quick=quick).ns
+        if benchmark_has_lite(name):
+            lite = [one_core / records[(name, "lite", p)].ns
                     for p in pe_counts]
-        except ValueError:
-            pass
         data[name] = {
             "flex": flex,
             "lite": lite,

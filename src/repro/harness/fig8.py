@@ -9,13 +9,13 @@ lower-power region; FlexArch averages 11.8x energy efficiency, LiteArch
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.design.power import accel_power, cpu_power
+from repro.exec import JobRunner, make_spec
 from repro.harness import paper_data
 from repro.harness.common import ExperimentResult
-from repro.harness.runners import run_cpu, run_flex, run_lite
-from repro.workers import PAPER_BENCHMARKS
+from repro.workers import PAPER_BENCHMARKS, benchmark_has_lite
 
 #: Figure 8 configuration: 16 PEs = 4 tiles of 4.
 NUM_PES = 16
@@ -24,18 +24,29 @@ NUM_CORES = 8
 
 
 def run_fig8(benchmarks: Sequence[str] = PAPER_BENCHMARKS,
-             quick: bool = True) -> ExperimentResult:
+             quick: bool = True,
+             runner: Optional[JobRunner] = None) -> ExperimentResult:
     """Regenerate the Figure 8 scatter points."""
+    runner = runner or JobRunner()
+    specs = {}
+    for name in benchmarks:
+        specs[(name, "cpu")] = make_spec(name, NUM_CORES, engine="cpu",
+                                         quick=quick)
+        specs[(name, "flex")] = make_spec(name, NUM_PES, quick=quick)
+        if benchmark_has_lite(name):
+            specs[(name, "lite")] = make_spec(name, NUM_PES,
+                                              engine="lite", quick=quick)
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
+
     data: Dict[str, Dict] = {}
     for name in benchmarks:
-        sw = run_cpu(name, NUM_CORES, quick=quick)
+        sw = records[(name, "cpu")]
         sw_power = cpu_power(NUM_CORES, activity=sw.utilization())
         sw_energy = sw_power.energy_j(sw.seconds)
         entry = {"sw_power_w": sw_power.total_w, "sw_energy_j": sw_energy}
-        for arch, runner in (("flex", run_flex), ("lite", run_lite)):
-            try:
-                run = runner(name, NUM_PES, quick=quick)
-            except ValueError:
+        for arch in ("flex", "lite"):
+            run = records.get((name, arch))
+            if run is None:
                 entry[arch] = None
                 continue
             power = accel_power(name, arch, NUM_TILES,

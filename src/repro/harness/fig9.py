@@ -10,11 +10,11 @@ worthwhile per-application customisation knob (Section V-G).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.exec import JobRunner, make_spec
 from repro.harness import paper_data
 from repro.harness.common import ExperimentResult
-from repro.harness.runners import run_flex
 from repro.workers import PAPER_BENCHMARKS
 
 NUM_PES = 16
@@ -24,14 +24,18 @@ def run_fig9(
     benchmarks: Sequence[str] = PAPER_BENCHMARKS,
     cache_sizes: Sequence[int] = paper_data.FIG9_CACHE_SIZES,
     quick: bool = True,
+    runner: Optional[JobRunner] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 9 series (performance vs 32 kB baseline)."""
+    runner = runner or JobRunner()
+    specs = {
+        (name, size): make_spec(name, NUM_PES, quick=quick, l1_size=size)
+        for name in benchmarks for size in cache_sizes
+    }
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
     data: Dict[str, Dict[int, float]] = {}
     for name in benchmarks:
-        times = {
-            size: run_flex(name, NUM_PES, quick=quick, l1_size=size).ns
-            for size in cache_sizes
-        }
+        times = {size: records[(name, size)].ns for size in cache_sizes}
         base = times[max(cache_sizes)]
         data[name] = {size: base / t for size, t in times.items()}
 

@@ -17,10 +17,10 @@ the only style that keeps irregular workloads viable.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.exec import JobRunner, make_spec
 from repro.harness.common import ExperimentResult
-from repro.harness.runners import run_flex
 
 STYLES = ("perfect", "coherent", "dma", "stream")
 
@@ -30,14 +30,18 @@ NUM_PES = 8
 
 
 def run_memstyles(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
-                  quick: bool = True) -> ExperimentResult:
+                  quick: bool = True,
+                  runner: Optional[JobRunner] = None) -> ExperimentResult:
     """Relative performance of each memory style (1.0 = perfect)."""
+    runner = runner or JobRunner()
+    specs = {
+        (name, style): make_spec(name, NUM_PES, quick=quick, memory=style)
+        for name in benchmarks for style in STYLES
+    }
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
     data: Dict[str, Dict[str, float]] = {}
     for name in benchmarks:
-        times = {
-            style: run_flex(name, NUM_PES, quick=quick, memory=style).ns
-            for style in STYLES
-        }
+        times = {style: records[(name, style)].ns for style in STYLES}
         base = times["perfect"]
         data[name] = {style: t / base for style, t in times.items()}
 

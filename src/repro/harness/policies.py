@@ -24,8 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.exec import JobRunner, RunRecord, make_spec
 from repro.harness.common import ExperimentResult
-from repro.harness.runners import run_flex
 from repro.sched import POLICY_NAMES
 
 #: Default sweep: the three dynamic benchmarks the golden tests pin.
@@ -37,22 +37,22 @@ SMOKE_BENCHMARKS: Tuple[str, ...] = ("fib", "uts")
 SMOKE_PE_COUNTS: Tuple[int, ...] = (8,)
 
 
-def _measure(name: str, num_pes: int, policy: str, quick: bool) -> Dict:
-    """One cell of the sweep: run and distill the policy metrics."""
-    result = run_flex(name, num_pes, quick=quick, steal_policy=policy)
-    tasks = result.tasks_executed
-    hits = result.total_steals
+def _distill(name: str, num_pes: int, policy: str,
+             record: RunRecord) -> Dict:
+    """One cell of the sweep: distill the policy metrics from a record."""
+    tasks = record.tasks_executed
+    hits = record.total_steals
     return {
         "benchmark": name,
         "pes": num_pes,
         "policy": policy,
-        "cycles": result.cycles,
+        "cycles": record.cycles,
         "tasks": tasks,
-        "attempts": result.total_steal_attempts,
+        "attempts": record.total_steal_attempts,
         "steals": hits,
         "steals_per_task": hits / tasks if tasks else 0.0,
-        "remote_steals": result.remote_steals,
-        "remote_fraction": result.remote_steals / hits if hits else 0.0,
+        "remote_steals": record.remote_steals,
+        "remote_fraction": record.remote_steals / hits if hits else 0.0,
     }
 
 
@@ -62,6 +62,7 @@ def run_policy_ablation(
     policies: Sequence[str] = POLICY_NAMES,
     quick: bool = True,
     smoke: bool = False,
+    runner: Optional[JobRunner] = None,
 ) -> ExperimentResult:
     """Sweep scheduling policies across benchmarks and PE counts.
 
@@ -73,12 +74,18 @@ def run_policy_ablation(
     if pe_counts is None:
         pe_counts = SMOKE_PE_COUNTS if smoke else DEFAULT_PE_COUNTS
 
-    runs = [
-        _measure(name, pes, policy, quick)
+    runner = runner or JobRunner()
+    cells = [
+        (name, pes, policy)
         for name in benchmarks
         for pes in pe_counts
         for policy in policies
     ]
+    specs = [make_spec(name, pes, quick=quick, steal_policy=policy)
+             for name, pes, policy in cells]
+    records = runner.run_checked(specs)
+    runs = [_distill(name, pes, policy, record)
+            for (name, pes, policy), record in zip(cells, records)]
 
     rows = [
         [

@@ -1,90 +1,44 @@
 """Simulation run helpers used by every experiment.
 
-Each helper builds a *fresh* benchmark instance (runs mutate workload
-data), constructs the requested engine, runs to completion, verifies the
-result against the benchmark's reference, and returns the
+Historically these functions built the engines themselves; they are now
+thin wrappers over the unified execution layer (:mod:`repro.exec`):
+each one assembles a declarative :class:`~repro.exec.JobSpec` and hands
+it to :func:`~repro.exec.simulate`, which constructs a fresh benchmark
+and engine, runs to completion, verifies the result, and returns the
 :class:`~repro.arch.result.RunResult`.
 
-``quick=True`` selects smaller workload instances (QUICK_PARAMS) so the
-full experiment suite runs in seconds; the default sizes reproduce the
-paper's scaling shapes up to 32 PEs.
+For *batches* of runs — every figure, table, sweep, and campaign — use
+:class:`repro.exec.JobRunner` with a list of specs instead: it adds
+deduplication, parallel execution (``--jobs``), the content-addressed
+result cache, and structured failure capture (docs/EXECUTION.md).
+
+``QUICK_PARAMS``, :func:`bench_params`, and :class:`VerificationError`
+are re-exported from :mod:`repro.exec.engines` for compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.arch.accelerator import DEFAULT_MAX_CYCLES, FlexAccelerator
-from repro.arch.config import flex_config, lite_config
-from repro.arch.lite import LiteAccelerator
 from repro.arch.result import RunResult
-from repro.cpu.multicore import MulticoreCPU, cpu_config
-from repro.cpu.zynq import A9_CPI_FACTOR, zynq_cpu_config
-from repro.sim.timing import ZYNQ_FABRIC_CLOCK
-from repro.workers import make_benchmark
+from repro.exec.engines import (  # noqa: F401  (re-exported API)
+    QUICK_PARAMS,
+    VerificationError,
+    bench_params,
+    simulate,
+)
+from repro.exec.spec import make_spec
 
-#: Reduced workload sizes for fast test/bench runs.
-QUICK_PARAMS: Dict[str, dict] = {
-    "nw": dict(n=128, block=8),
-    "quicksort": dict(n=4096, cutoff=64),
-    "cilksort": dict(n=4096, sort_cutoff=128, merge_cutoff=128),
-    "queens": dict(n=9, serial_depth=5),
-    "knapsack": dict(n=16, serial_items=8),
-    "uts": dict(root_children=80, q=0.22),
-    "bbgemm": dict(n=128, block=32),
-    "bfsqueue": dict(num_nodes=1024, avg_degree=8),
-    "spmvcrs": dict(num_rows=512, nnz_per_row=16),
-    "stencil2d": dict(height=96, width=96),
-    "fib": dict(n=14),
-}
-
-
-class VerificationError(AssertionError):
-    """A simulation produced an incorrect result."""
-
-
-def bench_params(name: str, quick: bool, overrides: Optional[dict] = None
-                 ) -> dict:
-    params = dict(QUICK_PARAMS.get(name, {})) if quick else {}
-    if overrides:
-        params.update(overrides)
-    return params
-
-
-def _warm(engine, bench) -> None:
-    """Model CPU-initialised data: pre-load the workload into the shared
-    L2 for benchmarks whose dataset fits (``l2_resident``)."""
-    memory = engine.memory
-    if bench.l2_resident and hasattr(memory, "warm_l2"):
-        memory.warm_l2(bench.mem)
-
-
-def _verify(bench, result: RunResult, label: str) -> RunResult:
-    if not bench.verify(result.value):
-        raise VerificationError(
-            f"{label}: wrong result {result.value!r} "
-            f"(expected {bench.expected()!r})"
-        )
-    return result
-
-
-def _instrument(engine, telemetry: bool):
-    """Attach an event sink when ``telemetry`` was requested."""
-    if not telemetry:
-        return None
-    from repro.obs import attach_telemetry
-
-    return attach_telemetry(engine)
-
-
-def _inject_faults(engine, faults):
-    """Attach a fault plan (a ``FaultSpec`` or ready ``FaultPlan``)."""
-    if faults is None:
-        return None
-    from repro.resil.faults import FaultPlan, FaultSpec, attach_faults
-
-    plan = FaultPlan(faults) if isinstance(faults, FaultSpec) else faults
-    return attach_faults(engine, plan)
+__all__ = [
+    "QUICK_PARAMS",
+    "VerificationError",
+    "bench_params",
+    "run_cpu",
+    "run_flex",
+    "run_lite",
+    "run_zynq_cpu",
+    "run_zynq_flex",
+]
 
 
 def run_flex(name: str, num_pes: int, *, quick: bool = False,
@@ -98,19 +52,10 @@ def run_flex(name: str, num_pes: int, *, quick: bool = False,
     ``FaultPlan``) and requires ``park_idle_pes=False``; ``max_cycles``
     overrides the default 200M-cycle deadlock budget.
     """
-    bench = make_benchmark(name, **bench_params(name, quick, params))
-    config = flex_config(num_pes, **config_overrides)
-    engine = FlexAccelerator(config, bench.flex_worker(platform))
-    sink = _instrument(engine, telemetry)
-    _inject_faults(engine, faults)
-    _warm(engine, bench)
-    result = engine.run(
-        bench.root_task(),
-        max_cycles=max_cycles if max_cycles is not None else DEFAULT_MAX_CYCLES,
-        label=f"{name}-flex{num_pes}",
-    )
-    result.telemetry = sink
-    return _verify(bench, result, result.label)
+    spec = make_spec(name, num_pes, engine="flex", quick=quick,
+                     params=params, platform=platform, faults=faults,
+                     max_cycles=max_cycles, **config_overrides)
+    return simulate(spec, telemetry=telemetry)
 
 
 def run_lite(name: str, num_pes: int, *, quick: bool = False,
@@ -118,20 +63,10 @@ def run_lite(name: str, num_pes: int, *, quick: bool = False,
              telemetry: bool = False, max_cycles: Optional[int] = None,
              **config_overrides) -> RunResult:
     """LiteArch accelerator run (benchmark must have a lite port)."""
-    bench = make_benchmark(name, **bench_params(name, quick, params))
-    if not bench.has_lite:
-        raise ValueError(f"{name} has no LiteArch implementation")
-    config = lite_config(num_pes, **config_overrides)
-    engine = LiteAccelerator(config, bench.lite_worker(platform))
-    sink = _instrument(engine, telemetry)
-    _warm(engine, bench)
-    result = engine.run(
-        bench.lite_program(num_pes),
-        max_cycles=max_cycles if max_cycles is not None else DEFAULT_MAX_CYCLES,
-        label=f"{name}-lite{num_pes}",
-    )
-    result.telemetry = sink
-    return _verify(bench, result, result.label)
+    spec = make_spec(name, num_pes, engine="lite", quick=quick,
+                     params=params, platform=platform,
+                     max_cycles=max_cycles, **config_overrides)
+    return simulate(spec, telemetry=telemetry)
 
 
 def run_cpu(name: str, num_cores: int, *, quick: bool = False,
@@ -139,18 +74,10 @@ def run_cpu(name: str, num_cores: int, *, quick: bool = False,
             max_cycles: Optional[int] = None,
             **config_overrides) -> RunResult:
     """Software baseline run (Cilk-style runtime on OOO cores)."""
-    bench = make_benchmark(name, **bench_params(name, quick, params))
-    config = cpu_config(num_cores, **config_overrides)
-    engine = MulticoreCPU(config, bench.flex_worker("cpu"))
-    sink = _instrument(engine, telemetry)
-    _warm(engine, bench)
-    result = engine.run(
-        bench.root_task(),
-        max_cycles=max_cycles if max_cycles is not None else DEFAULT_MAX_CYCLES,
-        label=f"{name}-cpu{num_cores}",
-    )
-    result.telemetry = sink
-    return _verify(bench, result, result.label)
+    spec = make_spec(name, num_cores, engine="cpu", quick=quick,
+                     params=params, max_cycles=max_cycles,
+                     **config_overrides)
+    return simulate(spec, telemetry=telemetry)
 
 
 def run_zynq_flex(name: str, num_pes: int, *, quick: bool = False,
@@ -159,11 +86,10 @@ def run_zynq_flex(name: str, num_pes: int, *, quick: bool = False,
                   **config_overrides) -> RunResult:
     """Zedboard prototype accelerator: 100 MHz fabric, stream buffers over
     the single ACP port instead of coherent L1 caches (Section V-B)."""
-    return run_flex(
-        name, num_pes, quick=quick, params=params, telemetry=telemetry,
-        max_cycles=max_cycles, clock=ZYNQ_FABRIC_CLOCK, memory="stream",
-        **config_overrides,
-    )
+    spec = make_spec(name, num_pes, engine="zynq", quick=quick,
+                     params=params, max_cycles=max_cycles,
+                     **config_overrides)
+    return simulate(spec, telemetry=telemetry)
 
 
 def run_zynq_cpu(name: str, num_cores: int = 2, *, quick: bool = False,
@@ -171,17 +97,7 @@ def run_zynq_cpu(name: str, num_cores: int = 2, *, quick: bool = False,
                  max_cycles: Optional[int] = None,
                  **config_overrides) -> RunResult:
     """Zedboard's two Cortex-A9 cores running the parallel software."""
-    bench = make_benchmark(name, **bench_params(name, quick, params))
-    config = zynq_cpu_config(num_cores, **config_overrides)
-    worker = bench.flex_worker("cpu")
-    worker.costs = worker.costs.scaled(A9_CPI_FACTOR)
-    engine = MulticoreCPU(config, worker)
-    sink = _instrument(engine, telemetry)
-    _warm(engine, bench)
-    result = engine.run(
-        bench.root_task(),
-        max_cycles=max_cycles if max_cycles is not None else DEFAULT_MAX_CYCLES,
-        label=f"{name}-a9x{num_cores}",
-    )
-    result.telemetry = sink
-    return _verify(bench, result, result.label)
+    spec = make_spec(name, num_cores, engine="zynq-cpu", quick=quick,
+                     params=params, max_cycles=max_cycles,
+                     **config_overrides)
+    return simulate(spec, telemetry=telemetry)

@@ -13,11 +13,10 @@ emitting the queue/P-Store depths a designer should configure.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.arch.accelerator import FlexAccelerator
-from repro.arch.config import flex_config
 from repro.core.executor import SerialExecutor
+from repro.exec import JobRunner, RunRecord, make_spec
 from repro.harness.common import ExperimentResult
 from repro.harness.runners import bench_params
 from repro.workers import make_benchmark
@@ -34,40 +33,53 @@ def serial_space(name: str, quick: bool) -> int:
     return executor.stats.max_space
 
 
-def measured_occupancy(name: str, num_pes: int, quick: bool
-                       ) -> Dict[str, int]:
-    """Worst occupancies of a timed run with roomy limits.
+def _occupancy_spec(name: str, num_pes: int, quick: bool):
+    """Spec for a timed run with roomy limits and perfect memory."""
+    return make_spec(name, num_pes, quick=quick, memory="perfect",
+                     task_queue_entries=1 << 16, pstore_entries=1 << 16)
+
+
+def _occupancy(record: RunRecord) -> Dict[str, int]:
+    """Worst occupancies of a timed run.
 
     ``space`` is the *instantaneous* total task space (live tasks +
     pending entries + in-flight arguments) — the quantity the S_P bound
     constrains; ``queue``/``pstore`` are the per-structure high-water
     marks a designer sizes against.
     """
-    bench = make_benchmark(name, **bench_params(name, quick))
-    accel = FlexAccelerator(
-        flex_config(num_pes, memory="perfect",
-                    task_queue_entries=1 << 16, pstore_entries=1 << 16),
-        bench.flex_worker(),
-    )
-    accel.run(bench.root_task())
     return {
-        "queue": max(pe.tmu.high_water for pe in accel.pes),
-        "pstore": max(ps.stats.high_water for ps in accel.pstores),
-        "space": accel.max_outstanding,
+        "queue": max(p["queue_high_water"] for p in record.pe_stats),
+        "pstore": record.counters["pstore_high_water"],
+        "space": record.counters["outstanding_high_water"],
     }
+
+
+def measured_occupancy(name: str, num_pes: int, quick: bool
+                       ) -> Dict[str, int]:
+    """Worst occupancies of one timed run (see :func:`_occupancy`)."""
+    runner = JobRunner()
+    record, = runner.run_checked([_occupancy_spec(name, num_pes, quick)])
+    return _occupancy(record)
 
 
 def run_sizing(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                pe_counts: Sequence[int] = (1, 4, 16),
-               quick: bool = True) -> ExperimentResult:
+               quick: bool = True,
+               runner: Optional[JobRunner] = None) -> ExperimentResult:
     """Regenerate the sizing table: S_1, measured occupancies, the bound."""
+    runner = runner or JobRunner()
+    specs = {
+        (name, num_pes): _occupancy_spec(name, num_pes, quick)
+        for name in benchmarks for num_pes in pe_counts
+    }
+    records = dict(zip(specs, runner.run_checked(list(specs.values()))))
     rows, data = [], {}
     for name in benchmarks:
         s1 = serial_space(name, quick)
         entry = {"s1": s1, "occupancy": {}}
         row = [name, str(s1)]
         for num_pes in pe_counts:
-            occ = measured_occupancy(name, num_pes, quick)
+            occ = _occupancy(records[(name, num_pes)])
             entry["occupancy"][num_pes] = occ
             # The timed engine deviates slightly from the pure greedy
             # scheduler the theorem assumes: a readied successor travels

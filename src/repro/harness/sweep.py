@@ -5,18 +5,41 @@ given to the framework, without rewriting any code" — :func:`sweep`
 makes that a one-liner: give it a benchmark, an engine, and per-parameter
 value lists, and it simulates the cartesian product, returning one record
 per point with timing, resource, and power columns.
+
+The cartesian product is emitted as a list of
+:class:`~repro.exec.JobSpec` jobs and executed through a
+:class:`~repro.exec.JobRunner`, so sweeps parallelise (``jobs=N``),
+deduplicate overlapping points, and hit the content-addressed result
+cache (docs/EXECUTION.md).  Grid parameter names are validated against
+:class:`~repro.arch.config.AcceleratorConfig` up front — a typo raises
+:class:`~repro.core.exceptions.ConfigError` naming the bad key before
+any point is simulated.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.exceptions import ConfigError
+from repro.exec import JobRunner, make_spec
 from repro.harness.common import format_table
-from repro.harness.runners import run_flex, run_lite
 
-RUNNERS: Dict[str, Callable] = {"flex": run_flex, "lite": run_lite}
+ENGINES = ("flex", "lite")
+
+
+def _validate_grid(param_grid: Dict[str, Sequence]) -> None:
+    """Reject unknown AcceleratorConfig field names before simulating."""
+    from repro.arch.config import AcceleratorConfig
+
+    known = {f.name for f in dataclasses.fields(AcceleratorConfig)}
+    for name in param_grid:
+        if name not in known:
+            raise ConfigError(
+                f"unknown sweep parameter {name!r}: not an "
+                f"AcceleratorConfig field"
+            )
 
 
 def sweep(
@@ -25,6 +48,7 @@ def sweep(
     num_pes: Sequence[int] = (4,),
     quick: bool = True,
     with_design_models: bool = True,
+    runner: Optional[JobRunner] = None,
     **param_grid: Sequence,
 ) -> List[Dict]:
     """Simulate the cartesian product of configuration values.
@@ -34,43 +58,69 @@ def sweep(
     dict per point with the configuration, ``cycles``/``ns``/
     ``utilization``, and — when ``with_design_models`` — ``lut``/``bram``/
     ``power_w``/``energy_j`` from the design-stage models.
-    """
-    runner = RUNNERS.get(engine)
-    if runner is None:
-        raise ConfigError(f"unknown engine {engine!r} (flex or lite)")
-    names = list(param_grid)
-    records: List[Dict] = []
-    for pes in num_pes:
-        for values in itertools.product(*(param_grid[n] for n in names)):
-            overrides = dict(zip(names, values))
-            result = runner(benchmark, pes, quick=quick, **overrides)
-            record: Dict = {"num_pes": pes, **overrides}
-            record.update(
-                cycles=result.cycles,
-                ns=result.ns,
-                utilization=result.utilization(),
-                tasks=result.tasks_executed,
-            )
-            if with_design_models:
-                from repro.design.power import accel_power
-                from repro.design.resources import accelerator_resources
 
+    ``runner`` selects the execution policy (parallelism, caching);
+    the default is a serial uncached :class:`~repro.exec.JobRunner`.
+    """
+    if engine not in ENGINES:
+        raise ConfigError(f"unknown engine {engine!r} (flex or lite)")
+    _validate_grid(param_grid)
+    runner = runner or JobRunner()
+
+    names = list(param_grid)
+    points = [
+        (pes, dict(zip(names, values)))
+        for pes in num_pes
+        for values in itertools.product(*(param_grid[n] for n in names))
+    ]
+    specs = [
+        make_spec(benchmark, pes, engine=engine, quick=quick, **overrides)
+        for pes, overrides in points
+    ]
+    results = runner.run_checked(specs)
+
+    if with_design_models:
+        from repro.design.power import accel_power_curve
+        from repro.design.resources import accelerator_resources
+
+        # Resource/power models depend only on the machine shape, not
+        # the simulated point, so memoise them per unique
+        # (num_pes, l1_size) instead of recomputing (and re-importing)
+        # for every cartesian point.
+        models: Dict = {}
+
+        def design_models(pes: int, cache: int):
+            key = (pes, cache)
+            if key not in models:
                 num_tiles = max(1, pes // 4)
-                cache = overrides.get("l1_size", 32 * 1024)
-                resources = accelerator_resources(
-                    benchmark, engine, num_tiles,
-                    min(pes, 4), cache,
+                models[key] = (
+                    accelerator_resources(benchmark, engine, num_tiles,
+                                          min(pes, 4), cache),
+                    accel_power_curve(benchmark, engine, num_tiles,
+                                      min(pes, 4), cache),
                 )
-                power = accel_power(benchmark, engine, num_tiles,
-                                    min(pes, 4), cache,
-                                    activity=result.utilization())
-                record.update(
-                    lut=resources.lut,
-                    bram=resources.bram,
-                    power_w=power.total_w,
-                    energy_j=power.energy_j(result.seconds),
-                )
-            records.append(record)
+            return models[key]
+
+    records: List[Dict] = []
+    for (pes, overrides), result in zip(points, results):
+        record: Dict = {"num_pes": pes, **overrides}
+        record.update(
+            cycles=result.cycles,
+            ns=result.ns,
+            utilization=result.utilization(),
+            tasks=result.tasks_executed,
+        )
+        if with_design_models:
+            cache = overrides.get("l1_size", 32 * 1024)
+            resources, power_curve = design_models(pes, cache)
+            power = power_curve(result.utilization())
+            record.update(
+                lut=resources.lut,
+                bram=resources.bram,
+                power_w=power.total_w,
+                energy_j=power.energy_j(result.seconds),
+            )
+        records.append(record)
     return records
 
 

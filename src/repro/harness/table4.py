@@ -6,12 +6,12 @@ Speedup of n cores/PEs over one core/PE, for the CilkPlus CPU baseline
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.exec import JobRunner, make_spec
 from repro.harness import paper_data
 from repro.harness.common import ExperimentResult
-from repro.harness.runners import run_cpu, run_flex, run_lite
-from repro.workers import PAPER_BENCHMARKS
+from repro.workers import PAPER_BENCHMARKS, benchmark_has_lite
 
 
 def _speedups(times_ns: Sequence[float]) -> Tuple[float, ...]:
@@ -20,16 +20,16 @@ def _speedups(times_ns: Sequence[float]) -> Tuple[float, ...]:
 
 
 def scalability_row(name: str, engine: str, counts: Sequence[int],
-                    quick: bool) -> Optional[Tuple[float, ...]]:
+                    quick: bool,
+                    runner: Optional[JobRunner] = None
+                    ) -> Optional[Tuple[float, ...]]:
     """Self-relative speedups for one benchmark on one engine."""
-    runner = {"cpu": run_cpu, "flex": run_flex, "lite": run_lite}[engine]
-    times: List[float] = []
-    for count in counts:
-        try:
-            times.append(runner(name, count, quick=quick).ns)
-        except ValueError:
-            return None  # no LiteArch port
-    return _speedups(times)
+    if engine == "lite" and not benchmark_has_lite(name):
+        return None  # no LiteArch port
+    runner = runner or JobRunner()
+    specs = [make_spec(name, count, engine=engine, quick=quick)
+             for count in counts]
+    return _speedups([r.ns for r in runner.run_checked(specs)])
 
 
 def run_table4(
@@ -37,21 +37,24 @@ def run_table4(
     cpu_counts: Sequence[int] = paper_data.CPU_CORES,
     accel_counts: Sequence[int] = paper_data.ACCEL_PES,
     quick: bool = True,
+    runner: Optional[JobRunner] = None,
 ) -> ExperimentResult:
     """Regenerate Table IV.
 
     ``quick`` shrinks the workloads; the paper-shape comparison holds in
     both modes, with more headroom at full size.
     """
+    runner = runner or JobRunner()
     data: Dict[str, Dict[str, Optional[Tuple[float, ...]]]] = {
         "cpu": {}, "flex": {}, "lite": {},
     }
     for name in benchmarks:
-        data["cpu"][name] = scalability_row(name, "cpu", cpu_counts, quick)
+        data["cpu"][name] = scalability_row(name, "cpu", cpu_counts,
+                                            quick, runner)
         data["flex"][name] = scalability_row(name, "flex", accel_counts,
-                                             quick)
+                                             quick, runner)
         data["lite"][name] = scalability_row(name, "lite", accel_counts,
-                                             quick)
+                                             quick, runner)
 
     headers = (["benchmark"]
                + [f"cpu{c}" for c in cpu_counts]

@@ -27,9 +27,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.exceptions import ParallelXLError
+from repro.exec import JobFailedError, JobRunner, make_spec
 from repro.harness.common import ExperimentResult
-from repro.harness.runners import run_flex
 from repro.resil.faults import FaultSpec
 
 #: Default per-opportunity fault rates swept by ``repro faults``.
@@ -60,7 +59,7 @@ def run_fault_campaign(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     quick: bool = True,
     params: Optional[dict] = None,
-    telemetry: bool = False,
+    runner: Optional[JobRunner] = None,
 ) -> ExperimentResult:
     """Sweep ``rates`` x ``seeds`` fault-injected runs of ``benchmark``.
 
@@ -69,8 +68,22 @@ def run_fault_campaign(
     qualify.  Returns an :class:`ExperimentResult` whose ``data`` dict
     carries the machine-readable outcome (used by the CI smoke step).
     """
-    baseline = run_flex(benchmark, num_pes, quick=quick, params=params,
-                        **RECOVERY_OVERRIDES)
+    runner = runner or JobRunner()
+    baseline_spec = make_spec(benchmark, num_pes, quick=quick,
+                              params=params, **RECOVERY_OVERRIDES)
+    fault_specs = {
+        (rate, seed): make_spec(benchmark, num_pes, quick=quick,
+                                params=params,
+                                faults=FaultSpec.uniform(rate, seed=seed),
+                                **RECOVERY_OVERRIDES)
+        for rate in rates for seed in seeds
+    }
+    outcomes = runner.run([baseline_spec] + list(fault_specs.values()))
+    baseline = outcomes[0]
+    if not baseline.ok:
+        raise JobFailedError(baseline)
+    by_cell = dict(zip(fault_specs, outcomes[1:]))
+
     headers = ["rate", "runs", "recovered", "diagnosed", "faults inj",
                "faults rec", "cycle overhead"]
     rows: List[List[str]] = []
@@ -79,28 +92,28 @@ def run_fault_campaign(
         recovered = diagnosed = injected = absorbed = 0
         cycle_sum = 0
         for seed in seeds:
-            spec = FaultSpec.uniform(rate, seed=seed)
+            outcome = by_cell[(rate, seed)]
             record: Dict = {"rate": rate, "seed": seed}
-            try:
-                result = run_flex(benchmark, num_pes, quick=quick,
-                                  params=params, telemetry=telemetry,
-                                  faults=spec, **RECOVERY_OVERRIDES)
-            except ParallelXLError as exc:
+            if outcome.ok:
+                recovered += 1
+                cycle_sum += outcome.cycles
+                record["outcome"] = "recovered"
+                record["cycles"] = outcome.cycles
+                record["counters"] = {
+                    k: v for k, v in outcome.counters.items()
+                    if k.startswith("faults.")
+                }
+                injected += outcome.counters.get("faults.injected", 0)
+                absorbed += outcome.counters.get("faults.recovered", 0)
+            elif outcome.parallelxl:
                 # Diagnosed termination: degraded, but loud and typed.
                 diagnosed += 1
                 record["outcome"] = "diagnosed"
-                record["error"] = f"{type(exc).__name__}: {exc}"
+                record["error"] = f"{outcome.error_type}: {outcome.message}"
             else:
-                recovered += 1
-                cycle_sum += result.cycles
-                record["outcome"] = "recovered"
-                record["cycles"] = result.cycles
-                record["counters"] = {
-                    k: v for k, v in result.counters.items()
-                    if k.startswith("faults.")
-                }
-                injected += result.counters.get("faults.injected", 0)
-                absorbed += result.counters.get("faults.recovered", 0)
+                # Anything untyped (a crash, a wrong answer caught by
+                # verification) is a bug, not a campaign datum.
+                raise JobFailedError(outcome)
             runs.append(record)
         overhead = "-"
         if recovered and baseline.cycles:

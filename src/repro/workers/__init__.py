@@ -9,6 +9,7 @@ from repro.workers.base import (
     CPU,
     Benchmark,
     Costs,
+    benchmark_has_lite,
     benchmark_names,
     make_benchmark,
     register,
@@ -47,6 +48,7 @@ __all__ = [
     "CPU",
     "Benchmark",
     "Costs",
+    "benchmark_has_lite",
     "benchmark_names",
     "make_benchmark",
     "register",

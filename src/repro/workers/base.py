@@ -122,6 +122,16 @@ def benchmark_names() -> Sequence[str]:
     return tuple(_REGISTRY)
 
 
+def benchmark_has_lite(name: str) -> bool:
+    """Whether ``name`` has a LiteArch port, without instantiating it
+    (instantiation builds the full workload data set)."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name].has_lite
+
+
 def make_benchmark(name: str, **params) -> Benchmark:
     """Instantiate a fresh benchmark (fresh data) by name.
 

@@ -1,0 +1,74 @@
+"""Parallel execution is bit-identical to serial (acceptance gate).
+
+Every simulation is a pure function of its :class:`JobSpec` — a fresh
+engine with its own seeded LFSR streams per run — so fanning a batch
+over worker processes must change nothing.  The witness is the
+:class:`RunRecord` content digest, which covers cycles, per-PE stats,
+memory summary, and every counter.
+"""
+
+import pytest
+
+from repro.exec import JobRunner, ResultCache, make_spec
+
+#: The dynamic benchmarks the golden suite pins, at one and four PEs.
+BENCHMARKS = ("fib", "quicksort", "uts")
+PE_COUNTS = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [make_spec(name, pes, quick=True)
+            for name in BENCHMARKS for pes in PE_COUNTS]
+
+
+@pytest.fixture(scope="module")
+def serial_records(specs):
+    return JobRunner(jobs=1).run_checked(specs)
+
+
+def test_parallel_digests_match_serial(specs, serial_records):
+    parallel = JobRunner(jobs=4).run_checked(specs)
+    serial_digests = [r.digest for r in serial_records]
+    parallel_digests = [r.digest for r in parallel]
+    assert parallel_digests == serial_digests
+
+
+def test_parallel_records_match_field_for_field(specs, serial_records):
+    parallel = JobRunner(jobs=4).run_checked(specs)
+    for serial, para in zip(serial_records, parallel):
+        assert para.cycles == serial.cycles
+        assert para.pe_stats == serial.pe_stats
+        assert para.mem_summary == serial.mem_summary
+        assert para.counters == serial.counters
+        assert para.canonical_json() == serial.canonical_json()
+
+
+def test_second_invocation_is_fully_cached(tmp_path, specs,
+                                           serial_records):
+    cache = ResultCache(tmp_path)
+    cold = JobRunner(jobs=4, cache=cache)
+    cold_records = cold.run_checked(specs)
+    assert cold.stats.executed == len(specs)
+    assert cold.stats.cached == 0
+
+    warm = JobRunner(jobs=4, cache=cache)
+    warm_records = warm.run_checked(specs)
+    assert warm.stats.executed == 0, "cached rerun must not simulate"
+    assert warm.stats.cached == len(specs)
+
+    expected = [r.digest for r in serial_records]
+    assert [r.digest for r in cold_records] == expected
+    assert [r.digest for r in warm_records] == expected
+
+
+def test_wrappers_match_exec_layer():
+    """run_flex is a thin wrapper: same cycles as the spec path."""
+    from repro.exec.engines import simulate
+    from repro.harness.runners import run_flex
+
+    spec = make_spec("fib", 4, quick=True)
+    via_wrapper = run_flex("fib", 4, quick=True)
+    via_exec = simulate(spec)
+    assert via_wrapper.cycles == via_exec.cycles
+    assert via_wrapper.counters == via_exec.counters

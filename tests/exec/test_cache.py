@@ -1,0 +1,83 @@
+"""Result cache: content addressing, salt invalidation, corruption."""
+
+import json
+
+from repro.exec import JobRunner, ResultCache, execute, make_spec
+from repro.exec.cache import code_salt
+
+
+def test_execute_round_trips_through_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    spec = make_spec("fib", 2, quick=True)
+    first = execute(spec, cache=cache)
+    assert cache.puts == 1
+    second = execute(spec, cache=cache)
+    assert cache.hits == 1
+    assert second.digest == first.digest
+    assert second.cycles == first.cycles
+    assert second.pe_stats == first.pe_stats
+    assert second.counters == first.counters
+
+
+def test_cache_layout_is_salt_then_digest(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    execute(spec, cache=cache)
+    path = tmp_path / code_salt() / f"{spec.digest}.json"
+    assert path.is_file()
+    payload = json.loads(path.read_text())
+    assert payload["salt"] == code_salt()
+    assert payload["spec"]["benchmark"] == "fib"
+    assert payload["record"]["spec_digest"] == spec.digest
+
+
+def test_stale_salt_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    execute(spec, cache=cache)
+    # Simulate a code change: move the entry to a different salt dir.
+    entry = tmp_path / code_salt() / f"{spec.digest}.json"
+    stale = tmp_path / ("0" * 16)
+    stale.mkdir()
+    entry.rename(stale / entry.name)
+    assert cache.get(spec) is None
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    path = cache.put(spec, execute(spec))
+    path.write_text("{truncated")
+    assert cache.get(spec) is None
+    assert cache.misses == 1
+
+
+def test_wrong_digest_inside_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    a = make_spec("fib", 2, quick=True)
+    b = make_spec("fib", 4, quick=True)
+    record = execute(a)
+    # File named for b but holding a's record: content check rejects it.
+    (tmp_path / code_salt()).mkdir(parents=True)
+    cache._path(b).write_text(json.dumps({
+        "salt": code_salt(), "spec": a.canonical_dict(),
+        "record": record.to_dict(),
+    }))
+    assert cache.get(b) is None
+
+
+def test_runner_resumes_interrupted_campaign(tmp_path):
+    """Half-cached batches only simulate the missing half."""
+    cache = ResultCache(tmp_path)
+    specs = [make_spec("fib", n, quick=True) for n in (1, 2)]
+    JobRunner(cache=cache).run_checked(specs[:1])
+
+    runner = JobRunner(cache=cache)
+    runner.run_checked(specs)
+    assert runner.stats.cached == 1
+    assert runner.stats.executed == 1
+
+
+def test_cache_stats_in_repr(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert "0 hits" in repr(cache)

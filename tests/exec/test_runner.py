@@ -1,0 +1,100 @@
+"""JobRunner batching: dedup, failure capture, progress, timeouts."""
+
+import pytest
+
+from repro.core.exceptions import ConfigError
+from repro.exec import (
+    JobFailedError,
+    JobFailure,
+    JobRunner,
+    RunRecord,
+    make_spec,
+)
+
+
+def test_outcomes_align_with_input_order():
+    specs = [make_spec("fib", n, quick=True) for n in (4, 1, 2)]
+    records = JobRunner().run_checked(specs)
+    assert [r.label for r in records] == ["fib-flex4", "fib-flex1",
+                                         "fib-flex2"]
+
+
+def test_duplicate_specs_simulated_once():
+    spec = make_spec("fib", 2, quick=True)
+    runner = JobRunner()
+    a, b, c = runner.run_checked([spec, make_spec("fib", 2, quick=True),
+                                  spec])
+    assert runner.stats.submitted == 3
+    assert runner.stats.deduplicated == 2
+    assert runner.stats.executed == 1
+    assert a.digest == b.digest == c.digest
+
+
+def test_failure_captured_without_killing_batch():
+    good = make_spec("fib", 2, quick=True)
+    # A 100-cycle budget cannot complete fib: DeadlockError, typed.
+    bad = make_spec("fib", 2, quick=True, max_cycles=100)
+    runner = JobRunner()
+    ok, fail = runner.run([good, bad])
+    assert isinstance(ok, RunRecord) and ok.ok
+    assert isinstance(fail, JobFailure) and not fail.ok
+    assert fail.error_type == "DeadlockError"
+    assert fail.parallelxl, "simulator diagnostics are typed failures"
+    assert runner.stats.failed == 1
+
+
+def test_parallel_failure_captured():
+    good = make_spec("fib", 2, quick=True)
+    bad = make_spec("fib", 2, quick=True, max_cycles=100)
+    ok, fail = JobRunner(jobs=2).run([good, bad])
+    assert ok.ok and not fail.ok
+    assert fail.error_type == "DeadlockError"
+
+
+def test_run_checked_raises_with_structured_failure():
+    bad = make_spec("fib", 2, quick=True, max_cycles=100)
+    with pytest.raises(JobFailedError) as excinfo:
+        JobRunner().run_checked([bad])
+    assert excinfo.value.failure.error_type == "DeadlockError"
+    assert "fib-flex2" in str(excinfo.value)
+
+
+def test_progress_callback_sees_every_job():
+    seen = []
+
+    def observe(done, total, spec, outcome, cached):
+        seen.append((done, total, spec.label, outcome.ok, cached))
+
+    runner = JobRunner(progress=observe)
+    runner.run([make_spec("fib", n, quick=True) for n in (1, 2)])
+    assert seen == [(1, 2, "fib-flex1", True, False),
+                    (2, 2, "fib-flex2", True, False)]
+
+
+def test_run_map_keys_by_spec():
+    specs = [make_spec("fib", n, quick=True) for n in (1, 2)]
+    outcomes = JobRunner().run_map(specs)
+    assert set(outcomes) == set(specs)
+    assert all(o.ok for o in outcomes.values())
+
+
+def test_verification_failure_is_not_a_typed_diagnostic():
+    # An unknown benchmark fails in the harness, not the simulator.
+    runner = JobRunner()
+    (outcome,) = runner.run([make_spec("nonesuch", 2, quick=True)])
+    assert not outcome.ok
+    assert not outcome.parallelxl
+
+
+def test_jobs_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert JobRunner().jobs == 3
+    monkeypatch.setenv("REPRO_JOBS", "bogus")
+    assert JobRunner().jobs == 1
+
+
+def test_runner_stats_dict():
+    runner = JobRunner()
+    runner.run_checked([make_spec("fib", 1, quick=True)])
+    stats = runner.stats.as_dict()
+    assert stats["submitted"] == 1 and stats["executed"] == 1

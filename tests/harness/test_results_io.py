@@ -1,0 +1,80 @@
+"""Pin results_io round-trip fidelity (the exact JSON projections).
+
+The cache/exec layer and the CI cache-integrity gate compare saved
+result files byte-for-byte, so the save/load conversions must stay
+stable: tuples come back as lists, objects flatten to their public
+``vars`` (or ``repr`` without a ``__dict__``), and telemetry survives.
+"""
+
+import dataclasses
+import json
+
+from repro.harness.common import ExperimentResult
+from repro.harness.results_io import _jsonable, load_result, save_result
+
+
+class TestJsonableProjection:
+    def test_tuples_become_lists(self):
+        assert _jsonable((1, 2, (3, 4))) == [1, 2, [3, 4]]
+
+    def test_dict_keys_become_strings(self):
+        assert _jsonable({1: "a", (2, 3): "b"}) == {"1": "a",
+                                                    "(2, 3)": "b"}
+
+    def test_scalars_pass_through(self):
+        for value in ("x", 1, 1.5, True, None):
+            assert _jsonable(value) == value
+
+    def test_objects_flatten_to_public_vars(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: tuple
+            _private: str = "hidden"
+
+        assert _jsonable(Point(1, (2, 3))) == {"x": 1, "y": [2, 3]}
+
+    def test_object_without_dict_degrades_to_repr(self):
+        assert _jsonable(object()).startswith("<object object")
+
+
+class TestRoundTrip:
+    def _result(self):
+        return ExperimentResult(
+            experiment="E",
+            title="T",
+            headers=["k"],
+            rows=[["v"]],
+            notes=["n"],
+            data={"tuple": (1, 2), "nested": {"deep": (3.5, None)}},
+            telemetry={"run1": {"events": {"spawn": 4, "steal": (1, 2)}}},
+        )
+
+    def test_tuples_load_as_lists(self, tmp_path):
+        loaded = load_result(save_result(self._result(), tmp_path / "r"))
+        assert loaded.data["tuple"] == [1, 2]
+        assert loaded.data["nested"]["deep"] == [3.5, None]
+
+    def test_telemetry_round_trips(self, tmp_path):
+        loaded = load_result(save_result(self._result(), tmp_path / "r"))
+        assert loaded.telemetry == {
+            "run1": {"events": {"spawn": 4, "steal": [1, 2]}}
+        }
+
+    def test_rendered_text_is_saved(self, tmp_path):
+        path = save_result(self._result(), tmp_path / "r.json")
+        payload = json.loads(path.read_text())
+        assert payload["rendered"] == self._result().render()
+
+    def test_save_is_byte_deterministic(self, tmp_path):
+        a = save_result(self._result(), tmp_path / "a.json")
+        b = save_result(self._result(), tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_second_round_trip_is_fixed_point(self, tmp_path):
+        """Once JSON-shaped, a save/load cycle changes nothing."""
+        once = load_result(save_result(self._result(), tmp_path / "1"))
+        twice = load_result(save_result(once, tmp_path / "2"))
+        assert twice.data == once.data
+        assert twice.telemetry == once.telemetry
+        assert twice.rows == once.rows

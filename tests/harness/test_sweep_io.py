@@ -36,6 +36,22 @@ class TestSweep:
         with pytest.raises(ConfigError):
             sweep("fib", engine="warp")
 
+    def test_unknown_grid_parameter_named_up_front(self):
+        with pytest.raises(ConfigError, match="l1_sise"):
+            sweep("fib", num_pes=(2,), quick=True,
+                  with_design_models=False, l1_sise=(4096, 8192))
+
+    def test_runner_parameter_reuses_executions(self):
+        from repro.exec import JobRunner
+
+        runner = JobRunner()
+        sweep("fib", num_pes=(2,), quick=True,
+              with_design_models=False, runner=runner)
+        sweep("fib", num_pes=(2, 4), quick=True,
+              with_design_models=False, runner=runner)
+        assert runner.stats.submitted == 3
+        assert runner.stats.executed == 3  # no cache: distinct batches
+
     def test_lite_engine(self):
         records = sweep("stencil2d", engine="lite", num_pes=(4,),
                         quick=True, with_design_models=False)
