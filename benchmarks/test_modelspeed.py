@@ -1,0 +1,49 @@
+"""Analytical fast-path payoff: microsecond predictions vs cycle sims.
+
+The whole point of the two-tier DSE driver is that tier one — the
+calibrated closed-form model — is effectively free next to the cycle
+simulator.  This benchmark calibrates a small fib model once, then times
+a 512-point analytical sweep (the default ``repro dse`` grid size) and
+asserts it finishes well under the acceptance bound of one second.  For
+scale: 512 *simulated* quick fib points cost tens of seconds.
+
+Run with ``-s`` to see the measured throughput.
+"""
+
+import time
+
+from repro.harness.dse import design_grid
+from repro.model import calibrate
+
+
+def test_analytical_sweep_is_subsecond_at_512_points():
+    model = calibrate(
+        "fib",
+        num_pes=(1, 2, 4, 8),
+        l1_size=(8192, 65536),
+        steal_policy=("random", "steal_half"),
+        net_hop_cycles=(2, 16),
+        max_sims=24,
+    )
+    points = design_grid(
+        "fib",
+        num_pes=(1, 2, 4, 8, 12, 16, 24, 32),
+        l1_size=(8192, 16384, 32768, 65536),
+        steal_policy=("random", "hierarchical", "occupancy",
+                      "steal_half"),
+        net_hop_cycles=(2, 4, 8, 16),
+    )
+    assert len(points) == 512
+
+    start = time.perf_counter()
+    predictions = model.predict_all(points)
+    elapsed = time.perf_counter() - start
+
+    assert len(predictions) == 512
+    assert all(p.cycles > 0 and p.power_w > 0 for p in predictions)
+    print(f"\nmodelspeed: 512 analytical points in {elapsed * 1e3:.1f}ms "
+          f"({512 / elapsed:.0f} points/s)")
+    assert elapsed < 1.0, (
+        f"analytical sweep took {elapsed:.2f}s for 512 points; "
+        "the fast path must stay well under 1s"
+    )

@@ -14,6 +14,11 @@ Commands:
   policies (``--smoke`` for the CI subset, ``--out`` to save JSON).
 * ``faults`` — fault-injection campaign: sweep fault rates with the
   recovery mechanisms enabled, report recovery rate and overhead.
+* ``dse`` — two-tier design-space exploration (docs/DSE.md): calibrate
+  the analytical model, sweep a full cartesian grid in closed form,
+  keep the Pareto frontier under ``--budget-lut``/``--budget-watts``,
+  re-validate only the frontier with cycle simulations, and report the
+  per-point analytical-vs-simulated error.
 * ``list`` — list benchmarks and experiments.
 
 ``run`` and ``report`` accept ``--steal-policy`` to select the
@@ -112,12 +117,17 @@ def _finish_experiment(args, runner, results) -> int:
             print(f"saved: {path}")
     stats = runner.stats
     if stats.submitted:
-        print(f"jobs: {stats.submitted} submitted, "
-              f"{stats.deduplicated} deduplicated, {stats.cached} cached, "
-              f"{stats.executed} simulated")
-    if args.expect_cached and stats.executed > 0:
-        print(f"error: --expect-cached but {stats.executed} job(s) "
-              "simulated (cache cold or stale)", file=sys.stderr)
+        line = (f"jobs: {stats.submitted} submitted, "
+                f"{stats.deduplicated} deduplicated, "
+                f"{stats.cached} cached, {stats.executed} simulated")
+        if stats.failed:
+            line += f", {stats.failed} failed"
+        print(line)
+    if args.expect_cached and stats.uncached > 0:
+        print(f"error: --expect-cached but {stats.uncached} job(s) "
+              f"simulated or failed ({stats.executed} simulated, "
+              f"{stats.failed} failed; cache cold or stale)",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -231,6 +241,30 @@ def _cmd_faults(args) -> int:
     return status
 
 
+def _cmd_dse(args) -> int:
+    from repro.harness.dse import run_dse
+
+    runner = _make_runner(args)
+    kwargs = dict(
+        benchmark=args.benchmark,
+        engine=args.engine,
+        quick=not args.full,
+        budget_lut=args.budget_lut,
+        budget_watts=args.budget_watts,
+        max_points=args.points,
+        runner=runner,
+    )
+    if args.pes:
+        kwargs["num_pes"] = tuple(
+            int(p) for p in args.pes.split(",") if p
+        )
+    result = run_dse(**kwargs)
+    print(result.render())
+    print(f"analytical sweep: {result.data['grid_points']} points in "
+          f"{result.model_seconds * 1000:.0f} ms of model time")
+    return _finish_experiment(args, runner, [result])
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ParallelXL reproduction toolkit"
@@ -316,6 +350,30 @@ def build_parser() -> argparse.ArgumentParser:
                                "(CI smoke gate)")
     add_exec_args(faults_parser)
 
+    dse_parser = sub.add_parser(
+        "dse", help="analytical design-space exploration (repro.model)"
+    )
+    dse_parser.add_argument("benchmark", nargs="?", default="fib",
+                            choices=PAPER_BENCHMARKS + ("fib",))
+    dse_parser.add_argument("--engine", default="flex",
+                            choices=("flex", "lite"))
+    dse_parser.add_argument("--pes", default=None, metavar="P,P,...",
+                            help="comma-separated PE-count axis "
+                            "(default 1,2,4,8,12,16,24,32)")
+    dse_parser.add_argument("--points", type=int, default=None,
+                            metavar="N", help="cap the analytical grid "
+                            "at N evenly-strided points (default: the "
+                            "full cartesian product)")
+    dse_parser.add_argument("--budget-lut", type=int, default=None,
+                            metavar="N", help="drop design points using "
+                            "more than N LUTs")
+    dse_parser.add_argument("--budget-watts", type=float, default=None,
+                            metavar="W", help="drop design points over "
+                            "W watts total power")
+    dse_parser.add_argument("--full", action="store_true",
+                            help="paper-size workload")
+    add_exec_args(dse_parser)
+
     for name in _experiment_commands():
         exp_parser = sub.add_parser(name, help=f"regenerate {name}")
         exp_parser.add_argument("--full", action="store_true",
@@ -336,6 +394,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_policies(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "dse":
+        return _cmd_dse(args)
     command = _experiment_commands()[args.command]
     runner = _make_runner(args)
     results = command(not args.full, runner)

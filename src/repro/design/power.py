@@ -80,6 +80,39 @@ def accel_power_curve(benchmark: str, arch: str, num_tiles: int,
     return curve
 
 
+def machine_power_curve(benchmark: str, arch: str, num_pes: int,
+                        pes_per_tile: int = 4,
+                        cache_bytes: int = 32 * 1024,
+                        freq_mhz: float = 200.0):
+    """Activity -> :class:`PowerReport` curve for an arbitrary PE count.
+
+    The partial-tile counterpart of :func:`accel_power_curve`:
+    ``num_pes`` decomposes into ``ceil(num_pes / pes_per_tile)`` tiles
+    (:func:`~repro.design.resources.machine_shape`), the trailing
+    partial tile contributing only its real PEs to the dynamic power
+    while still paying a full tile's static share.  Dynamic power covers
+    the whole machine, interface block included.
+    """
+    from repro.design.resources import machine_resources, machine_shape
+
+    total = machine_resources(benchmark, arch, num_pes, pes_per_tile,
+                              cache_bytes)
+    coefficient = (
+        total.lut * LUT_W_PER_MHZ
+        + total.ff * FF_W_PER_MHZ
+        + total.dsp * DSP_W_PER_MHZ
+        + total.bram * BRAM_W_PER_MHZ
+    )
+    full_tiles, remainder = machine_shape(num_pes, pes_per_tile)
+    num_tiles = full_tiles + (1 if remainder else 0)
+    static = ACCEL_STATIC_W + TILE_STATIC_W * num_tiles
+
+    def curve(activity: float = 1.0) -> PowerReport:
+        return PowerReport(freq_mhz * activity * coefficient, static)
+
+    return curve
+
+
 def accel_power(benchmark: str, arch: str, num_tiles: int,
                 pes_per_tile: int = 4, cache_bytes: int = 32 * 1024,
                 freq_mhz: float = 200.0, activity: float = 1.0

@@ -22,7 +22,7 @@ BRAM counts are in RAM18 units (a RAM36 counts as two), as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.exceptions import ConfigError
 
@@ -166,10 +166,50 @@ def tile_resources(benchmark: str, arch: str, pes_per_tile: int = 4,
             + shared + cache_resources(cache_bytes))
 
 
+#: Memory-mapped CPU interface block (task injection + result readback).
+INTERFACE_BLOCK = ResourceVector(lut=350, ff=400, dsp=0, bram=0)
+
+
 def accelerator_resources(benchmark: str, arch: str, num_tiles: int,
                           pes_per_tile: int = 4,
                           cache_bytes: int = 32 * 1024) -> ResourceVector:
     """Whole-accelerator estimate (tiles + interface block)."""
-    interface = ResourceVector(lut=350, ff=400, dsp=0, bram=0)
     return (tile_resources(benchmark, arch, pes_per_tile, cache_bytes)
-            .scale(num_tiles) + interface)
+            .scale(num_tiles) + INTERFACE_BLOCK)
+
+
+def machine_shape(num_pes: int, pes_per_tile: int = 4) -> Tuple[int, int]:
+    """Decompose ``num_pes`` into ``(full_tiles, remainder_pes)``.
+
+    The machine has ``ceil(num_pes / pes_per_tile)`` tiles: ``full_tiles``
+    fully-populated ones plus, when ``remainder_pes`` is non-zero, one
+    partial tile holding the leftover PEs.
+    """
+    if num_pes < 1:
+        raise ConfigError(f"need at least one PE: {num_pes}")
+    if pes_per_tile < 1:
+        raise ConfigError(f"need at least one PE per tile: {pes_per_tile}")
+    return divmod(num_pes, pes_per_tile)
+
+
+def machine_resources(benchmark: str, arch: str, num_pes: int,
+                      pes_per_tile: int = 4,
+                      cache_bytes: int = 32 * 1024) -> ResourceVector:
+    """Whole-accelerator estimate for an arbitrary PE count.
+
+    Unlike :func:`accelerator_resources`, which assumes every tile is
+    fully populated, this models the actual machine shape: ``num_pes``
+    splits into ``ceil(num_pes / pes_per_tile)`` tiles, and a trailing
+    partial tile carries only its real PEs — but still a full shared
+    template and cache, exactly as the generated hardware would.  For
+    multiples of ``pes_per_tile`` the two functions agree.
+    """
+    full_tiles, remainder = machine_shape(num_pes, pes_per_tile)
+    total = INTERFACE_BLOCK
+    if full_tiles:
+        total = total + tile_resources(
+            benchmark, arch, pes_per_tile, cache_bytes).scale(full_tiles)
+    if remainder:
+        total = total + tile_resources(
+            benchmark, arch, remainder, cache_bytes)
+    return total

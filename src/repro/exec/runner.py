@@ -141,6 +141,17 @@ class RunnerStats:
     executed: int = 0       # real simulations
     failed: int = 0         # jobs that returned a JobFailure
 
+    @property
+    def uncached(self) -> int:
+        """Jobs the cache did not serve: real simulations plus failures.
+
+        Failed jobs never enter the cache (and never bump ``executed``),
+        so warm-cache SLO gates like ``--expect-cached`` must count both
+        — a batch that simulated *and failed* is just as cold as one
+        that simulated successfully.
+        """
+        return self.executed + self.failed
+
     def as_dict(self) -> Dict[str, int]:
         return dict(submitted=self.submitted,
                     deduplicated=self.deduplicated, cached=self.cached,

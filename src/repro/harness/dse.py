@@ -1,0 +1,230 @@
+"""Two-tier design-space exploration (``repro dse``, docs/DSE.md).
+
+The driver turns a Fig 9-style sweep into a full design-space map:
+
+1. **Calibrate** — fit a per-(benchmark, engine)
+   :class:`~repro.model.AnalyticalModel` against cycle-sim records for a
+   small corner grid, pulled through the ordinary
+   :class:`~repro.exec.JobRunner` (parallel, deduplicated, cached).
+2. **Sweep analytically** — evaluate the full cartesian grid with the
+   closed-form model: thousands of points in milliseconds.
+3. **Budget + Pareto filter** — drop points over the LUT/power budgets
+   (costed by the :mod:`repro.design` models at the actual machine
+   shape) and keep the non-dominated frontier via
+   :func:`~repro.harness.sweep.pareto_front`.
+4. **Re-validate the frontier only** — simulate just the frontier
+   points with real :class:`~repro.exec.JobSpec` batches and report the
+   per-point analytical-vs-simulated ``ns`` error, so calibration drift
+   is visible in every report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ConfigError
+from repro.exec import JobRunner
+from repro.harness.common import ExperimentResult
+from repro.harness.sweep import pareto_front
+from repro.model import AnalyticalModel, DesignPoint, calibrate
+from repro.model.calibrate import stride_sample
+from repro.sched import POLICY_NAMES
+
+#: Default sweep axes: 8 x 4 x 4 x 4 = 512 design points.
+DEFAULT_NUM_PES = (1, 2, 4, 8, 12, 16, 24, 32)
+DEFAULT_L1_SIZE = (8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024)
+DEFAULT_HOP_CYCLES = (2, 4, 8, 16)
+
+#: Objectives the frontier minimises.
+DEFAULT_MINIMIZE = ("ns", "energy_j")
+
+
+def design_grid(
+    benchmark: str,
+    engine: str = "flex",
+    num_pes: Sequence[int] = DEFAULT_NUM_PES,
+    l1_size: Sequence[int] = DEFAULT_L1_SIZE,
+    steal_policy: Sequence[str] = POLICY_NAMES,
+    net_hop_cycles: Sequence[int] = DEFAULT_HOP_CYCLES,
+    max_points: Optional[int] = None,
+) -> List[DesignPoint]:
+    """Cartesian :class:`DesignPoint` grid, evenly capped at
+    ``max_points`` (endpoints retained) when given."""
+    points = [
+        DesignPoint(benchmark=benchmark, engine=engine, num_pes=pes,
+                    l1_size=l1, steal_policy=policy, net_hop_cycles=hop)
+        for pes, l1, policy, hop in itertools.product(
+            num_pes, l1_size, steal_policy, net_hop_cycles)
+    ]
+    return stride_sample(points, max_points)
+
+
+def _validate_frontier(
+    model: AnalyticalModel,
+    frontier: Sequence[Dict],
+    points_by_id: Dict[int, DesignPoint],
+    quick: bool,
+    runner: JobRunner,
+) -> Tuple[List[Dict], Optional[float]]:
+    """Simulate the frontier points; per-point analytical-vs-sim error."""
+    points = [points_by_id[id(record)] for record in frontier]
+    records = runner.run_checked([p.spec(quick=quick) for p in points])
+    validation: List[Dict] = []
+    errors: List[float] = []
+    for point, analytical, record in zip(points, frontier, records):
+        error = abs(analytical["ns"] - record.ns) / record.ns
+        errors.append(error)
+        validation.append({
+            **point.as_dict(),
+            "predicted_ns": analytical["ns"],
+            "simulated_ns": record.ns,
+            "ns_error": error,
+            "predicted_utilization": analytical["utilization"],
+            "simulated_utilization": record.utilization(),
+            "simulated_cycles": record.cycles,
+            "record_digest": record.digest,
+        })
+    if not errors:
+        return validation, None
+    ordered = sorted(errors)
+    mid = len(ordered) // 2
+    median = (ordered[mid] if len(ordered) % 2
+              else (ordered[mid - 1] + ordered[mid]) / 2.0)
+    return validation, median
+
+
+def run_dse(
+    benchmark: str = "fib",
+    engine: str = "flex",
+    num_pes: Sequence[int] = DEFAULT_NUM_PES,
+    l1_size: Sequence[int] = DEFAULT_L1_SIZE,
+    steal_policy: Sequence[str] = POLICY_NAMES,
+    net_hop_cycles: Sequence[int] = DEFAULT_HOP_CYCLES,
+    quick: bool = True,
+    budget_lut: Optional[int] = None,
+    budget_watts: Optional[float] = None,
+    max_points: Optional[int] = None,
+    minimize: Sequence[str] = DEFAULT_MINIMIZE,
+    model: Optional[AnalyticalModel] = None,
+    runner: Optional[JobRunner] = None,
+) -> ExperimentResult:
+    """Analytical sweep + budget/Pareto filter + frontier re-validation.
+
+    Returns an :class:`ExperimentResult` whose rows are the validated
+    frontier; ``data`` carries the machine-readable map (grid,
+    analytical records, feasible/frontier counts, per-point validation
+    errors, model coefficients).  A wall-clock figure for the analytical
+    sweep is attached as the non-serialised ``model_seconds`` attribute
+    so saved results stay byte-reproducible.
+
+    ``model`` short-circuits calibration (e.g. a loaded
+    :class:`AnalyticalModel`); otherwise one is calibrated through
+    ``runner`` on the corner grid of the requested axes.
+    """
+    if engine not in ("flex", "lite"):
+        raise ConfigError(f"unknown engine {engine!r} (flex or lite)")
+    runner = runner or JobRunner()
+    points = design_grid(
+        benchmark, engine, num_pes=num_pes, l1_size=l1_size,
+        steal_policy=steal_policy, net_hop_cycles=net_hop_cycles,
+        max_points=max_points,
+    )
+    if not points:
+        raise ConfigError("empty design grid")
+
+    if model is None:
+        model = calibrate(
+            benchmark, engine,
+            num_pes=num_pes, l1_size=l1_size, steal_policy=steal_policy,
+            net_hop_cycles=net_hop_cycles, quick=quick, runner=runner,
+        )
+    calibration_sims = model.calibration.get("points", 0)
+
+    started = time.perf_counter()
+    predictions = model.predict_all(points)
+    model_seconds = time.perf_counter() - started
+
+    records = [prediction.record() for prediction in predictions]
+    points_by_id = {id(record): point
+                    for record, point in zip(records, points)}
+
+    feasible = [
+        record for record in records
+        if (budget_lut is None or record["lut"] <= budget_lut)
+        and (budget_watts is None or record["power_w"] <= budget_watts)
+    ]
+    over_budget = len(records) - len(feasible)
+    frontier = pareto_front(feasible, minimize=minimize)
+    frontier = sorted(frontier, key=lambda r: r["ns"])
+    validation, median_error = _validate_frontier(
+        model, frontier, points_by_id, quick, runner)
+
+    headers = ["pes", "l1", "policy", "hop", "pred ns", "sim ns",
+               "err %", "util", "lut", "power W", "energy uJ"]
+    rows = []
+    for record, cell in zip(frontier, validation):
+        rows.append([
+            str(record["num_pes"]),
+            f"{record['l1_size'] // 1024}k",
+            record["steal_policy"],
+            str(record["net_hop_cycles"]),
+            f"{record['ns']:.0f}",
+            f"{cell['simulated_ns']:.0f}",
+            f"{100 * cell['ns_error']:.1f}",
+            f"{record['utilization']:.2f}",
+            str(record["lut"]),
+            f"{record['power_w']:.2f}",
+            f"{record['energy_j'] * 1e6:.2f}",
+        ])
+
+    notes = [
+        f"{len(points)} design points swept analytically "
+        f"({calibration_sims} calibration sims, "
+        f"model in-sample median cycles error "
+        f"{100 * model.calibration.get('median_cycles_error', 0):.1f}%)",
+        f"budgets: lut<={budget_lut if budget_lut is not None else '-'} "
+        f"power<={budget_watts if budget_watts is not None else '-'}W "
+        f"({over_budget} points over budget)",
+        f"frontier: {len(frontier)}/{len(feasible)} feasible points "
+        f"re-validated with the cycle simulator on "
+        f"{' + '.join(minimize)}",
+    ]
+    if median_error is not None:
+        notes.append(
+            f"analytical-vs-simulated ns error: median "
+            f"{100 * median_error:.1f}%, max "
+            f"{100 * max(c['ns_error'] for c in validation):.1f}%"
+        )
+
+    result = ExperimentResult(
+        experiment="DSE",
+        title=f"{benchmark}-{engine} design-space map "
+              f"({' x '.join(minimize)} frontier)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        data={
+            "benchmark": benchmark,
+            "engine": engine,
+            "quick": quick,
+            "grid_points": len(points),
+            "calibration_sims": calibration_sims,
+            "budget_lut": budget_lut,
+            "budget_watts": budget_watts,
+            "over_budget": over_budget,
+            "feasible": len(feasible),
+            "minimize": list(minimize),
+            "analytical": records,
+            "frontier": frontier,
+            "validation": validation,
+            "median_ns_error": median_error,
+            "model": model.to_dict(),
+        },
+    )
+    # Wall-clock of the analytical sweep: deliberately an attribute, not
+    # data — saved JSON must be byte-identical across runs (CI compares
+    # cold vs warm-cache outputs).
+    result.model_seconds = model_seconds
+    return result

@@ -7,6 +7,7 @@ comparisons work from files instead of re-simulation.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Union
@@ -22,6 +23,12 @@ def _jsonable(value):
         return [_jsonable(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Field order (not __dict__ insertion order), and frozen
+        # dataclasses (DesignPoint, Prediction...) serialise cleanly.
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+                if not f.name.startswith("_")}
     if hasattr(value, "__dict__"):
         return {k: _jsonable(v) for k, v in vars(value).items()
                 if not k.startswith("_")}

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.exceptions import ConfigError
@@ -80,24 +81,26 @@ def sweep(
     results = runner.run_checked(specs)
 
     if with_design_models:
-        from repro.design.power import accel_power_curve
-        from repro.design.resources import accelerator_resources
+        from repro.design.power import machine_power_curve
+        from repro.design.resources import machine_resources
 
         # Resource/power models depend only on the machine shape, not
         # the simulated point, so memoise them per unique
-        # (num_pes, l1_size) instead of recomputing (and re-importing)
-        # for every cartesian point.
+        # (num_pes, l1_size, pes_per_tile) instead of recomputing (and
+        # re-importing) for every cartesian point.  machine_resources /
+        # machine_power_curve use ceil tile division, so partial tiles
+        # (e.g. 6 PEs = one full tile of 4 + one tile of 2) are costed
+        # at their actual shape.
         models: Dict = {}
 
-        def design_models(pes: int, cache: int):
-            key = (pes, cache)
+        def design_models(pes: int, cache: int, pes_per_tile: int):
+            key = (pes, cache, pes_per_tile)
             if key not in models:
-                num_tiles = max(1, pes // 4)
                 models[key] = (
-                    accelerator_resources(benchmark, engine, num_tiles,
-                                          min(pes, 4), cache),
-                    accel_power_curve(benchmark, engine, num_tiles,
-                                      min(pes, 4), cache),
+                    machine_resources(benchmark, engine, pes,
+                                      pes_per_tile, cache),
+                    machine_power_curve(benchmark, engine, pes,
+                                        pes_per_tile, cache),
                 )
             return models[key]
 
@@ -112,7 +115,9 @@ def sweep(
         )
         if with_design_models:
             cache = overrides.get("l1_size", 32 * 1024)
-            resources, power_curve = design_models(pes, cache)
+            pes_per_tile = overrides.get("pes_per_tile", 4)
+            resources, power_curve = design_models(pes, cache,
+                                                   pes_per_tile)
             power = power_curve(result.utilization())
             record.update(
                 lut=resources.lut,
@@ -147,12 +152,32 @@ def pareto_front(records: Sequence[Dict], minimize: Sequence[str]
 
     A record is dominated if another is no worse on every objective and
     strictly better on at least one — e.g. ``minimize=("ns", "energy_j")``
-    gives the latency/energy trade-off curve.
+    gives the latency/energy trade-off curve.  Records with a non-finite
+    objective value (NaN or infinity) can never be dominated (every
+    comparison against NaN is False), so they are excluded from both the
+    front and the domination checks; a record missing an objective
+    column raises :class:`ConfigError` naming the column.  Duplicates of
+    a non-dominated point are all retained.
     """
+    minimize = tuple(minimize)
+    finite: List[Dict] = []
+    for record in records:
+        keep = True
+        for objective in minimize:
+            if objective not in record:
+                raise ConfigError(
+                    f"pareto_front: record missing objective column "
+                    f"{objective!r}"
+                )
+            if not math.isfinite(record[objective]):
+                keep = False
+        if keep:
+            finite.append(record)
+
     front = []
-    for candidate in records:
+    for candidate in finite:
         dominated = False
-        for other in records:
+        for other in finite:
             if other is candidate:
                 continue
             no_worse = all(other[m] <= candidate[m] for m in minimize)

@@ -1,0 +1,49 @@
+"""Two-tier fidelity: the analytical fast path over the cycle simulator.
+
+:class:`DesignPoint` names a configuration, :func:`calibrate` fits a
+:class:`AnalyticalModel` to cycle-sim records pulled through the
+execution layer, and ``model.predict(point)`` then estimates cycles/ns,
+utilization, power, and energy in microseconds — fast enough to sweep
+thousands of design points and keep only the Pareto frontier for real
+re-validation (:mod:`repro.harness.dse`, docs/DSE.md).
+"""
+
+from repro.model.analytical import (
+    MODEL_VERSION,
+    AnalyticalModel,
+    DesignPoint,
+    Prediction,
+    feature_names,
+    featurize,
+)
+from repro.model.calibrate import (
+    DEFAULT_HOP_CYCLES,
+    DEFAULT_L1_SIZE,
+    DEFAULT_MAX_SIMS,
+    DEFAULT_NUM_PES,
+    calibrate,
+    calibration_points,
+    fit,
+    stride_sample,
+)
+from repro.model.lstsq import dot, lstsq, solve
+
+__all__ = [
+    "MODEL_VERSION",
+    "AnalyticalModel",
+    "DesignPoint",
+    "Prediction",
+    "feature_names",
+    "featurize",
+    "DEFAULT_HOP_CYCLES",
+    "DEFAULT_L1_SIZE",
+    "DEFAULT_MAX_SIMS",
+    "DEFAULT_NUM_PES",
+    "calibrate",
+    "calibration_points",
+    "fit",
+    "stride_sample",
+    "dot",
+    "lstsq",
+    "solve",
+]

@@ -1,0 +1,310 @@
+"""Closed-form analytical performance/energy model (docs/DSE.md).
+
+A calibrated :class:`AnalyticalModel` predicts ``cycles``/``ns``,
+utilization, power, and energy for a :class:`DesignPoint` — a
+(benchmark, engine, num_pes, l1_size, steal_policy, net_hop_cycles)
+configuration — in microseconds instead of a cycle simulation, in the
+spirit of lumos's ``ASAcc`` closed-form accelerator model.
+
+The model is least-squares over log-space: ``log(cycles)`` and
+``log(busy_cycles)`` are each fit as a linear function of a small basis
+derived from the work/span + steal-overhead + memory-intensity view of
+dynamic task parallelism:
+
+* ``log(num_pes)`` — the parallelism scaling exponent (−1 for perfectly
+  work-bound execution, → 0 as the span dominates);
+* ``num_pes`` — linear contention/steal-traffic growth that bends the
+  scaling curve at high PE counts (serial tails, protocol occupancy);
+* ``log(32 kB / l1_size)`` — memory intensity: pressure relative to the
+  paper's 32 kB calibration point;
+* ``log(hop/4)`` and its ``log(num_pes)`` interaction — network
+  latency's direct cost and its amplification by steal rate (more PEs →
+  more remote steals per hop);
+* per-policy indicators (+ ``log(num_pes)`` interactions) — constant and
+  scaling offsets of each non-default scheduling policy.
+
+Utilization then follows from the two fits without its own model:
+``busy_total / (num_pes * cycles)``; power and energy come from the
+:mod:`repro.design` resource/power models evaluated at the predicted
+activity, so the analytical fast path and the cycle-sim slow path share
+one costing of the machine shape.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.core.exceptions import ConfigError
+from repro.exec.spec import JobSpec, make_spec
+from repro.model.lstsq import dot
+from repro.sched import POLICY_NAMES
+
+#: Model-format version, stored in every saved model file.
+MODEL_VERSION = 1
+
+#: The calibration anchors the l1/hop features to the paper's defaults.
+_BASE_L1 = 32 * 1024
+_BASE_HOP = 4
+
+#: Policies with indicator features (everything but the paper's default).
+_OFFSET_POLICIES = tuple(p for p in POLICY_NAMES if p != "random")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One analytically-evaluable design-space point."""
+
+    benchmark: str
+    engine: str = "flex"
+    num_pes: int = 4
+    l1_size: int = 32 * 1024
+    steal_policy: str = "random"
+    net_hop_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("flex", "lite"):
+            raise ConfigError(
+                f"unknown engine {self.engine!r} (flex or lite)"
+            )
+        if self.num_pes < 1:
+            raise ConfigError(f"need at least one PE: {self.num_pes}")
+        if self.l1_size < 1:
+            raise ConfigError(f"L1 size must be positive: {self.l1_size}")
+        if self.net_hop_cycles < 1:
+            raise ConfigError(
+                f"hop latency must be positive: {self.net_hop_cycles}"
+            )
+        if self.steal_policy not in POLICY_NAMES:
+            raise ConfigError(
+                f"unknown steal policy {self.steal_policy!r} "
+                f"(choose from {', '.join(POLICY_NAMES)})"
+            )
+
+    def spec(self, quick: bool = True) -> JobSpec:
+        """The cycle-simulation job validating this point."""
+        return make_spec(
+            self.benchmark, self.num_pes, engine=self.engine, quick=quick,
+            l1_size=self.l1_size, steal_policy=self.steal_policy,
+            net_hop_cycles=self.net_hop_cycles,
+        )
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        return {
+            "benchmark": self.benchmark,
+            "engine": self.engine,
+            "num_pes": self.num_pes,
+            "l1_size": self.l1_size,
+            "steal_policy": self.steal_policy,
+            "net_hop_cycles": self.net_hop_cycles,
+        }
+
+
+def feature_names() -> Tuple[str, ...]:
+    """Names of the basis, aligned with :func:`featurize` positions."""
+    names = ["intercept", "log_pes", "pes", "log_l1_pressure",
+             "log_hop", "log_hop_x_log_pes"]
+    for policy in _OFFSET_POLICIES:
+        names.append(f"policy_{policy}")
+        names.append(f"policy_{policy}_x_log_pes")
+    return tuple(names)
+
+
+def featurize(point: DesignPoint) -> List[float]:
+    """Basis vector of one point (see the module docstring)."""
+    log_pes = math.log(point.num_pes)
+    log_hop = math.log(point.net_hop_cycles / _BASE_HOP)
+    row = [
+        1.0,
+        log_pes,
+        float(point.num_pes),
+        math.log(_BASE_L1 / point.l1_size),
+        log_hop,
+        log_hop * log_pes,
+    ]
+    for policy in _OFFSET_POLICIES:
+        indicator = 1.0 if point.steal_policy == policy else 0.0
+        row.append(indicator)
+        row.append(indicator * log_pes)
+    return row
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Analytical estimate of one design point's metrics."""
+
+    point: DesignPoint
+    cycles: float
+    ns: float
+    utilization: float
+    lut: int
+    bram: int
+    power_w: float
+    energy_j: float
+
+    @property
+    def seconds(self) -> float:
+        return self.ns * 1e-9
+
+    def record(self) -> Dict:
+        """Flat sweep-style record dict (feeds ``pareto_front``)."""
+        return {
+            **self.point.as_dict(),
+            "cycles": self.cycles,
+            "ns": self.ns,
+            "utilization": self.utilization,
+            "lut": self.lut,
+            "bram": self.bram,
+            "power_w": self.power_w,
+            "energy_j": self.energy_j,
+        }
+
+
+@dataclass(frozen=True)
+class AnalyticalModel:
+    """Per-(benchmark, engine) coefficients plus the prediction rules.
+
+    ``theta_cycles`` / ``theta_busy`` are the log-space least-squares
+    coefficients for total cycles and summed busy cycles; ``calibration``
+    carries fit diagnostics (point count, in-sample relative errors) so
+    drift is visible wherever the model travels.
+    """
+
+    benchmark: str
+    engine: str
+    quick: bool
+    clock_mhz: float
+    theta_cycles: Tuple[float, ...]
+    theta_busy: Tuple[float, ...]
+    features: Tuple[str, ...] = field(default_factory=feature_names)
+    calibration: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        expected = feature_names()
+        if self.features != expected:
+            raise ConfigError(
+                f"model feature mismatch: {self.features} != {expected}"
+            )
+        if len(self.theta_cycles) != len(expected):
+            raise ConfigError(
+                f"theta_cycles has {len(self.theta_cycles)} coefficients, "
+                f"expected {len(expected)}"
+            )
+        if len(self.theta_busy) != len(expected):
+            raise ConfigError(
+                f"theta_busy has {len(self.theta_busy)} coefficients, "
+                f"expected {len(expected)}"
+            )
+
+    # -- core predictions ----------------------------------------------
+    def predict_cycles(self, point: DesignPoint) -> float:
+        self._check(point)
+        return math.exp(dot(self.theta_cycles, featurize(point)))
+
+    def predict_utilization(self, point: DesignPoint) -> float:
+        self._check(point)
+        row = featurize(point)
+        busy = math.exp(dot(self.theta_busy, row))
+        cycles = math.exp(dot(self.theta_cycles, row))
+        return max(0.0, min(1.0, busy / (point.num_pes * cycles)))
+
+    def predict(self, point: DesignPoint) -> Prediction:
+        """Full analytical estimate, design-stage metrics included."""
+        self._check(point)
+        row = featurize(point)
+        cycles = math.exp(dot(self.theta_cycles, row))
+        busy = math.exp(dot(self.theta_busy, row))
+        utilization = max(0.0, min(1.0, busy / (point.num_pes * cycles)))
+        ns = cycles * 1000.0 / self.clock_mhz
+        resources, power_curve = self._design_models(point)
+        power = power_curve(utilization)
+        return Prediction(
+            point=point,
+            cycles=cycles,
+            ns=ns,
+            utilization=utilization,
+            lut=resources.lut,
+            bram=resources.bram,
+            power_w=power.total_w,
+            energy_j=power.energy_j(ns * 1e-9),
+        )
+
+    def predict_all(self, points: Iterable[DesignPoint]
+                    ) -> List[Prediction]:
+        return [self.predict(point) for point in points]
+
+    def _check(self, point: DesignPoint) -> None:
+        if (point.benchmark, point.engine) != (self.benchmark,
+                                               self.engine):
+            raise ConfigError(
+                f"model calibrated for {self.benchmark}/{self.engine}, "
+                f"got a {point.benchmark}/{point.engine} point"
+            )
+
+    def _design_models(self, point: DesignPoint):
+        # Shape-dependent only; memoised per l1/pes pair.  The cache dict
+        # rides on the instance despite frozen=True (object.__setattr__),
+        # mirroring JobSpec's lazy digest.
+        cache = self.__dict__.get("_design_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_design_cache", cache)
+        key = (point.num_pes, point.l1_size)
+        if key not in cache:
+            from repro.design.power import machine_power_curve
+            from repro.design.resources import machine_resources
+
+            cache[key] = (
+                machine_resources(self.benchmark, self.engine,
+                                  point.num_pes,
+                                  cache_bytes=point.l1_size),
+                machine_power_curve(self.benchmark, self.engine,
+                                    point.num_pes,
+                                    cache_bytes=point.l1_size),
+            )
+        return cache[key]
+
+    # -- persistence ----------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "version": MODEL_VERSION,
+            "benchmark": self.benchmark,
+            "engine": self.engine,
+            "quick": self.quick,
+            "clock_mhz": self.clock_mhz,
+            "features": list(self.features),
+            "theta_cycles": list(self.theta_cycles),
+            "theta_busy": list(self.theta_busy),
+            "calibration": self.calibration,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "AnalyticalModel":
+        if payload.get("version") != MODEL_VERSION:
+            raise ConfigError(
+                f"unsupported model version {payload.get('version')!r}"
+            )
+        return cls(
+            benchmark=payload["benchmark"],
+            engine=payload["engine"],
+            quick=payload["quick"],
+            clock_mhz=payload["clock_mhz"],
+            theta_cycles=tuple(payload["theta_cycles"]),
+            theta_busy=tuple(payload["theta_busy"]),
+            features=tuple(payload["features"]),
+            calibration=dict(payload.get("calibration", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AnalyticalModel":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,180 @@
+"""Fitting :class:`~repro.model.analytical.AnalyticalModel` coefficients.
+
+Calibration pulls cycle-sim :class:`~repro.exec.record.RunRecord`\\ s
+through the ordinary execution layer — a
+:class:`~repro.exec.runner.JobRunner`, so calibration runs parallelise,
+deduplicate, and land in (or come from) the content-addressed
+:class:`~repro.exec.cache.ResultCache` — and then solves two
+least-squares problems in log-space: ``log(cycles)`` and
+``log(busy_cycles)`` against the work/span feature basis
+(:func:`~repro.model.analytical.featurize`).
+
+The calibration grid is the cartesian product of every PE count and
+scheduling policy with the *extremes* of the L1-size and hop-latency
+axes: PE count and policy bend the scaling curve non-linearly, while the
+l1/hop features are single log-linear terms that interpolate from their
+endpoints.  ``max_sims`` caps the grid with a deterministic even stride.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ConfigError
+from repro.exec import JobRunner
+from repro.exec.record import RunRecord
+from repro.model.analytical import (
+    AnalyticalModel,
+    DesignPoint,
+    feature_names,
+    featurize,
+)
+from repro.model.lstsq import dot, lstsq
+from repro.sched import POLICY_NAMES
+
+#: Default calibration axes (span the default DSE grid of docs/DSE.md).
+DEFAULT_NUM_PES = (1, 2, 4, 8, 16, 32)
+DEFAULT_L1_SIZE = (8 * 1024, 64 * 1024)
+DEFAULT_HOP_CYCLES = (2, 16)
+
+#: Default cap on calibration simulations.
+DEFAULT_MAX_SIMS = 96
+
+
+def _unique(values: Sequence) -> List:
+    seen, out = set(), []
+    for value in values:
+        if value not in seen:
+            seen.add(value)
+            out.append(value)
+    return out
+
+
+def _extremes(values: Sequence) -> List:
+    """Min/max of an axis (one value if the axis is a single point)."""
+    ordered = sorted(set(values))
+    if not ordered:
+        raise ConfigError("calibration axis is empty")
+    return ordered if len(ordered) <= 2 else [ordered[0], ordered[-1]]
+
+
+def stride_sample(items: Sequence, limit: Optional[int]) -> List:
+    """At most ``limit`` items, evenly strided, endpoints included."""
+    items = list(items)
+    if limit is None or len(items) <= limit:
+        return items
+    if limit < 1:
+        raise ConfigError(f"sample limit must be positive: {limit}")
+    if limit == 1:
+        return [items[0]]
+    span = len(items) - 1
+    indices = {round(i * span / (limit - 1)) for i in range(limit)}
+    return [items[i] for i in sorted(indices)]
+
+
+def calibration_points(
+    benchmark: str,
+    engine: str = "flex",
+    num_pes: Sequence[int] = DEFAULT_NUM_PES,
+    l1_size: Sequence[int] = DEFAULT_L1_SIZE,
+    steal_policy: Sequence[str] = POLICY_NAMES,
+    net_hop_cycles: Sequence[int] = DEFAULT_HOP_CYCLES,
+    max_sims: Optional[int] = DEFAULT_MAX_SIMS,
+) -> List[DesignPoint]:
+    """The calibration grid for one (benchmark, engine) model."""
+    points = [
+        DesignPoint(benchmark=benchmark, engine=engine, num_pes=pes,
+                    l1_size=l1, steal_policy=policy, net_hop_cycles=hop)
+        for pes in _unique(num_pes)
+        for l1 in _extremes(l1_size)
+        for hop in _extremes(net_hop_cycles)
+        for policy in _unique(steal_policy)
+    ]
+    return stride_sample(points, max_sims)
+
+
+def _busy_total(record: RunRecord) -> float:
+    busy = sum(p["busy_cycles"] for p in record.pe_stats)
+    return float(max(1, busy))
+
+
+def fit(pairs: Sequence[Tuple[DesignPoint, RunRecord]],
+        quick: bool = True) -> AnalyticalModel:
+    """Fit a model from already-simulated (point, record) pairs."""
+    if not pairs:
+        raise ConfigError("cannot fit a model from zero records")
+    benchmarks = {p.benchmark for p, _ in pairs}
+    engines = {p.engine for p, _ in pairs}
+    if len(benchmarks) != 1 or len(engines) != 1:
+        raise ConfigError(
+            f"calibration records span {sorted(benchmarks)} x "
+            f"{sorted(engines)}: fit one (benchmark, engine) at a time"
+        )
+    clocks = {record.clock_mhz for _, record in pairs}
+    if len(clocks) != 1:
+        raise ConfigError(
+            f"calibration records span clock domains {sorted(clocks)}"
+        )
+
+    rows = [featurize(point) for point, _ in pairs]
+    log_cycles = [math.log(max(1, record.cycles)) for _, record in pairs]
+    log_busy = [math.log(_busy_total(record)) for _, record in pairs]
+    theta_cycles = lstsq(rows, log_cycles)
+    theta_busy = lstsq(rows, log_busy)
+
+    errors = sorted(
+        abs(math.exp(dot(theta_cycles, row)) - record.cycles)
+        / record.cycles
+        for row, (_, record) in zip(rows, pairs)
+    )
+    mid = len(errors) // 2
+    median = (errors[mid] if len(errors) % 2
+              else (errors[mid - 1] + errors[mid]) / 2.0)
+    (benchmark,), (engine,) = benchmarks, engines
+    return AnalyticalModel(
+        benchmark=benchmark,
+        engine=engine,
+        quick=quick,
+        clock_mhz=clocks.pop(),
+        theta_cycles=tuple(theta_cycles),
+        theta_busy=tuple(theta_busy),
+        features=feature_names(),
+        calibration={
+            "points": len(pairs),
+            "median_cycles_error": median,
+            "max_cycles_error": errors[-1],
+        },
+    )
+
+
+def calibrate(
+    benchmark: str,
+    engine: str = "flex",
+    *,
+    num_pes: Sequence[int] = DEFAULT_NUM_PES,
+    l1_size: Sequence[int] = DEFAULT_L1_SIZE,
+    steal_policy: Sequence[str] = POLICY_NAMES,
+    net_hop_cycles: Sequence[int] = DEFAULT_HOP_CYCLES,
+    quick: bool = True,
+    max_sims: Optional[int] = DEFAULT_MAX_SIMS,
+    runner: Optional[JobRunner] = None,
+    points: Optional[Sequence[DesignPoint]] = None,
+) -> AnalyticalModel:
+    """Simulate a calibration grid and fit the analytical model.
+
+    ``points`` overrides the generated grid entirely (the axis arguments
+    are then ignored).  All simulations go through ``runner`` — pass a
+    cached/parallel one to make recalibration effectively free.
+    """
+    if points is None:
+        points = calibration_points(
+            benchmark, engine, num_pes=num_pes, l1_size=l1_size,
+            steal_policy=steal_policy, net_hop_cycles=net_hop_cycles,
+            max_sims=max_sims,
+        )
+    else:
+        points = list(points)
+    runner = runner or JobRunner()
+    records = runner.run_checked([p.spec(quick=quick) for p in points])
+    return fit(list(zip(points, records)), quick=quick)

@@ -1,0 +1,83 @@
+"""Small dense least-squares solver (pure Python, no numpy).
+
+The analytical model fits a handful of coefficients (≤ ~12) against a
+few dozen calibration records, so a ridge-regularised normal-equations
+solve with Gaussian elimination is plenty — and keeps :mod:`repro.model`
+importable (and picklable into worker processes) with zero third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.exceptions import ConfigError
+
+
+def solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Solve ``matrix @ x = rhs`` by Gaussian elimination with partial
+    pivoting.  ``matrix`` and ``rhs`` are modified in place."""
+    n = len(matrix)
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(matrix[r][col]))
+        if abs(matrix[pivot][col]) < 1e-300:
+            raise ConfigError("lstsq: singular normal matrix")
+        if pivot != col:
+            matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
+            rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+        inv = 1.0 / matrix[col][col]
+        for row in range(col + 1, n):
+            factor = matrix[row][col] * inv
+            if factor == 0.0:
+                continue
+            for k in range(col, n):
+                matrix[row][k] -= factor * matrix[col][k]
+            rhs[row] -= factor * rhs[col]
+    x = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = rhs[row]
+        for k in range(row + 1, n):
+            acc -= matrix[row][k] * x[k]
+        x[row] = acc / matrix[row][row]
+    return x
+
+
+def lstsq(rows: Sequence[Sequence[float]], targets: Sequence[float],
+          ridge: float = 1e-9) -> List[float]:
+    """Least-squares fit: ``argmin_theta ||rows @ theta - targets||²``.
+
+    Solves the ridge-regularised normal equations
+    ``(AᵀA + ridge·I) theta = Aᵀb``; the tiny ridge keeps the solve
+    well-posed when a feature column is constant-zero (e.g. a policy
+    indicator for a policy absent from the calibration grid), driving
+    that coefficient to zero instead of failing.
+    """
+    if not rows:
+        raise ConfigError("lstsq: no calibration rows")
+    if len(rows) != len(targets):
+        raise ConfigError(
+            f"lstsq: {len(rows)} rows but {len(targets)} targets"
+        )
+    n = len(rows[0])
+    if any(len(row) != n for row in rows):
+        raise ConfigError("lstsq: ragged feature rows")
+    ata = [[0.0] * n for _ in range(n)]
+    atb = [0.0] * n
+    for row, target in zip(rows, targets):
+        for i in range(n):
+            ri = row[i]
+            if ri == 0.0:
+                continue
+            atb[i] += ri * target
+            for j in range(i, n):
+                ata[i][j] += ri * row[j]
+    for i in range(n):
+        for j in range(i):
+            ata[i][j] = ata[j][i]
+        ata[i][i] += ridge
+    return solve(ata, atb)
+
+
+def dot(theta: Sequence[float], features: Sequence[float]) -> float:
+    """Inner product (prediction of one fitted row)."""
+    return sum(t * f for t, f in zip(theta, features))

@@ -99,3 +99,34 @@ class TestPower:
 
     def test_energy_efficiency_ratio(self):
         assert energy_efficiency_ratio(10.0, 2.0) == 5.0
+
+
+class TestMachinePower:
+    """Partial-tile power model behind sweep()/repro.model."""
+
+    def test_static_power_counts_the_partial_tile(self):
+        from repro.design.power import (
+            ACCEL_STATIC_W,
+            TILE_STATIC_W,
+            machine_power_curve,
+        )
+
+        report = machine_power_curve("fib", "flex", 6)(0.0)
+        assert report.static_w == pytest.approx(
+            ACCEL_STATIC_W + 2 * TILE_STATIC_W
+        )
+
+    def test_power_scales_with_actual_pe_count(self):
+        from repro.design.power import machine_power_curve
+
+        four = machine_power_curve("fib", "flex", 4)(1.0).total_w
+        six = machine_power_curve("fib", "flex", 6)(1.0).total_w
+        eight = machine_power_curve("fib", "flex", 8)(1.0).total_w
+        assert four < six < eight
+
+    def test_zero_activity_leaves_static_only(self):
+        from repro.design.power import machine_power_curve
+
+        report = machine_power_curve("queens", "flex", 12)(0.0)
+        assert report.dynamic_w == 0.0
+        assert report.total_w == report.static_w

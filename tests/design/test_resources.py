@@ -7,12 +7,15 @@ from repro.design.resources import (
     CACHE_32KB,
     FLEX_PE_TMU,
     FLEX_TILE_SHARED,
+    INTERFACE_BLOCK,
     LITE_PE_TMU,
     LITE_TILE_SHARED,
     PAPER_PE_RESOURCES,
     ResourceVector,
     accelerator_resources,
     cache_resources,
+    machine_resources,
+    machine_shape,
     pe_resources,
     tile_resources,
     worker_resources,
@@ -124,3 +127,58 @@ def test_template_overheads_sane():
     assert LITE_TILE_SHARED.lut < FLEX_TILE_SHARED.lut / 5
     assert LITE_PE_TMU.lut < FLEX_PE_TMU.lut
     assert FLEX_TILE_SHARED.bram >= 1  # P-Store argument arrays
+
+
+class TestMachineResources:
+    """Ceil tile division with a costed partial tile (the sweep()
+    design-model regression: 6 PEs used to be costed as one tile of 4,
+    18 PEs as four tiles of 4)."""
+
+    def test_matches_accelerator_resources_on_full_tiles(self):
+        for pes, tiles in ((4, 1), (8, 2), (16, 4)):
+            assert (machine_resources("fib", "flex", pes)
+                    == accelerator_resources("fib", "flex", tiles))
+
+    def test_single_partial_tile_below_four_pes(self):
+        expected = tile_resources("fib", "flex", 3) + INTERFACE_BLOCK
+        assert machine_resources("fib", "flex", 3) == expected
+
+    def test_six_pes_is_a_full_tile_plus_a_tile_of_two(self):
+        expected = (tile_resources("fib", "flex", 4)
+                    + tile_resources("fib", "flex", 2)
+                    + INTERFACE_BLOCK)
+        assert machine_resources("fib", "flex", 6) == expected
+        # Regression pin: strictly more than the old 4-PE model.
+        assert (machine_resources("fib", "flex", 6).lut
+                > machine_resources("fib", "flex", 4).lut)
+
+    def test_eighteen_pes_is_four_full_tiles_plus_two(self):
+        expected = (tile_resources("nw", "flex", 4).scale(4)
+                    + tile_resources("nw", "flex", 2)
+                    + INTERFACE_BLOCK)
+        assert machine_resources("nw", "flex", 18) == expected
+        assert (machine_resources("nw", "flex", 18).lut
+                > machine_resources("nw", "flex", 16).lut)
+
+    def test_respects_pes_per_tile(self):
+        expected = (tile_resources("fib", "flex", 2).scale(3)
+                    + INTERFACE_BLOCK)
+        assert machine_resources("fib", "flex", 6, pes_per_tile=2) == expected
+
+    def test_lut_strictly_increases_with_pes(self):
+        luts = [machine_resources("queens", "flex", p).lut
+                for p in range(1, 20)]
+        assert all(a < b for a, b in zip(luts, luts[1:]))
+
+    def test_machine_shape(self):
+        assert machine_shape(6) == (1, 2)
+        assert machine_shape(18) == (4, 2)
+        assert machine_shape(8) == (2, 0)
+        assert machine_shape(2) == (0, 2)
+        assert machine_shape(6, pes_per_tile=3) == (2, 0)
+
+    def test_machine_shape_validation(self):
+        with pytest.raises(ConfigError):
+            machine_shape(0)
+        with pytest.raises(ConfigError):
+            machine_shape(4, pes_per_tile=0)

@@ -86,6 +86,60 @@ def test_faults_command(capsys):
     assert "recovered" in out
 
 
+def test_dse_command(tmp_path, capsys):
+    out = tmp_path / "dse.json"
+    assert main(["dse", "fib", "--pes", "1,2,4", "--points", "32",
+                 "--budget-watts", "2.0", "--no-cache",
+                 "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "design-space map" in printed
+    assert "re-validated with the cycle simulator" in printed
+    assert "analytical-vs-simulated ns error" in printed
+    assert "model time" in printed
+    assert out.exists()
+
+
+def test_expect_cached_fails_when_a_job_fails_on_warm_cache(
+        tmp_path, capsys, monkeypatch):
+    """Regression: failed jobs bump ``stats.failed`` but never
+    ``stats.executed`` (and are never cached), so a warm-cache batch
+    that re-simulated *and failed* used to sail through the
+    ``--expect-cached`` SLO gate."""
+    from repro.exec import runner as runner_mod
+    from repro.exec.record import JobFailure
+
+    real_run_job = runner_mod._run_job
+
+    def failing(spec, timeout):
+        if spec.faults is not None:
+            return JobFailure(spec.digest, spec.label, "DeadlockError",
+                              "injected test failure", parallelxl=True)
+        return real_run_job(spec, timeout)
+
+    monkeypatch.setattr(runner_mod, "_run_job", failing)
+    cache_dir = str(tmp_path / "cache")
+    argv = ["faults", "--pes", "2", "--rates", "0.002",
+            "--seeds", "0xBEEF", "--cache-dir", cache_dir]
+    # Cold run: the baseline simulates and caches; the fault job fails
+    # (diagnosed), so nothing of it is cached.
+    assert main(argv) == 0
+    capsys.readouterr()
+    # Warm run: baseline served from cache, the fault job re-simulates
+    # and fails again — the cache was NOT warm, the gate must trip.
+    assert main(argv + ["--expect-cached"]) == 1
+    captured = capsys.readouterr()
+    assert "--expect-cached" in captured.err
+    assert "failed" in captured.err
+
+
+def test_expect_cached_passes_on_truly_warm_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["faults", "--pes", "2", "--rates", "0.002",
+            "--seeds", "0xBEEF", "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    assert main(argv + ["--expect-cached"]) == 0
+
+
 def test_unknown_benchmark_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "nonesuch"])

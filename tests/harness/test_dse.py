@@ -1,0 +1,131 @@
+"""Tests for the two-tier Pareto design-space explorer."""
+
+import pytest
+
+from repro.core.exceptions import ConfigError
+from repro.exec import JobRunner, ResultCache
+from repro.harness.dse import design_grid, run_dse
+from repro.model import DesignPoint, calibrate
+
+#: Small sweep: 3 x 2 x 2 x 2 = 24 design points, corner calibration
+#: grid of 3 x 2 x 2 x 2 = 24 quick fib sims (~1.5 s).
+AXES = dict(num_pes=(1, 2, 4), l1_size=(8192, 65536),
+            steal_policy=("random", "steal_half"),
+            net_hop_cycles=(2, 16))
+
+
+@pytest.fixture(scope="module")
+def fib_model():
+    return calibrate("fib", **AXES)
+
+
+class TestDesignGrid:
+    def test_cartesian_size(self):
+        assert len(design_grid("fib", **AXES)) == 24
+
+    def test_max_points_caps_evenly(self):
+        grid = design_grid("fib", **AXES, max_points=7)
+        assert len(grid) == 7
+        full = design_grid("fib", **AXES)
+        assert grid[0] == full[0] and grid[-1] == full[-1]
+
+    def test_points_carry_the_axes(self):
+        grid = design_grid("fib", **AXES)
+        assert {p.num_pes for p in grid} == {1, 2, 4}
+        assert {p.steal_policy for p in grid} == {"random", "steal_half"}
+
+
+class TestRunDse:
+    @pytest.fixture(scope="class")
+    def result(self, fib_model):
+        runner = JobRunner()
+        out = run_dse("fib", **AXES, model=fib_model, runner=runner)
+        out.runner_stats = runner.stats
+        return out
+
+    def test_frontier_is_a_subset_of_feasible(self, result):
+        data = result.data
+        assert data["grid_points"] == 24
+        assert 1 <= len(data["frontier"]) <= data["feasible"]
+        analytical_keys = {(r["num_pes"], r["l1_size"], r["steal_policy"],
+                            r["net_hop_cycles"])
+                           for r in data["analytical"]}
+        for record in data["frontier"]:
+            key = (record["num_pes"], record["l1_size"],
+                   record["steal_policy"], record["net_hop_cycles"])
+            assert key in analytical_keys
+
+    def test_validation_aligns_with_the_frontier(self, result):
+        data = result.data
+        assert len(data["validation"]) == len(data["frontier"])
+        for record, cell in zip(data["frontier"], data["validation"]):
+            assert cell["num_pes"] == record["num_pes"]
+            assert cell["predicted_ns"] == record["ns"]
+            assert cell["ns_error"] == (
+                abs(cell["predicted_ns"] - cell["simulated_ns"])
+                / cell["simulated_ns"])
+
+    def test_error_within_acceptance(self, result):
+        assert result.data["median_ns_error"] <= 0.25
+
+    def test_only_the_frontier_is_simulated(self, result):
+        # Pre-calibrated model: every executed job is a frontier point.
+        stats = result.runner_stats
+        assert stats.executed == len(result.data["frontier"])
+        assert stats.failed == 0
+
+    def test_frontier_sorted_by_ns(self, result):
+        ns = [record["ns"] for record in result.data["frontier"]]
+        assert ns == sorted(ns)
+
+    def test_model_seconds_attached_but_not_serialised(self, result):
+        assert result.model_seconds >= 0.0
+        assert "model_seconds" not in result.data
+        assert all("model_seconds" not in note for note in result.notes)
+
+    def test_budget_filter_reduces_the_feasible_set(self, fib_model):
+        free = run_dse("fib", **AXES, model=fib_model)
+        # Cap LUTs below the 4-PE machine's cost: only smaller shapes
+        # stay feasible.
+        from repro.design import machine_resources
+        cap = machine_resources("fib", "flex", 4).lut - 1
+        capped = run_dse("fib", **AXES, model=fib_model, budget_lut=cap)
+        assert capped.data["over_budget"] > 0
+        assert capped.data["feasible"] < free.data["feasible"]
+        assert all(r["lut"] <= cap for r in capped.data["frontier"])
+
+    def test_impossible_budget_empties_the_frontier(self, fib_model):
+        result = run_dse("fib", **AXES, model=fib_model,
+                         budget_watts=1e-6)
+        assert result.data["feasible"] == 0
+        assert result.data["frontier"] == []
+        assert result.data["median_ns_error"] is None
+
+    def test_serial_and_parallel_runs_agree_bit_for_bit(
+            self, fib_model, tmp_path):
+        serial = run_dse(
+            "fib", **AXES, model=fib_model,
+            runner=JobRunner(cache=ResultCache(tmp_path / "a")))
+        parallel = run_dse(
+            "fib", **AXES, model=fib_model,
+            runner=JobRunner(jobs=4, cache=ResultCache(tmp_path / "b")))
+        assert serial.data["validation"] == parallel.data["validation"]
+        assert serial.data["frontier"] == parallel.data["frontier"]
+
+    def test_pre_calibrated_model_skips_calibration_sims(self, fib_model):
+        runner = JobRunner()
+        result = run_dse("fib", **AXES, model=fib_model, runner=runner)
+        assert runner.stats.executed == len(result.data["frontier"])
+
+    def test_mismatched_model_rejected(self, fib_model):
+        with pytest.raises(ConfigError):
+            run_dse("queens", **AXES, model=fib_model)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            run_dse("fib", engine="cpu", **AXES)
+
+    def test_render_includes_the_error_summary(self, result):
+        rendered = result.render()
+        assert "design-space map" in rendered
+        assert "analytical-vs-simulated ns error" in rendered

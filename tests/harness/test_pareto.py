@@ -1,0 +1,119 @@
+"""Property tests for :func:`repro.harness.sweep.pareto_front`.
+
+Regression focus: records carrying a NaN objective used to slip into
+the front (NaN comparisons are all False, so such a record was never
+"dominated"), and a missing objective column raised a bare ``KeyError``
+instead of a typed configuration error.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import ConfigError
+from repro.harness.sweep import pareto_front
+
+OBJECTIVES = ("ns", "energy_j")
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e30, max_value=1e30)
+record_st = st.fixed_dictionaries({"ns": finite, "energy_j": finite})
+records_st = st.lists(record_st, max_size=24)
+
+
+def _dominates(a, b):
+    return (all(a[m] <= b[m] for m in OBJECTIVES)
+            and any(a[m] < b[m] for m in OBJECTIVES))
+
+
+class TestNanExclusion:
+    def test_nan_record_never_joins_the_front(self):
+        poisoned = {"ns": math.nan, "energy_j": 1.0}
+        records = [{"ns": 5.0, "energy_j": 5.0}, poisoned]
+        front = pareto_front(records, minimize=OBJECTIVES)
+        assert not any(r is poisoned for r in front)
+        assert any(r is records[0] for r in front)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_every_nonfinite_value_is_excluded(self, bad):
+        poisoned = {"ns": bad, "energy_j": 1.0}
+        front = pareto_front(
+            [poisoned, {"ns": 1.0, "energy_j": 1.0}], minimize=OBJECTIVES
+        )
+        assert not any(r is poisoned for r in front)
+
+    def test_all_nonfinite_yields_empty_front(self):
+        records = [{"ns": math.nan, "energy_j": 1.0},
+                   {"ns": 1.0, "energy_j": math.inf}]
+        assert pareto_front(records, minimize=OBJECTIVES) == []
+
+    @given(records_st, st.lists(
+        st.fixed_dictionaries({
+            "ns": st.just(math.nan) | finite,
+            "energy_j": st.just(math.nan) | st.just(math.inf) | finite,
+        }), max_size=8))
+    def test_front_is_always_finite(self, records, extra):
+        front = pareto_front(records + extra, minimize=OBJECTIVES)
+        assert all(
+            math.isfinite(r[m]) for r in front for m in OBJECTIVES
+        )
+
+
+class TestMissingColumn:
+    def test_missing_objective_raises_config_error_naming_it(self):
+        with pytest.raises(ConfigError, match="energy_j"):
+            pareto_front([{"ns": 1.0}], minimize=OBJECTIVES)
+
+    def test_not_a_bare_key_error(self):
+        try:
+            pareto_front([{"ns": 1.0}], minimize=OBJECTIVES)
+        except ConfigError:
+            pass  # the typed error is also a KeyError-free path
+
+    def test_partial_records_raise_even_with_valid_neighbours(self):
+        records = [{"ns": 1.0, "energy_j": 1.0}, {"energy_j": 2.0}]
+        with pytest.raises(ConfigError, match="ns"):
+            pareto_front(records, minimize=OBJECTIVES)
+
+
+class TestDuplicateRetention:
+    def test_duplicates_of_a_front_point_are_all_kept(self):
+        best = {"ns": 1.0, "energy_j": 2.0}
+        twin = dict(best)
+        records = [best, twin, {"ns": 5.0, "energy_j": 5.0}]
+        front = pareto_front(records, minimize=OBJECTIVES)
+        assert any(r is best for r in front)
+        assert any(r is twin for r in front)
+
+    @given(record_st, st.integers(min_value=2, max_value=5))
+    def test_n_copies_survive_together(self, record, copies):
+        records = [dict(record) for _ in range(copies)]
+        front = pareto_front(records, minimize=OBJECTIVES)
+        assert len(front) == copies
+
+
+class TestFrontCharacterisation:
+    @given(records_st)
+    def test_front_members_are_mutually_nondominating(self, records):
+        front = pareto_front(records, minimize=OBJECTIVES)
+        for a in front:
+            assert not any(
+                _dominates(b, a) for b in front if b is not a
+            )
+
+    @given(records_st)
+    def test_excluded_finite_records_are_dominated(self, records):
+        front = pareto_front(records, minimize=OBJECTIVES)
+        front_ids = {id(r) for r in front}
+        for record in records:
+            if id(record) in front_ids:
+                continue
+            assert any(_dominates(f, record) for f in front)
+
+    @given(records_st)
+    def test_front_preserves_input_order_and_identity(self, records):
+        front = pareto_front(records, minimize=OBJECTIVES)
+        ids = [id(r) for r in records]
+        positions = [ids.index(id(r)) for r in front]
+        assert positions == sorted(positions)

@@ -57,6 +57,37 @@ class TestSweep:
                         quick=True, with_design_models=False)
         assert records[0]["tasks"] > 0
 
+    def test_partial_tile_shape_scales_design_columns(self):
+        """Regression: with tiles of 2, a 6-PE machine is three tiles —
+        the old model costed any PE count as ``pes // 4`` tiles of
+        ``min(pes, 4)`` PEs, so 4 and 6 PEs both priced as one tile of
+        four and the lut/power/energy columns never saw the real shape.
+        """
+        from repro.design.power import machine_power_curve
+        from repro.design.resources import machine_resources
+
+        records = sweep("fib", num_pes=(4, 6), quick=True,
+                        pes_per_tile=(2,))
+        by_pes = {r["num_pes"]: r for r in records}
+        assert by_pes[6]["lut"] > by_pes[4]["lut"]
+        assert by_pes[6]["bram"] > by_pes[4]["bram"]
+        for pes in (4, 6):
+            record = by_pes[pes]
+            resources = machine_resources("fib", "flex", pes,
+                                          pes_per_tile=2)
+            assert record["lut"] == resources.lut
+            assert record["bram"] == resources.bram
+            power = machine_power_curve("fib", "flex", pes,
+                                        pes_per_tile=2)(
+                record["utilization"])
+            assert record["power_w"] == pytest.approx(power.total_w)
+
+    def test_design_models_respect_l1_size_override(self):
+        records = sweep("fib", num_pes=(2,), quick=True,
+                        l1_size=(8 * 1024, 64 * 1024))
+        by_l1 = {r["l1_size"]: r for r in records}
+        assert by_l1[64 * 1024]["bram"] > by_l1[8 * 1024]["bram"]
+
 
 class TestTabulate:
     def test_renders_columns(self):

@@ -1,0 +1,169 @@
+"""Tests for the analytical model's structure and prediction rules."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ConfigError
+from repro.model import (
+    AnalyticalModel,
+    DesignPoint,
+    Prediction,
+    feature_names,
+    featurize,
+)
+
+
+def _model(theta_cycles=None, theta_busy=None, **kwargs):
+    """Hand-built model: cycles = 1000/p, busy = 900 by default."""
+    n = len(feature_names())
+    if theta_cycles is None:
+        theta_cycles = [math.log(1000.0), -1.0] + [0.0] * (n - 2)
+    if theta_busy is None:
+        theta_busy = [math.log(900.0)] + [0.0] * (n - 1)
+    defaults = dict(benchmark="fib", engine="flex", quick=True,
+                    clock_mhz=200.0)
+    defaults.update(kwargs)
+    return AnalyticalModel(
+        theta_cycles=tuple(theta_cycles), theta_busy=tuple(theta_busy),
+        features=feature_names(), **defaults)
+
+
+class TestDesignPoint:
+    def test_defaults_match_the_paper(self):
+        point = DesignPoint("fib")
+        assert point.engine == "flex"
+        assert point.l1_size == 32 * 1024
+        assert point.steal_policy == "random"
+        assert point.net_hop_cycles == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DesignPoint("fib", engine="cpu")
+        with pytest.raises(ConfigError):
+            DesignPoint("fib", num_pes=0)
+        with pytest.raises(ConfigError):
+            DesignPoint("fib", l1_size=0)
+        with pytest.raises(ConfigError):
+            DesignPoint("fib", net_hop_cycles=0)
+        with pytest.raises(ConfigError):
+            DesignPoint("fib", steal_policy="greedy")
+
+    def test_spec_carries_the_configuration(self):
+        point = DesignPoint("fib", num_pes=8, l1_size=8192,
+                            steal_policy="occupancy", net_hop_cycles=16)
+        spec = point.spec(quick=True)
+        assert spec.num_pes == 8
+        assert spec.quick is True
+        config = spec.config_dict
+        assert config["l1_size"] == 8192
+        assert config["steal_policy"] == "occupancy"
+        assert config["net_hop_cycles"] == 16
+
+    def test_identical_points_share_a_spec_digest(self):
+        a = DesignPoint("fib", num_pes=4).spec()
+        b = DesignPoint("fib", num_pes=4).spec()
+        assert a.digest == b.digest
+
+
+class TestFeaturize:
+    def test_row_aligns_with_feature_names(self):
+        assert len(featurize(DesignPoint("fib"))) == len(feature_names())
+
+    def test_default_point_is_the_basis_origin(self):
+        # num_pes=1 at the paper's l1/hop defaults: every log/indicator
+        # feature is zero (the raw-pes column is p itself, so 1.0).
+        names = feature_names()
+        row = featurize(DesignPoint("fib", num_pes=1))
+        expected = {"intercept": 1.0, "pes": 1.0}
+        for name, value in zip(names, row):
+            assert value == expected.get(name, 0.0), name
+
+    def test_policy_indicators_are_one_hot(self):
+        names = feature_names()
+        row = featurize(DesignPoint("fib", num_pes=2,
+                                    steal_policy="occupancy"))
+        hot = {name for name, value in zip(names, row)
+               if name.startswith("policy_") and value != 0.0}
+        assert hot == {"policy_occupancy", "policy_occupancy_x_log_pes"}
+
+
+class TestPredict:
+    def test_power_law_cycles(self):
+        model = _model()
+        assert model.predict_cycles(
+            DesignPoint("fib", num_pes=1)) == pytest.approx(1000.0)
+        assert model.predict_cycles(
+            DesignPoint("fib", num_pes=2)) == pytest.approx(500.0)
+
+    def test_utilization_from_busy_over_cycles(self):
+        model = _model()
+        # p=2: busy 900 over 2 * 500 total PE-cycles.
+        util = model.predict_utilization(DesignPoint("fib", num_pes=2))
+        assert util == pytest.approx(0.9)
+
+    def test_utilization_clamped_to_one(self):
+        model = _model(theta_busy=[math.log(1e9)]
+                       + [0.0] * (len(feature_names()) - 1))
+        assert model.predict_utilization(DesignPoint("fib")) == 1.0
+
+    def test_prediction_includes_design_metrics(self):
+        from repro.design.power import machine_power_curve
+        from repro.design.resources import machine_resources
+
+        model = _model()
+        point = DesignPoint("fib", num_pes=6, l1_size=8192)
+        prediction = model.predict(point)
+        assert isinstance(prediction, Prediction)
+        resources = machine_resources("fib", "flex", 6, cache_bytes=8192)
+        assert prediction.lut == resources.lut
+        assert prediction.bram == resources.bram
+        expected_power = machine_power_curve(
+            "fib", "flex", 6, cache_bytes=8192)(prediction.utilization)
+        assert prediction.power_w == pytest.approx(expected_power.total_w)
+        assert prediction.energy_j == pytest.approx(
+            expected_power.total_w * prediction.seconds)
+
+    def test_ns_uses_the_calibrated_clock(self):
+        model = _model(clock_mhz=100.0)
+        prediction = model.predict(DesignPoint("fib", num_pes=1))
+        assert prediction.ns == pytest.approx(1000.0 * 1000.0 / 100.0)
+
+    def test_record_is_pareto_ready(self):
+        record = _model().predict(DesignPoint("fib")).record()
+        for key in ("benchmark", "engine", "num_pes", "l1_size",
+                    "steal_policy", "net_hop_cycles", "cycles", "ns",
+                    "utilization", "lut", "bram", "power_w", "energy_j"):
+            assert key in record
+
+    def test_wrong_benchmark_rejected(self):
+        with pytest.raises(ConfigError):
+            _model().predict(DesignPoint("queens"))
+        with pytest.raises(ConfigError):
+            _model().predict_cycles(DesignPoint("fib", engine="lite"))
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        model = _model(calibration={"points": 12,
+                                    "median_cycles_error": 0.01,
+                                    "max_cycles_error": 0.05})
+        path = model.save(tmp_path / "model.json")
+        loaded = AnalyticalModel.load(path)
+        assert loaded == model
+        point = DesignPoint("fib", num_pes=8, net_hop_cycles=16)
+        assert loaded.predict(point).ns == model.predict(point).ns
+
+    def test_version_checked(self, tmp_path):
+        import json
+
+        payload = _model().to_dict()
+        payload["version"] = 99
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError):
+            AnalyticalModel.load(path)
+
+    def test_coefficient_arity_checked(self):
+        with pytest.raises(ConfigError):
+            _model(theta_cycles=[1.0, 2.0])

@@ -1,0 +1,132 @@
+"""Calibration tests: grid construction and sim-backed fits."""
+
+import pytest
+
+from repro.core.exceptions import ConfigError
+from repro.model import DesignPoint, calibrate, calibration_points
+from repro.model.calibrate import fit, stride_sample
+
+#: Small calibration axes shared by the sim-backed tests (fib quick runs
+#: are milliseconds each).
+AXES = dict(num_pes=(1, 2, 4, 8), l1_size=(8192, 65536),
+            steal_policy=("random", "steal_half"),
+            net_hop_cycles=(2, 16))
+
+
+class TestStrideSample:
+    def test_no_limit_returns_everything(self):
+        assert stride_sample([1, 2, 3], None) == [1, 2, 3]
+
+    def test_keeps_endpoints(self):
+        items = list(range(100))
+        sampled = stride_sample(items, 10)
+        assert len(sampled) == 10
+        assert sampled[0] == 0 and sampled[-1] == 99
+
+    def test_even_spacing(self):
+        sampled = stride_sample(list(range(9)), 3)
+        assert sampled == [0, 4, 8]
+
+    def test_limit_one(self):
+        assert stride_sample([5, 6, 7], 1) == [5]
+
+    def test_invalid_limit(self):
+        with pytest.raises(ConfigError):
+            stride_sample([1], 0)
+
+
+class TestCalibrationPoints:
+    def test_spans_pes_and_policies_at_axis_extremes(self):
+        points = calibration_points("fib", **AXES, max_sims=None)
+        assert {p.num_pes for p in points} == {1, 2, 4, 8}
+        assert {p.steal_policy for p in points} == {"random",
+                                                    "steal_half"}
+        # Only the l1/hop extremes are simulated.
+        assert {p.l1_size for p in points} == {8192, 65536}
+        assert {p.net_hop_cycles for p in points} == {2, 16}
+
+    def test_middle_axis_values_collapse_to_extremes(self):
+        points = calibration_points(
+            "fib", num_pes=(2,), l1_size=(8192, 16384, 65536),
+            steal_policy=("random",), net_hop_cycles=(2, 4, 16),
+            max_sims=None)
+        assert {p.l1_size for p in points} == {8192, 65536}
+        assert {p.net_hop_cycles for p in points} == {2, 16}
+
+    def test_max_sims_caps_the_grid(self):
+        points = calibration_points("fib", **AXES, max_sims=10)
+        assert len(points) == 10
+
+
+class TestFit:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            fit([])
+
+    def test_rejects_mixed_benchmarks(self):
+        from repro.exec import JobRunner
+
+        runner = JobRunner()
+        points = [DesignPoint("fib", num_pes=1),
+                  DesignPoint("queens", num_pes=1)]
+        records = runner.run_checked([p.spec(quick=True)
+                                      for p in points])
+        with pytest.raises(ConfigError):
+            fit(list(zip(points, records)))
+
+
+class TestCalibrate:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return calibrate("fib", **AXES, max_sims=32)
+
+    def test_in_sample_error_within_acceptance(self, model):
+        # Acceptance bound is 25%; the fit is far tighter in practice.
+        assert model.calibration["points"] == 32
+        assert model.calibration["median_cycles_error"] <= 0.25
+        assert model.calibration["max_cycles_error"] <= 0.5
+
+    def test_holdout_point_within_acceptance(self, model):
+        from repro.exec.engines import simulate
+
+        # Interior point: none of its axis values beyond the calibrated
+        # ranges, num_pes and l1 unseen during calibration.
+        point = DesignPoint("fib", num_pes=8, l1_size=16384,
+                            steal_policy="steal_half", net_hop_cycles=8)
+        simulated = simulate(point.spec(quick=True))
+        predicted = model.predict_cycles(point)
+        error = abs(predicted - simulated.cycles) / simulated.cycles
+        assert error <= 0.25
+
+    def test_utilization_predictions_are_probabilities(self, model):
+        for pes in (1, 2, 4, 8):
+            util = model.predict_utilization(
+                DesignPoint("fib", num_pes=pes))
+            assert 0.0 < util <= 1.0
+
+    def test_utilization_falls_as_pes_grow(self, model):
+        # fib's quick workload saturates well before 8 PEs.
+        low = model.predict_utilization(DesignPoint("fib", num_pes=1))
+        high = model.predict_utilization(DesignPoint("fib", num_pes=8))
+        assert high < low
+
+    def test_calibration_reuses_the_result_cache(self, tmp_path):
+        from repro.exec import JobRunner, ResultCache
+
+        cold = JobRunner(cache=ResultCache(tmp_path / "cache"))
+        calibrate("fib", **AXES, max_sims=8, runner=cold)
+        assert cold.stats.executed == 8
+        warm = JobRunner(cache=ResultCache(tmp_path / "cache"))
+        model = calibrate("fib", **AXES, max_sims=8, runner=warm)
+        assert warm.stats.executed == 0
+        assert warm.stats.cached == 8
+        assert model.calibration["points"] == 8
+
+    def test_explicit_points_override_the_grid(self):
+        from repro.exec import JobRunner
+
+        runner = JobRunner()
+        points = [DesignPoint("fib", num_pes=p) for p in (1, 2, 4)]
+        model = calibrate("fib", runner=runner, points=points)
+        assert runner.stats.submitted == 3
+        assert model.calibration["points"] == 3

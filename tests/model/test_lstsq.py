@@ -1,0 +1,66 @@
+"""Tests for the pure-Python least-squares solver."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ConfigError
+from repro.model.lstsq import dot, lstsq, solve
+
+
+class TestSolve:
+    def test_exact_system(self):
+        x = solve([[2.0, 1.0], [1.0, 3.0]], [5.0, 10.0])
+        assert x[0] == pytest.approx(1.0)
+        assert x[1] == pytest.approx(3.0)
+
+    def test_requires_pivoting(self):
+        # Leading zero forces a row swap.
+        x = solve([[0.0, 1.0], [1.0, 0.0]], [2.0, 3.0])
+        assert x == pytest.approx([3.0, 2.0])
+
+    def test_singular_raises(self):
+        with pytest.raises(ConfigError):
+            solve([[1.0, 1.0], [1.0, 1.0]], [1.0, 2.0])
+
+
+class TestLstsq:
+    def test_recovers_exact_coefficients(self):
+        theta_true = [2.0, -0.5, 0.25]
+        rows = [[1.0, float(i), float(i * i)] for i in range(6)]
+        targets = [dot(theta_true, row) for row in rows]
+        theta = lstsq(rows, targets)
+        assert theta == pytest.approx(theta_true, abs=1e-6)
+
+    def test_overdetermined_minimises_residual(self):
+        # y = 1 + 2x with symmetric noise: exact fit on the mean.
+        rows = [[1.0, 0.0], [1.0, 0.0], [1.0, 2.0], [1.0, 2.0]]
+        targets = [0.9, 1.1, 4.9, 5.1]
+        theta = lstsq(rows, targets)
+        assert theta[0] == pytest.approx(1.0)
+        assert theta[1] == pytest.approx(2.0)
+
+    def test_zero_column_gets_zero_coefficient(self):
+        # An all-zero feature (e.g. a policy absent from the grid) must
+        # not break the solve; ridge drives its coefficient to zero.
+        rows = [[1.0, 0.0], [1.0, 0.0], [1.0, 0.0]]
+        theta = lstsq(rows, [2.0, 2.0, 2.0])
+        assert theta[0] == pytest.approx(2.0)
+        assert theta[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_log_space_power_law(self):
+        # cycles = 1000 * p^-0.8 fits exactly in log space.
+        pes = [1, 2, 4, 8, 16]
+        rows = [[1.0, math.log(p)] for p in pes]
+        targets = [math.log(1000.0) - 0.8 * math.log(p) for p in pes]
+        theta = lstsq(rows, targets)
+        assert math.exp(theta[0]) == pytest.approx(1000.0)
+        assert theta[1] == pytest.approx(-0.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            lstsq([], [])
+        with pytest.raises(ConfigError):
+            lstsq([[1.0]], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            lstsq([[1.0, 2.0], [1.0]], [1.0, 2.0])
