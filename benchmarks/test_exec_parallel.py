@@ -40,7 +40,7 @@ def _timed(runner, specs):
     return time.perf_counter() - start, records
 
 
-def test_parallel_speedup_with_identical_results():
+def test_parallel_speedup_with_identical_results(bench_metrics):
     specs = _sweep_specs()
     assert len(specs) >= 12
     serial_s, serial = _timed(JobRunner(jobs=1), specs)
@@ -50,6 +50,14 @@ def test_parallel_speedup_with_identical_results():
         "parallel execution must be bit-identical to serial"
 
     speedup = serial_s / parallel_s if parallel_s else float("inf")
+    bench_metrics.gauge("exec.serial_seconds", "jobs=1 wall-clock",
+                        volatile=True).set(serial_s)
+    bench_metrics.gauge("exec.parallel_seconds", "jobs=4 wall-clock",
+                        volatile=True).set(parallel_s)
+    bench_metrics.gauge("exec.speedup", "serial/parallel wall-clock",
+                        volatile=True).set(speedup)
+    bench_metrics.gauge("exec.sweep_points", "specs in the batch").set(
+        len(specs))
     print(f"\nserial {serial_s:.2f}s, jobs=4 {parallel_s:.2f}s "
           f"-> {speedup:.2f}x on {multiprocessing.cpu_count()} cores")
     if multiprocessing.cpu_count() < 4:
@@ -59,7 +67,7 @@ def test_parallel_speedup_with_identical_results():
     )
 
 
-def test_cold_vs_warm_cache(tmp_path):
+def test_cold_vs_warm_cache(tmp_path, bench_metrics):
     specs = _sweep_specs()
     cache = ResultCache(tmp_path)
 
@@ -73,6 +81,13 @@ def test_cold_vs_warm_cache(tmp_path):
     assert warm_runner.stats.cached == len(specs)
     assert [r.digest for r in warm] == [r.digest for r in cold]
 
+    bench_metrics.gauge("cache.cold_seconds", "cold-cache wall-clock",
+                        volatile=True).set(cold_s)
+    bench_metrics.gauge("cache.warm_seconds", "warm-cache wall-clock",
+                        volatile=True).set(warm_s)
+    bench_metrics.gauge("cache.cold_lookup_seconds",
+                        "cache i/o during the cold pass",
+                        volatile=True).set(cold_runner.stats.cache_seconds)
     print(f"\ncold {cold_s:.2f}s, warm {warm_s:.3f}s "
           f"({cold_s / max(warm_s, 1e-9):.0f}x)")
     assert warm_s < cold_s, "warm cache pass must beat simulation"

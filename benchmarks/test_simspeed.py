@@ -54,7 +54,7 @@ def _run_chain(park: bool, links: int = 500, compute: int = 400):
     return accel, result, elapsed
 
 
-def test_parked_wakeup_speedup_on_serial_tail():
+def test_parked_wakeup_speedup_on_serial_tail(bench_metrics):
     polled_accel, polled, polled_s = _run_chain(park=False)
     parked_accel, parked, parked_s = _run_chain(park=True)
 
@@ -76,6 +76,16 @@ def test_parked_wakeup_speedup_on_serial_tail():
     assert elided > 50_000
 
     speedup = polled_s / parked_s
+    bench_metrics.gauge("simspeed.polled_seconds",
+                        "busy-poll wall-clock", volatile=True).set(polled_s)
+    bench_metrics.gauge("simspeed.parked_seconds",
+                        "parked-PE wall-clock", volatile=True).set(parked_s)
+    bench_metrics.gauge("simspeed.speedup", "polled/parked wall-clock",
+                        volatile=True).set(speedup)
+    bench_metrics.gauge("simspeed.events_elided",
+                        "empty poll events skipped").set(elided)
+    bench_metrics.gauge("simspeed.cycles", "simulated cycles").set(
+        parked.cycles)
     print(f"\nsimspeed: polled {polled_s:.2f}s, parked {parked_s:.2f}s "
           f"({speedup:.1f}x), {elided} events elided, "
           f"{parked.cycles} simulated cycles")

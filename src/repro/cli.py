@@ -19,6 +19,13 @@ Commands:
   keep the Pareto frontier under ``--budget-lut``/``--budget-watts``,
   re-validate only the frontier with cycle simulations, and report the
   per-point analytical-vs-simulated error.
+* ``sweep`` — generic configuration sweep (``--pes``, ``--l1``,
+  ``--hops`` axes) over one benchmark, through the execution layer.
+* ``ledger`` — query the persistent run ledger
+  (docs/OBSERVABILITY.md): recent runs, slowest jobs, per-campaign
+  cache-hit trend.
+* ``profile-report`` — aggregate the ``--profile`` cProfile captures
+  into one ranked cross-job hot-function table.
 * ``list`` — list benchmarks and experiments.
 
 ``run`` and ``report`` accept ``--steal-policy`` to select the
@@ -30,7 +37,12 @@ options (docs/EXECUTION.md): ``--jobs N`` fans simulations out over N
 worker processes (bit-identical to serial), ``--cache-dir``/
 ``--no-cache`` control the content-addressed result cache,
 ``--out PATH`` saves the result JSON, and ``--expect-cached`` exits 1
-if anything actually simulated (CI cache-integrity gate).
+if anything actually simulated (CI cache-integrity gate).  Host-side
+observability rides along (docs/OBSERVABILITY.md): ``--metrics PATH``
+exports the campaign's metrics registry (JSON, or Prometheus text for
+``.prom``/``.txt``), ``--profile`` captures one cProfile per simulated
+job, and the run ledger records every completion unless ``--no-ledger``
+(or ``--no-cache``) is given.
 """
 
 from __future__ import annotations
@@ -81,15 +93,38 @@ def _experiment_commands():
 
 
 def _make_runner(args):
-    """Build the :class:`~repro.exec.JobRunner` an experiment uses."""
-    from repro.exec import JobRunner, ResultCache, default_cache_dir
-    from repro.exec.runner import stderr_progress
+    """Build the :class:`~repro.exec.JobRunner` an experiment uses.
 
-    cache = None
-    if not args.no_cache:
-        cache = ResultCache(args.cache_dir or default_cache_dir())
+    Observability wiring (docs/OBSERVABILITY.md): the run ledger is on
+    by default whenever the cache is (same root, ``--no-ledger`` opts
+    out), a metrics registry exists only when ``--metrics PATH`` asked
+    for an export, and ``--profile`` points the runner at
+    ``<cache-root>/profiles`` for per-job cProfile captures.
+    """
+    from repro.exec import JobRunner, ResultCache, StderrProgress
+    from repro.exec.cache import default_cache_dir
+
+    cache_root = args.cache_dir or default_cache_dir()
+    cache = None if args.no_cache else ResultCache(cache_root)
+    ledger = None
+    if cache is not None and not args.no_ledger:
+        from repro.obs.ledger import RunLedger, default_ledger_dir
+
+        ledger = RunLedger(default_ledger_dir(cache_root))
+    metrics = None
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    profile_dir = None
+    if args.profile:
+        from repro.obs.profile import default_profile_dir
+
+        profile_dir = default_profile_dir(cache_root)
     return JobRunner(jobs=args.jobs, cache=cache,
-                     progress=stderr_progress)
+                     progress=StderrProgress(ledger=ledger),
+                     metrics=metrics, ledger=ledger,
+                     profile_dir=profile_dir)
 
 
 def _finish_experiment(args, runner, results) -> int:
@@ -123,6 +158,13 @@ def _finish_experiment(args, runner, results) -> int:
         if stats.failed:
             line += f", {stats.failed} failed"
         print(line)
+        if stats.run_seconds or stats.cache_seconds:
+            print(f"time: {stats.run_seconds:.2f}s simulating, "
+                  f"{stats.cache_seconds:.3f}s cache i/o "
+                  f"(summed per-job; see `repro ledger` for the split)")
+    if getattr(args, "metrics", None) and runner.metrics is not None:
+        path = runner.metrics.write(args.metrics)
+        print(f"metrics: wrote {path}")
     if args.expect_cached and stats.uncached > 0:
         print(f"error: --expect-cached but {stats.uncached} job(s) "
               f"simulated or failed ({stats.executed} simulated, "
@@ -265,6 +307,81 @@ def _cmd_dse(args) -> int:
     return _finish_experiment(args, runner, [result])
 
 
+def _cmd_sweep(args) -> int:
+    from repro.harness.sweep import sweep, tabulate
+
+    runner = _make_runner(args)
+    grid = {}
+    if args.l1:
+        grid["l1_size"] = tuple(
+            int(v, 0) for v in args.l1.split(",") if v
+        )
+    if args.hops:
+        grid["net_hop_cycles"] = tuple(
+            int(v) for v in args.hops.split(",") if v
+        )
+    pes = tuple(int(p) for p in args.pes.split(",") if p) or (4,)
+    records = sweep(args.benchmark, engine=args.engine, num_pes=pes,
+                    quick=not args.full, runner=runner, **grid)
+    print(tabulate(records))
+    if args.out:
+        import json
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json.dumps(records, sort_keys=True, indent=1) + "\n"
+        )
+        print(f"saved: {args.out}")
+        args.out = None     # already saved; skip the ExperimentResult path
+    return _finish_experiment(args, runner, [])
+
+
+def _cmd_ledger(args) -> int:
+    from repro.obs.ledger import (
+        RunLedger,
+        default_ledger_dir,
+        render_recent,
+        render_slowest,
+        render_trend,
+    )
+
+    ledger = RunLedger(default_ledger_dir(args.cache_dir))
+    entries = ledger.entries()
+    if not entries:
+        print(f"(ledger empty: {ledger.path})")
+        return 0
+    shown = False
+    if args.slowest is not None:
+        print("slowest executed jobs:")
+        print(render_slowest(entries, args.slowest))
+        shown = True
+    if args.trend:
+        if shown:
+            print()
+        print("cache-hit trend by campaign session:")
+        print(render_trend(entries))
+        shown = True
+    if args.recent is not None or not shown:
+        if shown:
+            print()
+        print(f"recent runs ({ledger.path}):")
+        print(render_recent(entries,
+                            15 if args.recent is None else args.recent))
+    return 0
+
+
+def _cmd_profile_report(args) -> int:
+    from repro.obs.profile import (
+        default_profile_dir,
+        profile_paths,
+        render_report,
+    )
+
+    paths = profile_paths(default_profile_dir(args.cache_dir))
+    print(render_report(paths, top=args.top, sort=args.sort))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ParallelXL reproduction toolkit"
@@ -321,6 +438,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--expect-cached", action="store_true",
                        help="exit 1 if any job actually simulated "
                        "(CI cache-integrity gate)")
+        p.add_argument("--metrics", metavar="PATH", default=None,
+                       help="export the campaign's metrics registry "
+                       "(.prom/.txt: Prometheus text format, "
+                       "otherwise JSON)")
+        p.add_argument("--profile", action="store_true",
+                       help="run every simulated job under cProfile "
+                       "(one capture per job under "
+                       "<cache-dir>/profiles; see "
+                       "`repro profile-report`)")
+        p.add_argument("--no-ledger", action="store_true",
+                       help="do not append completions to the run "
+                       "ledger (<cache-dir>/ledger/runs.jsonl)")
 
     policies_parser = sub.add_parser(
         "policies", help="scheduling-policy ablation (repro.sched)"
@@ -374,6 +503,54 @@ def build_parser() -> argparse.ArgumentParser:
                             help="paper-size workload")
     add_exec_args(dse_parser)
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="generic configuration sweep (repro.harness.sweep)"
+    )
+    sweep_parser.add_argument("benchmark", nargs="?", default="fib",
+                              choices=PAPER_BENCHMARKS + ("fib",))
+    sweep_parser.add_argument("--engine", default="flex",
+                              choices=("flex", "lite"))
+    sweep_parser.add_argument("--pes", default="2,4", metavar="P,P,...",
+                              help="comma-separated PE-count axis "
+                              "(default 2,4)")
+    sweep_parser.add_argument("--l1", default=None, metavar="B,B,...",
+                              help="comma-separated l1_size axis in "
+                              "bytes (0x... accepted)")
+    sweep_parser.add_argument("--hops", default=None, metavar="C,C,...",
+                              help="comma-separated net_hop_cycles axis")
+    sweep_parser.add_argument("--full", action="store_true",
+                              help="paper-size workload")
+    add_exec_args(sweep_parser)
+
+    ledger_parser = sub.add_parser(
+        "ledger", help="query the run ledger (repro.obs.ledger)"
+    )
+    ledger_parser.add_argument("--recent", type=int, default=None,
+                               metavar="N", help="show the newest N "
+                               "runs (the default view, N=15)")
+    ledger_parser.add_argument("--slowest", type=int, default=None,
+                               metavar="N", help="show the N slowest "
+                               "executed (non-cached) jobs")
+    ledger_parser.add_argument("--trend", action="store_true",
+                               help="per-campaign cache-hit trend")
+    ledger_parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                               help="cache root holding the ledger "
+                               "(default: $REPRO_CACHE_DIR or "
+                               ".repro-cache)")
+
+    profile_parser = sub.add_parser(
+        "profile-report",
+        help="aggregate --profile captures (repro.obs.profile)",
+    )
+    profile_parser.add_argument("--top", type=int, default=20,
+                                metavar="N", help="rows to show "
+                                "(default 20)")
+    profile_parser.add_argument("--sort", default="cumulative",
+                                choices=("cumulative", "tottime"))
+    profile_parser.add_argument("--cache-dir", metavar="DIR",
+                                default=None, help="cache root holding "
+                                "the profile captures")
+
     for name in _experiment_commands():
         exp_parser = sub.add_parser(name, help=f"regenerate {name}")
         exp_parser.add_argument("--full", action="store_true",
@@ -396,6 +573,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "dse":
         return _cmd_dse(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "ledger":
+        return _cmd_ledger(args)
+    if args.command == "profile-report":
+        return _cmd_profile_report(args)
     command = _experiment_commands()[args.command]
     runner = _make_runner(args)
     results = command(not args.full, runner)

@@ -43,6 +43,7 @@ from repro.exec.record import (
 from repro.exec.runner import (
     JobRunner,
     RunnerStats,
+    StderrProgress,
     default_jobs,
     execute,
     stderr_progress,
@@ -60,6 +61,7 @@ __all__ = [
     "ResultCache",
     "RunRecord",
     "RunnerStats",
+    "StderrProgress",
     "VerificationError",
     "bench_params",
     "check_outcomes",

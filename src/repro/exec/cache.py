@@ -26,8 +26,9 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.exec.record import RunRecord
 from repro.exec.spec import JobSpec
@@ -74,48 +75,66 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        # Wall-clock spent inside get()/put(): the cache's own cost,
+        # surfaced in the metrics dump (docs/OBSERVABILITY.md).
+        self.lookup_seconds = 0.0
+        self.store_seconds = 0.0
 
     def _path(self, spec: JobSpec) -> Path:
         return self.root / code_salt() / f"{spec.digest}.json"
 
     def get(self, spec: JobSpec) -> Optional[RunRecord]:
         """Cached record for ``spec``, or ``None`` on a miss."""
-        path = self._path(spec)
+        started = time.perf_counter()
         try:
-            payload = json.loads(path.read_text())
-            record = RunRecord.from_dict(payload["record"])
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
-        if record.spec_digest != spec.digest:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return record
+            path = self._path(spec)
+            try:
+                payload = json.loads(path.read_text())
+                record = RunRecord.from_dict(payload["record"])
+            except (OSError, ValueError, KeyError, TypeError):
+                self.misses += 1
+                return None
+            if record.spec_digest != spec.digest:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return record
+        finally:
+            self.lookup_seconds += time.perf_counter() - started
 
     def put(self, spec: JobSpec, record: RunRecord) -> Path:
         """Store ``record`` under ``spec``'s digest (atomic write)."""
-        path = self._path(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "salt": code_salt(),
-            "spec": spec.canonical_dict(),
-            "record": record.to_dict(),
-        }
-        text = json.dumps(payload, sort_keys=True, indent=1)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        started = time.perf_counter()
         try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except BaseException:
+            path = self._path(spec)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "salt": code_salt(),
+                "spec": spec.canonical_dict(),
+                "record": record.to_dict(),
+            }
+            text = json.dumps(payload, sort_keys=True, indent=1)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.puts += 1
-        return path
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.puts += 1
+            return path
+        finally:
+            self.store_seconds += time.perf_counter() - started
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Counts and timings, for metric dumps and reports."""
+        return dict(hits=self.hits, misses=self.misses, puts=self.puts,
+                    lookup_seconds=self.lookup_seconds,
+                    store_seconds=self.store_seconds)
 
     def __repr__(self) -> str:
         return (f"ResultCache({str(self.root)!r}: {self.hits} hits, "

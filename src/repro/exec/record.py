@@ -51,10 +51,16 @@ class RunRecord:
     # -- derived timing/statistics (mirror RunResult) -------------------
     @property
     def ns(self) -> float:
+        """*Simulated* run length in nanoseconds (cycles / clock)."""
         return self.cycles * 1000.0 / self.clock_mhz
 
     @property
     def seconds(self) -> float:
+        """*Simulated* seconds on the modelled machine — how long the
+        accelerator would take, not how long the simulation took.  The
+        host-side wall-clock cost of producing this record lives in the
+        run ledger (``run_seconds``; :mod:`repro.obs.ledger`) and in
+        :attr:`~repro.exec.runner.RunnerStats.run_seconds`."""
         return self.ns * 1e-9
 
     @property

@@ -22,6 +22,19 @@ distill to a :class:`~repro.exec.record.RunRecord`, cache store.
 * a ``progress`` callback — e.g. :func:`stderr_progress` — observes
   every completion, cached or simulated.
 
+The runner is also the host-side **instrumentation point**
+(docs/OBSERVABILITY.md): give it a
+:class:`~repro.obs.metrics.MetricsRegistry` and it records per-job
+wall-clock splits (queue-wait vs run vs cache-lookup), cache
+hit/miss/store timings, pool occupancy, and timeout/failure counts;
+give it a :class:`~repro.obs.ledger.RunLedger` and every completion is
+appended to the persistent run ledger; give it a ``profile_dir`` and
+every simulated job runs under ``cProfile`` with one capture per spec
+digest.  All three default to ``None`` and every emission site is
+behind an ``is not None`` guard, so an uninstrumented runner executes
+exactly the code it did before — simulated results are bit-identical
+either way (instrumentation only ever *observes* the outcome).
+
 The ``fork`` start method is used when available so workers inherit the
 parent's interpreter state (including ``PYTHONHASHSEED``); see
 docs/EXECUTION.md for the bit-exactness argument.
@@ -33,9 +46,11 @@ import math
 import os
 import signal
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.exec.cache import ResultCache
@@ -103,6 +118,30 @@ def _run_job(spec: JobSpec, timeout: Optional[float]) -> Outcome:
         return JobFailure.from_exception(spec.digest, spec.label, exc)
 
 
+def _worker(spec: JobSpec, timeout: Optional[float],
+            submitted_at: Optional[float] = None,
+            profile_path: Optional[str] = None):
+    """Pool-side wrapper around :func:`_run_job` adding measurement.
+
+    Returns ``(outcome, run_seconds, queue_seconds)``.  ``submitted_at``
+    is the parent's ``time.perf_counter()`` at submit time — comparable
+    across ``fork`` on Linux (CLOCK_MONOTONIC is system-wide), so the
+    difference is the job's time in the pool queue; best-effort 0.0
+    where that assumption fails.  ``profile_path`` wraps the simulation
+    in a ``cProfile`` capture, entirely outside the result path.
+    """
+    start = time.perf_counter()
+    queue_seconds = max(0.0, start - submitted_at) if submitted_at else 0.0
+    if profile_path is not None:
+        from repro.obs.profile import capture_profile
+
+        with capture_profile(profile_path):
+            outcome = _run_job(spec, timeout)
+    else:
+        outcome = _run_job(spec, timeout)
+    return outcome, time.perf_counter() - start, queue_seconds
+
+
 def execute(spec: JobSpec, *, cache: Optional[ResultCache] = None
             ) -> RunRecord:
     """Run one job (through the cache when given), raising on failure."""
@@ -118,28 +157,83 @@ def execute(spec: JobSpec, *, cache: Optional[ResultCache] = None
     return record
 
 
-def stderr_progress(done: int, total: int, spec: JobSpec,
-                    outcome: Outcome, cached: bool) -> None:
-    """Simple progress line on stderr (one line per job when piped)."""
-    tag = "cache" if cached else ("ok" if outcome.ok else "FAIL")
-    line = f"[{done}/{total}] {spec.label}: {tag}"
-    if sys.stderr.isatty():
-        end = "\n" if done == total else ""
-        sys.stderr.write(f"\r\x1b[2K{line}{end}")
-    else:
-        sys.stderr.write(line + "\n")
-    sys.stderr.flush()
+class StderrProgress:
+    """Progress printer with a throughput rate and an ETA.
+
+    The rate (jobs/sec) is measured from the first completion of the
+    current batch (state resets whenever ``done == 1``, so one shared
+    instance serves many sequential batches).  Before the batch has
+    produced two data points of its own, the ETA falls back to the run
+    ledger's historical mean job time (``ledger.estimate_seconds()``),
+    so even the first line of a campaign has a usable forecast.
+    """
+
+    def __init__(self, ledger=None) -> None:
+        self._ledger = ledger
+        self._t0: Optional[float] = None
+        self._n0 = 0
+        self._hint: Optional[float] = None
+        self._hint_loaded = False
+
+    def _pace(self, done: int, total: int,
+              now: float) -> str:
+        """`` (r.r jobs/s, eta Ns)`` suffix, or ``""`` if unknowable."""
+        rate = None
+        if self._t0 is not None and done > self._n0:
+            elapsed = now - self._t0
+            if elapsed > 0:
+                rate = (done - self._n0) / elapsed
+        if rate is None and self._hint:
+            rate = 1.0 / self._hint
+        if not rate or done >= total:
+            return ""
+        eta = (total - done) / rate
+        return f" ({rate:.1f} jobs/s, eta {eta:.0f}s)"
+
+    def __call__(self, done: int, total: int, spec: JobSpec,
+                 outcome: Outcome, cached: bool) -> None:
+        now = time.perf_counter()
+        if done <= 1 or self._t0 is None:
+            self._t0, self._n0 = now, done
+            if self._ledger is not None and not self._hint_loaded:
+                self._hint_loaded = True
+                try:
+                    self._hint = self._ledger.estimate_seconds()
+                except Exception:     # ledger is advisory, never fatal
+                    self._hint = None
+        tag = "cache" if cached else ("ok" if outcome.ok else "FAIL")
+        line = f"[{done}/{total}] {spec.label}: {tag}"
+        line += self._pace(done, total, now)
+        if sys.stderr.isatty():
+            end = "\n" if done == total else ""
+            sys.stderr.write(f"\r\x1b[2K{line}{end}")
+        else:
+            sys.stderr.write(line + "\n")
+        sys.stderr.flush()
+
+
+#: Module-level default printer (the historical ``progress=`` callback).
+stderr_progress = StderrProgress()
 
 
 @dataclass
 class RunnerStats:
-    """Aggregate execution counts for one :class:`JobRunner`."""
+    """Aggregate execution counts and timings for one :class:`JobRunner`.
+
+    The counts are deterministic for a given batch; the two wall-clock
+    totals are host measurements.  ``run_seconds`` is *summed job time*
+    (with ``jobs>1`` it exceeds batch wall-clock — it is the work the
+    pool absorbed), ``cache_seconds`` is time spent on cache lookups
+    and stores.
+    """
 
     submitted: int = 0      # specs handed to run() (incl. duplicates)
     deduplicated: int = 0   # duplicate specs folded into another job
     cached: int = 0         # cache hits
     executed: int = 0       # real simulations
     failed: int = 0         # jobs that returned a JobFailure
+    run_seconds: float = 0.0    # summed per-job simulation wall-clock
+    cache_seconds: float = 0.0  # summed cache lookup + store wall-clock
 
     @property
     def uncached(self) -> int:
@@ -152,10 +246,12 @@ class RunnerStats:
         """
         return self.executed + self.failed
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         return dict(submitted=self.submitted,
                     deduplicated=self.deduplicated, cached=self.cached,
-                    executed=self.executed, failed=self.failed)
+                    executed=self.executed, failed=self.failed,
+                    run_seconds=self.run_seconds,
+                    cache_seconds=self.cache_seconds)
 
 
 class JobRunner:
@@ -173,17 +269,44 @@ class JobRunner:
     progress:
         Callback ``(done, total, spec, outcome, cached)`` observed on
         every job completion.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`, or ``None``
+        (default) for zero instrumentation.  Deterministic counters
+        (``exec.jobs.*``, ``exec.cache.{hits,misses,stores}``, per-job
+        ``exec.job.cycles``) plus volatile wall-clock histograms
+        (``exec.job.{run,queue}_seconds``,
+        ``exec.cache.{lookup,store}_seconds``, ``exec.pool.occupancy``).
+    ledger:
+        A :class:`~repro.obs.ledger.RunLedger`, or ``None`` (default):
+        every completion (cached or simulated) is appended with its
+        timing split.
+    profile_dir:
+        Directory for per-job ``cProfile`` captures
+        (``<spec-digest>.pstats``), or ``None`` (default) for no
+        profiling.  Cached hits are not profiled — nothing ran.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  timeout: Optional[float] = None,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 metrics=None, ledger=None,
+                 profile_dir: Union[str, Path, None] = None) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.cache = cache
         self.timeout = timeout
         self.progress = progress
+        self.metrics = metrics
+        self.ledger = ledger
+        self.profile_dir = Path(profile_dir) if profile_dir else None
         self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    def _profile_path(self, spec: JobSpec) -> Optional[str]:
+        if self.profile_dir is None:
+            return None
+        self.profile_dir.mkdir(parents=True, exist_ok=True)
+        return str(self.profile_dir / f"{spec.digest}.pstats")
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> List[Outcome]:
@@ -199,13 +322,23 @@ class JobRunner:
                 self.stats.deduplicated += 1
             else:
                 unique[spec.digest] = spec
+        if self.metrics is not None:
+            self.metrics.counter(
+                "exec.jobs.submitted", "specs handed to run()").inc(
+                len(specs))
+            self.metrics.counter(
+                "exec.jobs.deduplicated",
+                "duplicate specs folded into another job").inc(
+                len(specs) - len(unique))
 
         outcomes: Dict[str, Outcome] = {}
         done = 0
         total = len(unique)
 
-        def _complete(spec: JobSpec, outcome: Outcome,
-                      cached: bool) -> None:
+        def _complete(spec: JobSpec, outcome: Outcome, cached: bool,
+                      run_seconds: float = 0.0,
+                      queue_seconds: float = 0.0,
+                      lookup_seconds: float = 0.0) -> None:
             nonlocal done
             done += 1
             outcomes[spec.digest] = outcome
@@ -215,14 +348,28 @@ class JobRunner:
                 self.stats.executed += 1
             if not outcome.ok:
                 self.stats.failed += 1
+            if not cached:
+                self.stats.run_seconds += run_seconds
+            if self.metrics is not None:
+                self._record_metrics(outcome, cached, run_seconds,
+                                     queue_seconds)
+            if self.ledger is not None:
+                self.ledger.record_job(
+                    spec, outcome, cached=cached,
+                    run_seconds=run_seconds,
+                    queue_seconds=queue_seconds,
+                    lookup_seconds=lookup_seconds, jobs=self.jobs,
+                )
             if self.progress is not None:
                 self.progress(done, total, spec, outcome, cached)
 
         pending: List[JobSpec] = []
+        batch_start = time.perf_counter()
         for spec in unique.values():
-            record = self.cache.get(spec) if self.cache else None
+            record, lookup = self._cache_get(spec)
             if record is not None:
-                _complete(spec, record, cached=True)
+                _complete(spec, record, cached=True,
+                          lookup_seconds=lookup)
             else:
                 pending.append(spec)
 
@@ -230,16 +377,18 @@ class JobRunner:
             self._run_parallel(pending, _complete)
         else:
             for spec in pending:
-                outcome = _run_job(spec, self.timeout)
-                if outcome.ok and self.cache is not None:
-                    self.cache.put(spec, outcome)
-                _complete(spec, outcome, cached=False)
+                outcome, run_seconds, queue_seconds = _worker(
+                    spec, self.timeout, batch_start,
+                    self._profile_path(spec))
+                self._cache_put(spec, outcome)
+                _complete(spec, outcome, cached=False,
+                          run_seconds=run_seconds,
+                          queue_seconds=queue_seconds)
 
         return [outcomes[spec.digest] for spec in specs]
 
     def _run_parallel(self, pending: List[JobSpec],
-                      complete: Callable[[JobSpec, Outcome, bool], None]
-                      ) -> None:
+                      complete: Callable[..., None]) -> None:
         try:
             import multiprocessing
 
@@ -248,21 +397,100 @@ class JobRunner:
             context = None
         with ProcessPoolExecutor(max_workers=self.jobs,
                                  mp_context=context) as pool:
+            submitted_at = time.perf_counter()
             futures = {
-                pool.submit(_run_job, spec, self.timeout): spec
+                pool.submit(_worker, spec, self.timeout, submitted_at,
+                            self._profile_path(spec)): spec
                 for spec in pending
             }
+            remaining = len(futures)
             for future in as_completed(futures):
                 spec = futures[future]
+                if self.metrics is not None:
+                    # In-flight + queued jobs at this completion: how
+                    # loaded the pool was over the batch's lifetime.
+                    self.metrics.histogram(
+                        "exec.pool.occupancy",
+                        (1, 2, 4, 8, 16, 32, 64),
+                        "pending jobs at each completion",
+                        volatile=True).record(remaining)
+                remaining -= 1
+                run_seconds = queue_seconds = 0.0
                 try:
-                    outcome = future.result()
+                    outcome, run_seconds, queue_seconds = future.result()
                 except Exception as exc:   # worker process died
                     outcome = JobFailure.from_exception(
                         spec.digest, spec.label, exc
                     )
-                if outcome.ok and self.cache is not None:
-                    self.cache.put(spec, outcome)
-                complete(spec, outcome, cached=False)
+                self._cache_put(spec, outcome)
+                complete(spec, outcome, cached=False,
+                         run_seconds=run_seconds,
+                         queue_seconds=queue_seconds)
+
+    # ------------------------------------------------------------------
+    def _cache_get(self, spec: JobSpec):
+        """Timed cache lookup: ``(record_or_None, lookup_seconds)``."""
+        if self.cache is None:
+            return None, 0.0
+        start = time.perf_counter()
+        record = self.cache.get(spec)
+        lookup = time.perf_counter() - start
+        self.stats.cache_seconds += lookup
+        if self.metrics is not None:
+            self.metrics.counter(
+                "exec.cache.hits" if record is not None
+                else "exec.cache.misses").inc()
+            self.metrics.histogram(
+                "exec.cache.lookup_seconds",
+                help="result-cache lookup wall-clock",
+                volatile=True).record(lookup)
+        return record, lookup
+
+    def _cache_put(self, spec: JobSpec, outcome: Outcome) -> None:
+        """Timed cache store (successful outcomes only)."""
+        if not outcome.ok or self.cache is None:
+            return
+        start = time.perf_counter()
+        self.cache.put(spec, outcome)
+        store = time.perf_counter() - start
+        self.stats.cache_seconds += store
+        if self.metrics is not None:
+            self.metrics.counter("exec.cache.stores").inc()
+            self.metrics.histogram(
+                "exec.cache.store_seconds",
+                help="result-cache store wall-clock",
+                volatile=True).record(store)
+
+    def _record_metrics(self, outcome: Outcome, cached: bool,
+                        run_seconds: float,
+                        queue_seconds: float) -> None:
+        """Per-completion metric emission (``self.metrics`` is set)."""
+        from repro.obs.metrics import CYCLES_BUCKETS
+
+        metrics = self.metrics
+        if cached:
+            metrics.counter("exec.jobs.cached", "cache hits").inc()
+        elif outcome.ok:
+            metrics.counter("exec.jobs.executed",
+                            "real simulations").inc()
+        if not outcome.ok:
+            metrics.counter("exec.jobs.failed",
+                            "jobs returning a JobFailure").inc()
+            if getattr(outcome, "timed_out", False):
+                metrics.counter("exec.jobs.timeout",
+                                "jobs killed by the per-job "
+                                "timeout").inc()
+        if outcome.ok:
+            metrics.histogram("exec.job.cycles", CYCLES_BUCKETS,
+                              "simulated cycles per job").record(
+                outcome.cycles)
+        if not cached:
+            metrics.histogram("exec.job.run_seconds",
+                              help="per-job simulation wall-clock",
+                              volatile=True).record(run_seconds)
+            metrics.histogram("exec.job.queue_seconds",
+                              help="submit-to-start wall-clock",
+                              volatile=True).record(queue_seconds)
 
     # ------------------------------------------------------------------
     def run_checked(self, specs: Sequence[JobSpec]) -> List[RunRecord]:

@@ -145,6 +145,16 @@ def run_dse(
     started = time.perf_counter()
     predictions = model.predict_all(points)
     model_seconds = time.perf_counter() - started
+    if getattr(runner, "metrics", None) is not None:
+        runner.metrics.gauge(
+            "dse.grid_points", "design points swept analytically").set(
+            len(points))
+        runner.metrics.gauge(
+            "dse.calibration_sims", "cycle sims spent calibrating").set(
+            calibration_sims)
+        runner.metrics.gauge(
+            "dse.model_seconds", "analytical sweep wall-clock",
+            volatile=True).set(model_seconds)
 
     records = [prediction.record() for prediction in predictions]
     points_by_id = {id(record): point
@@ -158,6 +168,13 @@ def run_dse(
     over_budget = len(records) - len(feasible)
     frontier = pareto_front(feasible, minimize=minimize)
     frontier = sorted(frontier, key=lambda r: r["ns"])
+    if getattr(runner, "metrics", None) is not None:
+        runner.metrics.gauge(
+            "dse.feasible", "points inside the budgets").set(
+            len(feasible))
+        runner.metrics.gauge(
+            "dse.frontier", "Pareto-frontier points re-validated").set(
+            len(frontier))
     validation, median_error = _validate_frontier(
         model, frontier, points_by_id, quick, runner)
 

@@ -16,6 +16,18 @@ Downstream consumers:
 * :mod:`repro.obs.critical_path` — spawn-DAG T∞ bound vs achieved,
 * :mod:`repro.obs.report` — terminal report and harness summaries.
 
+The *host-side* execution substrate is observable through three sibling
+modules (same package, no event sink required):
+
+* :mod:`repro.obs.metrics` — deterministic counters / gauges /
+  fixed-bucket histograms with JSON and Prometheus exporters, shared by
+  sim-side series and host-side wall-clock instrumentation,
+* :mod:`repro.obs.ledger` — persistent append-only JSONL ledger of
+  every executed job (timings, host fingerprint, code salt), queried by
+  ``repro ledger``,
+* :mod:`repro.obs.profile` — opt-in per-job cProfile capture and the
+  cross-job ``repro profile-report`` hot-function aggregation.
+
 See ``docs/OBSERVABILITY.md`` for the event schema and workflows.
 """
 
@@ -25,6 +37,13 @@ from repro.obs.chrometrace import (
     write_jsonl,
 )
 from repro.obs.critical_path import CriticalPathReport, critical_path
+from repro.obs.ledger import RunLedger, default_ledger_dir
+from repro.obs.metrics import (
+    MetricsRegistry,
+    record_metrics,
+    timeseries_metrics,
+)
+from repro.obs.profile import capture_profile, default_profile_dir
 from repro.obs.events import (
     EVENT_KINDS,
     EventSink,
@@ -59,4 +78,11 @@ __all__ = [
     "summary",
     "TimeSeries",
     "sample",
+    "MetricsRegistry",
+    "record_metrics",
+    "timeseries_metrics",
+    "RunLedger",
+    "default_ledger_dir",
+    "capture_profile",
+    "default_profile_dir",
 ]

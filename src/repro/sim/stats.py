@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import math
+from typing import Dict, List, Optional, Sequence
 
 
 class Counter:
@@ -22,9 +23,17 @@ class Counter:
 
 
 class Histogram:
-    """Records samples and reports simple summary statistics."""
+    """Records raw samples and reports summary statistics.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    This is the one sample-statistics implementation shared by the
+    simulated machine (``StatsRegistry``) and the host-side metrics
+    layer (:class:`repro.obs.metrics.Histogram` subclasses it to add
+    fixed export buckets).  Samples are kept verbatim, so percentile
+    queries are exact and two histograms :meth:`merge` losslessly.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "samples")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -32,10 +41,12 @@ class Histogram:
         self.total = 0
         self.minimum: Optional[int] = None
         self.maximum: Optional[int] = None
+        self.samples: List[int] = []
 
     def record(self, sample: int) -> None:
         self.count += 1
         self.total += sample
+        self.samples.append(sample)
         if self.minimum is None or sample < self.minimum:
             self.minimum = sample
         if self.maximum is None or sample > self.maximum:
@@ -44,6 +55,34 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Exact nearest-rank percentile (``p`` in [0, 100]) over the
+        recorded samples; ``None`` when nothing was recorded."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = min(len(ordered),
+                   max(1, math.ceil(p / 100.0 * len(ordered))))
+        return float(ordered[rank - 1])
+
+    def percentiles(self, ps: Sequence[float] = (50, 95, 99)
+                    ) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` (exact, sorted once)."""
+        if not self.samples:
+            return {f"p{g:g}": None for g in ps}
+        ordered = sorted(self.samples)
+        out: Dict[str, Optional[float]] = {}
+        for p in ps:
+            rank = min(len(ordered),
+                       max(1, math.ceil(p / 100.0 * len(ordered))))
+            out[f"p{p:g}"] = float(ordered[rank - 1])
+        return out
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram (lossless)."""
+        for sample in other.samples:
+            self.record(sample)
 
     def __repr__(self) -> str:
         return (

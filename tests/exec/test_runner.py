@@ -98,3 +98,18 @@ def test_runner_stats_dict():
     runner.run_checked([make_spec("fib", 1, quick=True)])
     stats = runner.stats.as_dict()
     assert stats["submitted"] == 1 and stats["executed"] == 1
+    # The dict shape is a stable mini-API: results_io and the CLI's
+    # timing summary both consume these exact keys.
+    assert sorted(stats) == ["cache_seconds", "cached", "deduplicated",
+                             "executed", "failed", "run_seconds",
+                             "submitted"]
+    assert stats["run_seconds"] > 0.0
+    assert stats["cache_seconds"] == 0.0       # no cache configured
+
+
+def test_runner_stats_cache_seconds(tmp_path):
+    from repro.exec import ResultCache
+
+    runner = JobRunner(cache=ResultCache(tmp_path))
+    runner.run_checked([make_spec("fib", 1, quick=True)])
+    assert runner.stats.as_dict()["cache_seconds"] > 0.0

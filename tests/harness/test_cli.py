@@ -140,6 +140,83 @@ def test_expect_cached_passes_on_truly_warm_cache(tmp_path, capsys):
     assert main(argv + ["--expect-cached"]) == 0
 
 
+def test_sweep_command(tmp_path, capsys):
+    out = tmp_path / "sweep.json"
+    assert main(["sweep", "fib", "--pes", "1,2", "--hops", "4,16",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "num_pes" in printed and "cycles" in printed
+    assert "4 submitted" in printed
+    import json
+
+    records = json.loads(out.read_text())
+    assert len(records) == 4
+    assert {r["net_hop_cycles"] for r in records} == {4, 16}
+
+
+def test_sweep_writes_ledger_and_metrics(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    metrics_path = tmp_path / "m.prom"
+    argv = ["sweep", "fib", "--pes", "1,2", "--cache-dir", str(cache_dir),
+            "--metrics", str(metrics_path)]
+    assert main(argv) == 0
+    assert "metrics: wrote" in capsys.readouterr().out
+    text = metrics_path.read_text()
+    assert "# TYPE exec_jobs_executed counter" in text
+    assert "exec_jobs_executed 2" in text
+    ledger_file = cache_dir / "ledger" / "runs.jsonl"
+    assert ledger_file.is_file()
+    assert len(ledger_file.read_text().splitlines()) == 2
+
+    # Warm rerun: two more ledger lines, now cache hits.
+    assert main(argv) == 0
+    assert "2 cached" in capsys.readouterr().out
+    assert len(ledger_file.read_text().splitlines()) == 4
+
+
+def test_no_ledger_flag(tmp_path):
+    cache_dir = tmp_path / "cache"
+    assert main(["sweep", "fib", "--pes", "1", "--no-ledger",
+                 "--cache-dir", str(cache_dir)]) == 0
+    assert not (cache_dir / "ledger").exists()
+
+
+def test_ledger_command(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["ledger", "--cache-dir", cache_dir]) == 0
+    assert "ledger empty" in capsys.readouterr().out
+
+    assert main(["sweep", "fib", "--pes", "1,2",
+                 "--cache-dir", cache_dir]) == 0
+    assert main(["sweep", "fib", "--pes", "1,2",
+                 "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["ledger", "--cache-dir", cache_dir,
+                 "--trend", "--slowest", "3", "--recent", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "recent runs" in out and "fib-flex1" in out
+    assert "slowest executed jobs" in out
+    assert "cache-hit trend" in out
+    # Two sessions: the cold campaign at 0% hits, the warm one at 100%.
+    assert "0%" in out and "100%" in out
+
+
+def test_profile_report_command(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["profile-report", "--cache-dir", cache_dir]) == 0
+    assert "--profile" in capsys.readouterr().out
+
+    assert main(["sweep", "fib", "--pes", "1", "--profile",
+                 "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["profile-report", "--cache-dir", cache_dir,
+                 "--top", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "hot functions across 1 profiled job(s)" in out
+    assert "engine" in out, "the sim engine loop must rank as hot"
+
+
 def test_unknown_benchmark_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "nonesuch"])

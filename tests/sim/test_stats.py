@@ -46,6 +46,49 @@ def test_histogram_negative_and_zero_samples():
     assert h.maximum == 0
 
 
+def test_histogram_percentiles_nearest_rank():
+    h = Histogram("p")
+    for sample in range(1, 101):      # 1..100
+        h.record(sample)
+    assert h.percentile(50) == 50
+    assert h.percentile(95) == 95
+    assert h.percentile(99) == 99
+    assert h.percentile(100) == 100
+    assert h.percentiles() == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+
+
+def test_histogram_percentile_small_and_empty():
+    h = Histogram("p")
+    assert h.percentile(50) is None
+    assert h.percentiles() == {"p50": None, "p95": None, "p99": None}
+    h.record(7)
+    assert h.percentile(1) == 7.0
+    assert h.percentile(99) == 7.0
+
+
+def test_histogram_percentile_unsorted_input():
+    h = Histogram("p")
+    for sample in (9, 1, 5, 3, 7):
+        h.record(sample)
+    assert h.percentile(50) == 5.0
+    assert h.percentile(20) == 1.0
+
+
+def test_histogram_merge_is_lossless():
+    a, b = Histogram("a"), Histogram("b")
+    for sample in (1, 2, 3):
+        a.record(sample)
+    for sample in (10, 20):
+        b.record(sample)
+    a.merge(b)
+    assert a.count == 5
+    assert a.total == 36
+    assert a.minimum == 1 and a.maximum == 20
+    assert a.percentile(50) == 3.0
+    # merge replays samples, so b is untouched
+    assert b.count == 2
+
+
 def test_registry_reuses_instances():
     reg = StatsRegistry()
     assert reg.counter("a") is reg.counter("a")
