@@ -24,6 +24,9 @@ Commands:
 * ``ledger`` — query the persistent run ledger
   (docs/OBSERVABILITY.md): recent runs, slowest jobs, per-campaign
   cache-hit trend.
+* ``cache verify|repair`` — validate every result-cache entry
+  (parse, checksum, spec-digest key); ``repair`` quarantines the
+  corrupt ones (docs/EXECUTION.md, "Failure handling & recovery").
 * ``profile-report`` — aggregate the ``--profile`` cProfile captures
   into one ranked cross-job hot-function table.
 * ``list`` — list benchmarks and experiments.
@@ -43,6 +46,16 @@ exports the campaign's metrics registry (JSON, or Prometheus text for
 ``.prom``/``.txt``), ``--profile`` captures one cProfile per simulated
 job, and the run ledger records every completion unless ``--no-ledger``
 (or ``--no-cache``) is given.
+
+Robustness options (docs/EXECUTION.md, "Failure handling & recovery"):
+``--retries N`` retries transient failures (timeouts with a raised
+deadline, worker crashes on a fresh pool) up to N extra attempts with
+deterministic backoff; ``--resume`` checkpoints every completion to a
+campaign manifest under ``<cache-dir>/manifests`` and skips jobs the
+manifest already holds — surviving SIGKILL even with ``--no-cache``;
+``--chaos SEED`` arms the deterministic host-fault injection harness
+(worker kills, cache corruption, transient I/O errors) for soak
+testing the above.
 """
 
 from __future__ import annotations
@@ -100,17 +113,32 @@ def _make_runner(args):
     out), a metrics registry exists only when ``--metrics PATH`` asked
     for an export, and ``--profile`` points the runner at
     ``<cache-root>/profiles`` for per-job cProfile captures.
+
+    Robustness wiring (docs/EXECUTION.md): ``--retries N`` builds a
+    :class:`~repro.exec.RetryPolicy` with N+1 total attempts;
+    ``--resume`` points the runner at ``<cache-root>/manifests`` for
+    campaign checkpoints (the manifest dir uses the cache *root* even
+    under ``--no-cache`` — resuming without a cache is the point);
+    ``--chaos SEED`` threads one seeded
+    :class:`~repro.exec.ChaosPlan` through the runner, the cache, and
+    the ledger.
     """
     from repro.exec import JobRunner, ResultCache, StderrProgress
     from repro.exec.cache import default_cache_dir
 
     cache_root = args.cache_dir or default_cache_dir()
-    cache = None if args.no_cache else ResultCache(cache_root)
+    chaos = None
+    if getattr(args, "chaos", None) is not None:
+        from repro.exec import ChaosPlan
+
+        chaos = ChaosPlan.default(args.chaos)
+    cache = None if args.no_cache else ResultCache(cache_root,
+                                                   chaos=chaos)
     ledger = None
     if cache is not None and not args.no_ledger:
         from repro.obs.ledger import RunLedger, default_ledger_dir
 
-        ledger = RunLedger(default_ledger_dir(cache_root))
+        ledger = RunLedger(default_ledger_dir(cache_root), chaos=chaos)
     metrics = None
     if args.metrics:
         from repro.obs.metrics import MetricsRegistry
@@ -121,10 +149,22 @@ def _make_runner(args):
         from repro.obs.profile import default_profile_dir
 
         profile_dir = default_profile_dir(cache_root)
+    retry = None
+    if getattr(args, "retries", 0):
+        from repro.exec import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retries + 1)
+    manifest_dir = None
+    if getattr(args, "resume", False):
+        from repro.exec.robust import default_manifest_dir
+
+        manifest_dir = default_manifest_dir(cache_root)
     return JobRunner(jobs=args.jobs, cache=cache,
                      progress=StderrProgress(ledger=ledger),
                      metrics=metrics, ledger=ledger,
-                     profile_dir=profile_dir)
+                     profile_dir=profile_dir,
+                     retry=retry, chaos=chaos,
+                     manifest_dir=manifest_dir)
 
 
 def _finish_experiment(args, runner, results) -> int:
@@ -155,8 +195,16 @@ def _finish_experiment(args, runner, results) -> int:
         line = (f"jobs: {stats.submitted} submitted, "
                 f"{stats.deduplicated} deduplicated, "
                 f"{stats.cached} cached, {stats.executed} simulated")
+        if stats.resumed:
+            line += f", {stats.resumed} resumed"
         if stats.failed:
             line += f", {stats.failed} failed"
+        if stats.retried:
+            line += f", {stats.retried} retried"
+        if stats.quarantined:
+            line += f", {stats.quarantined} quarantined"
+        if stats.pool_restarts:
+            line += f", {stats.pool_restarts} pool restart(s)"
         print(line)
         if stats.run_seconds or stats.cache_seconds:
             print(f"time: {stats.run_seconds:.2f}s simulating, "
@@ -370,6 +418,30 @@ def _cmd_ledger(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.exec import ResultCache
+    from repro.exec.cache import default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "repair":
+        valid, moved = cache.repair()
+        print(f"cache: {valid} valid entries, {len(moved)} corrupt "
+              f"entries quarantined ({cache.root})")
+        for path in moved:
+            print(f"  quarantined: {path}")
+        return 0
+    valid, corrupt = cache.verify()
+    print(f"cache: {valid} valid entries, {len(corrupt)} corrupt "
+          f"({cache.root})")
+    for path, reason in corrupt:
+        print(f"  corrupt: {path}: {reason}")
+    if corrupt:
+        print("run `repro cache repair` to quarantine them",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_profile_report(args) -> int:
     from repro.obs.profile import (
         default_profile_dir,
@@ -450,6 +522,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-ledger", action="store_true",
                        help="do not append completions to the run "
                        "ledger (<cache-dir>/ledger/runs.jsonl)")
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry transient failures (timeouts, "
+                       "worker crashes) up to N extra attempts with "
+                       "deterministic backoff (default 0: fail fast)")
+        p.add_argument("--resume", action="store_true",
+                       help="checkpoint completions to a campaign "
+                       "manifest (<cache-dir>/manifests) and skip "
+                       "jobs it already holds — survives SIGKILL "
+                       "even with --no-cache")
+        p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                       help="inject deterministic host faults (worker "
+                       "kills, cache corruption, transient I/O "
+                       "errors) seeded by SEED — soak testing only")
 
     policies_parser = sub.add_parser(
         "policies", help="scheduling-policy ablation (repro.sched)"
@@ -538,6 +623,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: $REPRO_CACHE_DIR or "
                                ".repro-cache)")
 
+    cache_parser = sub.add_parser(
+        "cache", help="verify or repair the result cache "
+        "(repro.exec.cache)"
+    )
+    cache_parser.add_argument("action", choices=("verify", "repair"),
+                              help="verify: validate every entry, exit "
+                              "1 on corruption; repair: also move "
+                              "corrupt entries to quarantine/")
+    cache_parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                              help="result-cache directory (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache)")
+
     profile_parser = sub.add_parser(
         "profile-report",
         help="aggregate --profile captures (repro.obs.profile)",
@@ -577,6 +674,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "ledger":
         return _cmd_ledger(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "profile-report":
         return _cmd_profile_report(args)
     command = _experiment_commands()[args.command]

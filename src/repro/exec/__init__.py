@@ -16,6 +16,14 @@ here as three pieces:
   a code-version salt, so overlapping sweeps reuse points and
   interrupted campaigns resume for free.
 
+Campaigns on a fallible host get a fourth piece — **robustness**
+(:mod:`repro.exec.robust`, :mod:`repro.exec.chaos`): a
+:class:`RetryPolicy` re-runs transient failures with deterministic
+backoff, the cache self-heals corrupt entries into quarantine, a
+:class:`CampaignManifest` checkpoints completed jobs so ``--resume``
+survives a SIGKILL, and a seeded :class:`ChaosPlan` injects host
+faults to prove all of it under test.
+
 Every experiment producer in the repo (``repro.harness.*``,
 ``repro.resil.campaign``) emits spec lists and consumes records through
 this layer; ``repro <experiment> --jobs N --cache-dir PATH`` exposes it
@@ -24,10 +32,13 @@ on the command line.
 
 from repro.exec.cache import (
     DEFAULT_CACHE_DIR,
+    CorruptEntryError,
     ResultCache,
     code_salt,
     default_cache_dir,
+    record_checksum,
 )
+from repro.exec.chaos import ChaosError, ChaosPlan
 from repro.exec.engines import (
     QUICK_PARAMS,
     VerificationError,
@@ -35,10 +46,19 @@ from repro.exec.engines import (
     simulate,
 )
 from repro.exec.record import (
+    FAILURE_KINDS,
     JobFailedError,
     JobFailure,
     RunRecord,
     check_outcomes,
+)
+from repro.exec.robust import (
+    CampaignManifest,
+    RetryPolicy,
+    campaign_id,
+    default_manifest_dir,
+    list_manifests,
+    unit_roll,
 )
 from repro.exec.runner import (
     JobRunner,
@@ -53,23 +73,34 @@ from repro.exec.spec import ENGINES, JobSpec, make_spec
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "ENGINES",
+    "FAILURE_KINDS",
+    "CampaignManifest",
+    "ChaosError",
+    "ChaosPlan",
+    "CorruptEntryError",
     "JobFailedError",
     "JobFailure",
     "JobRunner",
     "JobSpec",
     "QUICK_PARAMS",
     "ResultCache",
+    "RetryPolicy",
     "RunRecord",
     "RunnerStats",
     "StderrProgress",
     "VerificationError",
     "bench_params",
+    "campaign_id",
     "check_outcomes",
     "code_salt",
     "default_cache_dir",
     "default_jobs",
+    "default_manifest_dir",
     "execute",
+    "list_manifests",
     "make_spec",
+    "record_checksum",
     "simulate",
     "stderr_progress",
+    "unit_roll",
 ]

@@ -4,7 +4,9 @@ Layout::
 
     .repro-cache/
         <code-salt>/            one directory per simulator version
-            <spec-digest>.json  {"salt", "spec", "record"}
+            <spec-digest>.json  {"salt", "spec", "record", "checksum"}
+        quarantine/             corrupt entries moved aside, same shape
+            <code-salt>/<spec-digest>.json
 
 The **code salt** is a digest of every ``repro`` source file, so any
 change to the simulator (timing model, scheduler, worker code...)
@@ -16,8 +18,21 @@ every already-simulated point and interrupted campaigns resume for
 free.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent workers
-and interrupted runs can never leave a truncated entry behind;
-unreadable entries are treated as misses.
+and interrupted runs can never leave a truncated entry behind.  Reads
+**self-heal**: every entry is verified on the way out — it must parse,
+its stored ``checksum`` must match the record payload, and the record
+must name the spec digest it is filed under.  Anything that fails is a
+*corrupt* entry (a crashed writer, a bad sector, a bit flip): it is
+moved to ``quarantine/`` for post-mortem and treated as a miss, so the
+job simply re-simulates instead of raising — and because simulation is
+a pure function of the spec, the healed entry is bit-identical.
+``repro cache verify|repair`` runs the same validation as an offline
+sweep (docs/EXECUTION.md).
+
+Transient I/O errors on read count as misses; a failed store is
+counted and dropped (the cache is an accelerator, never a correctness
+dependency).  An optional :class:`~repro.exec.chaos.ChaosPlan` hooks
+the read/write boundary to inject exactly these faults in tests.
 """
 
 from __future__ import annotations
@@ -28,7 +43,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exec.record import RunRecord
 from repro.exec.spec import JobSpec
@@ -38,6 +53,9 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Directory (under the cache root) corrupt entries are moved into.
+QUARANTINE_DIRNAME = "quarantine"
 
 _code_salt: Optional[str] = None
 
@@ -67,14 +85,36 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
 
+def record_checksum(record_dict: Dict) -> str:
+    """Content checksum of a record payload (canonical-JSON sha256).
+
+    Stored inside every entry and re-verified on read, so silent byte
+    damage *within* the record (which could still parse as valid JSON)
+    is caught instead of served.
+    """
+    canonical = json.dumps(record_dict, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+class CorruptEntryError(ValueError):
+    """A cache entry exists but fails validation (parse/checksum/key)."""
+
+
 class ResultCache:
     """Spec-digest-addressed store of :class:`RunRecord` JSON files."""
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(self, root: Union[str, Path, None] = None,
+                 chaos=None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: Optional :class:`~repro.exec.chaos.ChaosPlan` hooked into the
+        #: read/write boundary (fault-injection tests only).
+        self.chaos = chaos
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.quarantined = 0    # corrupt entries moved aside on read
+        self.io_errors = 0      # transient read/store I/O failures
         # Wall-clock spent inside get()/put(): the cache's own cost,
         # surfaced in the metrics dump (docs/OBSERVABILITY.md).
         self.lookup_seconds = 0.0
@@ -83,18 +123,68 @@ class ResultCache:
     def _path(self, spec: JobSpec) -> Path:
         return self.root / code_salt() / f"{spec.digest}.json"
 
+    # -- entry validation ----------------------------------------------
+    def _load_entry(self, path: Path,
+                    expect_digest: Optional[str] = None) -> RunRecord:
+        """Read and fully validate one entry.
+
+        Raises ``FileNotFoundError`` on a plain miss, ``OSError`` on a
+        transient read failure, and :class:`CorruptEntryError` when the
+        bytes are there but wrong (truncation, bit flip, foreign
+        record).
+        """
+        if self.chaos is not None:
+            self.chaos.cache_read(str(path))
+        text = path.read_text()
+        try:
+            payload = json.loads(text)
+            checksum = payload["checksum"]
+            record_dict = payload["record"]
+            record = RunRecord.from_dict(record_dict)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CorruptEntryError(
+                f"{path.name}: unparseable entry ({exc})") from exc
+        if checksum != record_checksum(record_dict):
+            raise CorruptEntryError(f"{path.name}: checksum mismatch")
+        if expect_digest is not None and record.spec_digest != expect_digest:
+            raise CorruptEntryError(
+                f"{path.name}: holds record for spec "
+                f"{record.spec_digest}, filed under {expect_digest}")
+        return record
+
+    def quarantine(self, path: Path) -> Optional[Path]:
+        """Move a corrupt entry under ``quarantine/`` (best effort)."""
+        target = (self.root / QUARANTINE_DIRNAME
+                  / path.parent.name / path.name)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return None
+        self.quarantined += 1
+        return target
+
+    # -- get/put --------------------------------------------------------
     def get(self, spec: JobSpec) -> Optional[RunRecord]:
-        """Cached record for ``spec``, or ``None`` on a miss."""
+        """Cached record for ``spec``, or ``None`` on a miss.
+
+        Corrupt entries are quarantined and read as misses; transient
+        I/O errors read as misses.  Never raises.
+        """
         started = time.perf_counter()
         try:
             path = self._path(spec)
             try:
-                payload = json.loads(path.read_text())
-                record = RunRecord.from_dict(payload["record"])
-            except (OSError, ValueError, KeyError, TypeError):
+                record = self._load_entry(path, spec.digest)
+            except FileNotFoundError:
                 self.misses += 1
                 return None
-            if record.spec_digest != spec.digest:
+            except CorruptEntryError:
+                self.quarantine(path)
+                self.misses += 1
+                return None
+            except OSError:
+                self.io_errors += 1
                 self.misses += 1
                 return None
             self.hits += 1
@@ -102,16 +192,25 @@ class ResultCache:
         finally:
             self.lookup_seconds += time.perf_counter() - started
 
-    def put(self, spec: JobSpec, record: RunRecord) -> Path:
-        """Store ``record`` under ``spec``'s digest (atomic write)."""
+    def put(self, spec: JobSpec, record: RunRecord) -> Optional[Path]:
+        """Store ``record`` under ``spec``'s digest (atomic write).
+
+        Returns the entry path, or ``None`` when a transient I/O error
+        dropped the store — the cache is best-effort, so a full disk or
+        flaky mount costs a future re-simulation, never the batch.
+        """
         started = time.perf_counter()
         try:
             path = self._path(spec)
+            if self.chaos is not None:
+                self.chaos.cache_write(str(path))
             path.parent.mkdir(parents=True, exist_ok=True)
+            record_dict = record.to_dict()
             payload = {
                 "salt": code_salt(),
                 "spec": spec.canonical_dict(),
-                "record": record.to_dict(),
+                "record": record_dict,
+                "checksum": record_checksum(record_dict),
             }
             text = json.dumps(payload, sort_keys=True, indent=1)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -126,13 +225,62 @@ class ResultCache:
                     pass
                 raise
             self.puts += 1
+            if self.chaos is not None:
+                self.chaos.cache_written(path)
             return path
+        except OSError:
+            self.io_errors += 1
+            return None
         finally:
             self.store_seconds += time.perf_counter() - started
+
+    # -- offline maintenance (repro cache verify|repair) ---------------
+    def entry_paths(self) -> List[Path]:
+        """Every entry file under the root, all salts, sorted;
+        quarantined entries excluded."""
+        try:
+            paths = [p for p in self.root.glob("*/*.json")
+                     if p.parent.name != QUARANTINE_DIRNAME
+                     and p.parent.parent.name != QUARANTINE_DIRNAME]
+        except OSError:
+            return []
+        return sorted(paths)
+
+    def verify(self) -> Tuple[int, List[Tuple[Path, str]]]:
+        """Validate every entry: ``(valid_count, [(path, reason), ...])``.
+
+        An entry must parse, match its stored checksum, and hold a
+        record for the spec digest it is filed under (the filename).
+        Read-only — see :meth:`repair` for the sweep that quarantines.
+        """
+        valid = 0
+        corrupt: List[Tuple[Path, str]] = []
+        for path in self.entry_paths():
+            try:
+                self._load_entry(path, expect_digest=path.stem)
+            except CorruptEntryError as exc:
+                corrupt.append((path, str(exc)))
+            except OSError as exc:
+                corrupt.append((path, f"unreadable: {exc}"))
+            else:
+                valid += 1
+        return valid, corrupt
+
+    def repair(self) -> Tuple[int, List[Path]]:
+        """Quarantine every corrupt entry: ``(valid_count, moved)``."""
+        valid, corrupt = self.verify()
+        moved: List[Path] = []
+        for path, _reason in corrupt:
+            target = self.quarantine(path)
+            if target is not None:
+                moved.append(target)
+        return valid, moved
 
     def stats_dict(self) -> Dict[str, float]:
         """Counts and timings, for metric dumps and reports."""
         return dict(hits=self.hits, misses=self.misses, puts=self.puts,
+                    quarantined=self.quarantined,
+                    io_errors=self.io_errors,
                     lookup_seconds=self.lookup_seconds,
                     store_seconds=self.store_seconds)
 

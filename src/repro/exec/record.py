@@ -141,6 +141,14 @@ class RunRecord:
         )
 
 
+#: Failure classes a :class:`JobFailure` may carry.  ``timeout`` = the
+#: per-job deadline fired (host-imposed; the job might finish with more
+#: time), ``crash`` = the worker process died or the pool broke
+#: (host-caused), ``sim-error`` = the simulation itself raised — a
+#: deterministic outcome of the spec that re-running cannot change.
+FAILURE_KINDS = ("timeout", "crash", "sim-error")
+
+
 @dataclass
 class JobFailure:
     """Structured record of a job that raised instead of completing."""
@@ -155,6 +163,10 @@ class JobFailure:
     parallelxl: bool = False
     #: True when the job was killed by the per-job timeout.
     timed_out: bool = False
+    #: Failure class (one of :data:`FAILURE_KINDS`) — what retry rules
+    #: and campaign classification dispatch on, instead of
+    #: string-matching exception text.
+    kind: str = "sim-error"
 
     ok = False
 
@@ -164,9 +176,19 @@ class JobFailure:
     @classmethod
     def from_exception(cls, spec_digest: str, label: str,
                        exc: BaseException,
-                       timed_out: bool = False) -> "JobFailure":
+                       timed_out: bool = False,
+                       kind: Optional[str] = None) -> "JobFailure":
+        """Build a failure; ``kind`` defaults from how the error arose.
+
+        ``timed_out=True`` means the deadline fired (``timeout``); an
+        explicit ``kind="crash"`` is passed by the pool-side handler
+        when the worker process itself died; everything a worker caught
+        *inside* the simulation is a deterministic ``sim-error``.
+        """
         from repro.core.exceptions import ParallelXLError
 
+        if kind is None:
+            kind = "timeout" if timed_out else "sim-error"
         return cls(
             spec_digest=spec_digest,
             label=label,
@@ -174,6 +196,31 @@ class JobFailure:
             message=str(exc),
             parallelxl=isinstance(exc, ParallelXLError),
             timed_out=timed_out,
+            kind=kind,
+        )
+
+    # -- serialisation (campaign manifests) -----------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec_digest": self.spec_digest,
+            "label": self.label,
+            "error_type": self.error_type,
+            "message": self.message,
+            "parallelxl": self.parallelxl,
+            "timed_out": self.timed_out,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobFailure":
+        return cls(
+            spec_digest=payload["spec_digest"],
+            label=payload["label"],
+            error_type=payload["error_type"],
+            message=payload["message"],
+            parallelxl=bool(payload.get("parallelxl", False)),
+            timed_out=bool(payload.get("timed_out", False)),
+            kind=payload.get("kind", "sim-error"),
         )
 
 

@@ -16,9 +16,10 @@ distill to a :class:`~repro.exec.record.RunRecord`, cache store.
   every position — overlapping sweep grids get reuse even without a
   cache;
 * a worker exception never kills the batch: it comes back as a
-  structured :class:`~repro.exec.record.JobFailure`;
+  structured :class:`~repro.exec.record.JobFailure` carrying a
+  failure ``kind`` (``timeout`` / ``crash`` / ``sim-error``);
 * ``timeout`` (seconds per job) bounds runaway simulations via
-  ``SIGALRM`` inside the worker (Unix; ignored where unavailable);
+  ``SIGALRM`` inside the worker (Unix main threads; ignored elsewhere);
 * a ``progress`` callback — e.g. :func:`stderr_progress` — observes
   every completion, cached or simulated.
 
@@ -30,10 +31,26 @@ hit/miss/store timings, pool occupancy, and timeout/failure counts;
 give it a :class:`~repro.obs.ledger.RunLedger` and every completion is
 appended to the persistent run ledger; give it a ``profile_dir`` and
 every simulated job runs under ``cProfile`` with one capture per spec
-digest.  All three default to ``None`` and every emission site is
-behind an ``is not None`` guard, so an uninstrumented runner executes
-exactly the code it did before — simulated results are bit-identical
-either way (instrumentation only ever *observes* the outcome).
+digest.
+
+And it is the host-side **robustness point** (docs/EXECUTION.md,
+"Failure handling & recovery"): give it a
+:class:`~repro.exec.robust.RetryPolicy` and transient failures
+(timeouts, worker crashes) are retried with exponential backoff and a
+raised deadline, broken process pools are rebuilt up to
+``max_pool_restarts`` times and then degraded to serial in-process
+execution instead of failing the batch; give it a ``manifest_dir`` and
+every completion is checkpointed to an atomic
+:class:`~repro.exec.robust.CampaignManifest`, so a re-run of the same
+batch (``--resume``) skips completed jobs even with the cache disabled
+and after a SIGKILL; give it a :class:`~repro.exec.chaos.ChaosPlan`
+and host faults are injected deterministically (the soak suite in
+``tests/exec/test_chaos.py``).
+
+All of these default to ``None`` and every emission site is behind an
+``is not None`` guard, so an unconfigured runner executes exactly the
+code it did before — simulated results are bit-identical either way
+(instrumentation only observes, and retries re-run a pure function).
 
 The ``fork`` start method is used when available so workers inherit the
 parent's interpreter state (including ``PYTHONHASHSEED``); see
@@ -46,8 +63,11 @@ import math
 import os
 import signal
 import sys
+import threading
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -81,9 +101,15 @@ def _deadline(seconds: Optional[float]):
     """Raise :class:`_JobTimeout` after ``seconds`` (best effort).
 
     Uses ``SIGALRM``, so it only arms on Unix main threads; everywhere
-    else the job simply runs without a timeout.
+    else (no SIGALRM, a worker thread) the job simply runs without a
+    timeout.  If arming fails partway, any pre-existing handler is
+    restored before the job runs — the context can never leak a
+    foreign SIGALRM disposition.
     """
     if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    if threading.current_thread() is not threading.main_thread():
         yield
         return
 
@@ -92,19 +118,33 @@ def _deadline(seconds: Optional[float]):
 
     try:
         previous = signal.signal(signal.SIGALRM, _fire)
-    except ValueError:          # not the main thread
+    except ValueError:          # races with an interpreter shutdown etc.
         yield
         return
-    signal.alarm(max(1, math.ceil(seconds)))
     try:
-        yield
+        armed = False
+        try:
+            signal.alarm(max(1, math.ceil(seconds)))
+            armed = True
+        except (OSError, OverflowError, ValueError):
+            pass                # arming failed: run unbounded
+        try:
+            yield
+        finally:
+            if armed:
+                signal.alarm(0)
     finally:
-        signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
 
 
 def _run_job(spec: JobSpec, timeout: Optional[float]) -> Outcome:
-    """Simulate one spec, converting any exception into a JobFailure."""
+    """Simulate one spec, converting any exception into a JobFailure.
+
+    Exceptions caught *here* happened inside the simulation and are
+    deterministic functions of the spec (``kind="sim-error"``, or
+    ``timeout`` for the deadline); worker-process death never reaches
+    this handler and is classified ``crash`` by the pool-side caller.
+    """
     from repro.exec.engines import simulate
 
     try:
@@ -120,7 +160,8 @@ def _run_job(spec: JobSpec, timeout: Optional[float]) -> Outcome:
 
 def _worker(spec: JobSpec, timeout: Optional[float],
             submitted_at: Optional[float] = None,
-            profile_path: Optional[str] = None):
+            profile_path: Optional[str] = None,
+            chaos_kill: bool = False):
     """Pool-side wrapper around :func:`_run_job` adding measurement.
 
     Returns ``(outcome, run_seconds, queue_seconds)``.  ``submitted_at``
@@ -129,7 +170,14 @@ def _worker(spec: JobSpec, timeout: Optional[float],
     difference is the job's time in the pool queue; best-effort 0.0
     where that assumption fails.  ``profile_path`` wraps the simulation
     in a ``cProfile`` capture, entirely outside the result path.
+
+    ``chaos_kill`` (decided by the parent's seeded
+    :class:`~repro.exec.chaos.ChaosPlan`) hard-exits the worker
+    process mid-job — no cleanup, no result — modelling an OOM kill;
+    it breaks the pool exactly the way a real worker death does.
     """
+    if chaos_kill:
+        os._exit(70)
     start = time.perf_counter()
     queue_seconds = max(0.0, start - submitted_at) if submitted_at else 0.0
     if profile_path is not None:
@@ -164,8 +212,16 @@ class StderrProgress:
     current batch (state resets whenever ``done == 1``, so one shared
     instance serves many sequential batches).  Before the batch has
     produced two data points of its own, the ETA falls back to the run
-    ledger's historical mean job time (``ledger.estimate_seconds()``),
-    so even the first line of a campaign has a usable forecast.
+    ledger's historical mean job time (``ledger.estimate_seconds()``) —
+    a mean over *final* attempts only (the ledger marks retried
+    attempts, and the estimator excludes them), so a flaky stretch of
+    history does not skew the forecast.
+
+    The runner notifies retries and quarantines through
+    :meth:`note_retry` / :meth:`note_quarantine`; nonzero counts are
+    surfaced on every line (e.g. ``[3 retried, 1 quarantined]``).
+    Retried attempts never bump ``done``, so the measured jobs/sec is
+    completions per second, not attempts per second.
     """
 
     def __init__(self, ledger=None) -> None:
@@ -174,6 +230,16 @@ class StderrProgress:
         self._n0 = 0
         self._hint: Optional[float] = None
         self._hint_loaded = False
+        self._retried = 0
+        self._quarantined = 0
+
+    def note_retry(self, count: int = 1) -> None:
+        """A failed attempt is being re-run (called by the runner)."""
+        self._retried += count
+
+    def note_quarantine(self, count: int = 1) -> None:
+        """Corrupt cache entries were quarantined (called by the runner)."""
+        self._quarantined += count
 
     def _pace(self, done: int, total: int,
               now: float) -> str:
@@ -190,6 +256,15 @@ class StderrProgress:
         eta = (total - done) / rate
         return f" ({rate:.1f} jobs/s, eta {eta:.0f}s)"
 
+    def _health(self) -> str:
+        """`` [N retried, M quarantined]`` suffix, or ``""``."""
+        parts = []
+        if self._retried:
+            parts.append(f"{self._retried} retried")
+        if self._quarantined:
+            parts.append(f"{self._quarantined} quarantined")
+        return f" [{', '.join(parts)}]" if parts else ""
+
     def __call__(self, done: int, total: int, spec: JobSpec,
                  outcome: Outcome, cached: bool) -> None:
         now = time.perf_counter()
@@ -204,12 +279,16 @@ class StderrProgress:
         tag = "cache" if cached else ("ok" if outcome.ok else "FAIL")
         line = f"[{done}/{total}] {spec.label}: {tag}"
         line += self._pace(done, total, now)
+        line += self._health()
         if sys.stderr.isatty():
             end = "\n" if done == total else ""
             sys.stderr.write(f"\r\x1b[2K{line}{end}")
         else:
             sys.stderr.write(line + "\n")
         sys.stderr.flush()
+        if done >= total:
+            # Batch over: health counters are per-batch, like the rate.
+            self._retried = self._quarantined = 0
 
 
 #: Module-level default printer (the historical ``progress=`` callback).
@@ -220,11 +299,12 @@ stderr_progress = StderrProgress()
 class RunnerStats:
     """Aggregate execution counts and timings for one :class:`JobRunner`.
 
-    The counts are deterministic for a given batch; the two wall-clock
-    totals are host measurements.  ``run_seconds`` is *summed job time*
-    (with ``jobs>1`` it exceeds batch wall-clock — it is the work the
-    pool absorbed), ``cache_seconds`` is time spent on cache lookups
-    and stores.
+    The counts are deterministic for a given batch (retry/robustness
+    counts are deterministic under a seeded chaos plan); the two
+    wall-clock totals are host measurements.  ``run_seconds`` is
+    *summed job time* including retried attempts (with ``jobs>1`` it
+    exceeds batch wall-clock — it is the work the pool absorbed),
+    ``cache_seconds`` is time spent on cache lookups and stores.
     """
 
     submitted: int = 0      # specs handed to run() (incl. duplicates)
@@ -232,6 +312,10 @@ class RunnerStats:
     cached: int = 0         # cache hits
     executed: int = 0       # real simulations
     failed: int = 0         # jobs that returned a JobFailure
+    retried: int = 0        # failed attempts that were re-run
+    quarantined: int = 0    # corrupt cache entries moved aside
+    resumed: int = 0        # jobs skipped via a campaign manifest
+    pool_restarts: int = 0  # process pools rebuilt after worker death
     run_seconds: float = 0.0    # summed per-job simulation wall-clock
     cache_seconds: float = 0.0  # summed cache lookup + store wall-clock
 
@@ -242,7 +326,8 @@ class RunnerStats:
         Failed jobs never enter the cache (and never bump ``executed``),
         so warm-cache SLO gates like ``--expect-cached`` must count both
         — a batch that simulated *and failed* is just as cold as one
-        that simulated successfully.
+        that simulated successfully.  Manifest-resumed jobs did not
+        simulate now, so they do not count.
         """
         return self.executed + self.failed
 
@@ -250,6 +335,9 @@ class RunnerStats:
         return dict(submitted=self.submitted,
                     deduplicated=self.deduplicated, cached=self.cached,
                     executed=self.executed, failed=self.failed,
+                    retried=self.retried, quarantined=self.quarantined,
+                    resumed=self.resumed,
+                    pool_restarts=self.pool_restarts,
                     run_seconds=self.run_seconds,
                     cache_seconds=self.cache_seconds)
 
@@ -279,11 +367,27 @@ class JobRunner:
     ledger:
         A :class:`~repro.obs.ledger.RunLedger`, or ``None`` (default):
         every completion (cached or simulated) is appended with its
-        timing split.
+        timing split; retried attempts are appended too, marked
+        ``retried``.
     profile_dir:
         Directory for per-job ``cProfile`` captures
         (``<spec-digest>.pstats``), or ``None`` (default) for no
         profiling.  Cached hits are not profiled — nothing ran.
+    retry:
+        A :class:`~repro.exec.robust.RetryPolicy`, or ``None``
+        (default) for today's single-attempt behaviour.  With a policy,
+        transient failures are retried (timeouts with a raised
+        deadline), broken pools are rebuilt, and repeated pool loss
+        degrades to serial in-process execution instead of failing.
+    chaos:
+        A :class:`~repro.exec.chaos.ChaosPlan`, or ``None`` (default):
+        deterministic host-fault injection (worker kills) for the soak
+        suite.  Cache/ledger chaos is wired on those objects directly.
+    manifest_dir:
+        Directory for :class:`~repro.exec.robust.CampaignManifest`
+        checkpoints, or ``None`` (default).  When set, every ``run()``
+        batch writes one manifest keyed by its spec digests, and jobs
+        already completed there are skipped (``stats.resumed``).
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -291,7 +395,9 @@ class JobRunner:
                  timeout: Optional[float] = None,
                  progress: Optional[ProgressFn] = None,
                  metrics=None, ledger=None,
-                 profile_dir: Union[str, Path, None] = None) -> None:
+                 profile_dir: Union[str, Path, None] = None,
+                 retry=None, chaos=None,
+                 manifest_dir: Union[str, Path, None] = None) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.cache = cache
         self.timeout = timeout
@@ -299,6 +405,9 @@ class JobRunner:
         self.metrics = metrics
         self.ledger = ledger
         self.profile_dir = Path(profile_dir) if profile_dir else None
+        self.retry = retry
+        self.chaos = chaos
+        self.manifest_dir = Path(manifest_dir) if manifest_dir else None
         self.stats = RunnerStats()
 
     # ------------------------------------------------------------------
@@ -307,6 +416,15 @@ class JobRunner:
             return None
         self.profile_dir.mkdir(parents=True, exist_ok=True)
         return str(self.profile_dir / f"{spec.digest}.pstats")
+
+    @staticmethod
+    def _mp_context():
+        try:
+            import multiprocessing
+
+            return multiprocessing.get_context("fork")
+        except ValueError:      # pragma: no cover - non-Unix fallback
+            return None
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> List[Outcome]:
@@ -331,6 +449,13 @@ class JobRunner:
                 "duplicate specs folded into another job").inc(
                 len(specs) - len(unique))
 
+        manifest = None
+        if self.manifest_dir is not None:
+            from repro.exec.robust import CampaignManifest
+
+            manifest = CampaignManifest.for_specs(self.manifest_dir,
+                                                  unique.values())
+
         outcomes: Dict[str, Outcome] = {}
         done = 0
         total = len(unique)
@@ -338,34 +463,45 @@ class JobRunner:
         def _complete(spec: JobSpec, outcome: Outcome, cached: bool,
                       run_seconds: float = 0.0,
                       queue_seconds: float = 0.0,
-                      lookup_seconds: float = 0.0) -> None:
+                      lookup_seconds: float = 0.0,
+                      resumed: bool = False) -> None:
             nonlocal done
             done += 1
             outcomes[spec.digest] = outcome
-            if cached:
+            if resumed:
+                self.stats.resumed += 1
+            elif cached:
                 self.stats.cached += 1
             elif outcome.ok:
                 self.stats.executed += 1
-            if not outcome.ok:
+            if not outcome.ok and not resumed:
                 self.stats.failed += 1
-            if not cached:
+            if not cached and not resumed:
                 self.stats.run_seconds += run_seconds
             if self.metrics is not None:
                 self._record_metrics(outcome, cached, run_seconds,
-                                     queue_seconds)
+                                     queue_seconds, resumed)
             if self.ledger is not None:
                 self.ledger.record_job(
                     spec, outcome, cached=cached,
                     run_seconds=run_seconds,
                     queue_seconds=queue_seconds,
                     lookup_seconds=lookup_seconds, jobs=self.jobs,
+                    resumed=resumed,
                 )
+            if manifest is not None and not resumed:
+                manifest.record(spec, outcome)
             if self.progress is not None:
                 self.progress(done, total, spec, outcome, cached)
 
         pending: List[JobSpec] = []
         batch_start = time.perf_counter()
         for spec in unique.values():
+            if manifest is not None:
+                prior = manifest.completed(spec.digest)
+                if prior is not None:
+                    _complete(spec, prior, cached=True, resumed=True)
+                    continue
             record, lookup = self._cache_get(spec)
             if record is not None:
                 _complete(spec, record, cached=True,
@@ -374,29 +510,54 @@ class JobRunner:
                 pending.append(spec)
 
         if self.jobs > 1 and len(pending) > 1:
-            self._run_parallel(pending, _complete)
+            if self.retry is None and self.chaos is None:
+                self._run_parallel(pending, _complete)
+            else:
+                self._run_parallel_robust(pending, _complete)
         else:
-            for spec in pending:
-                outcome, run_seconds, queue_seconds = _worker(
-                    spec, self.timeout, batch_start,
-                    self._profile_path(spec))
-                self._cache_put(spec, outcome)
-                _complete(spec, outcome, cached=False,
-                          run_seconds=run_seconds,
-                          queue_seconds=queue_seconds)
+            self._run_serial(pending, _complete, batch_start)
 
         return [outcomes[spec.digest] for spec in specs]
 
+    # -- serial path (jobs=1 and the degraded pool fallback) -----------
+    def _run_serial(self, pending: List[JobSpec],
+                    complete: Callable[..., None],
+                    batch_start: Optional[float] = None,
+                    attempts: Optional[Dict[str, int]] = None) -> None:
+        """In-process execution with the retry loop when configured.
+
+        ``attempts`` carries per-digest attempt counts accumulated by a
+        degraded parallel batch, so retry budgets span the degradation.
+        Chaos worker kills never apply here: the in-process path is the
+        guaranteed-completion fallback.
+        """
+        policy = self.retry
+        for spec in pending:
+            attempt = attempts.get(spec.digest, 0) if attempts else 0
+            while True:
+                timeout = (policy.timeout_for(self.timeout, attempt)
+                           if policy is not None else self.timeout)
+                outcome, run_seconds, queue_seconds = _worker(
+                    spec, timeout, batch_start,
+                    self._profile_path(spec))
+                if (not outcome.ok and policy is not None
+                        and policy.should_retry(outcome, attempt)):
+                    self._note_retry(spec, outcome, run_seconds,
+                                     queue_seconds)
+                    policy.sleep(policy.delay(spec.digest, attempt))
+                    attempt += 1
+                    continue
+                break
+            self._cache_put(spec, outcome)
+            complete(spec, outcome, cached=False,
+                     run_seconds=run_seconds,
+                     queue_seconds=queue_seconds)
+
+    # -- parallel path, unsupervised (the historical code path) --------
     def _run_parallel(self, pending: List[JobSpec],
                       complete: Callable[..., None]) -> None:
-        try:
-            import multiprocessing
-
-            context = multiprocessing.get_context("fork")
-        except ValueError:      # pragma: no cover - non-Unix fallback
-            context = None
         with ProcessPoolExecutor(max_workers=self.jobs,
-                                 mp_context=context) as pool:
+                                 mp_context=self._mp_context()) as pool:
             submitted_at = time.perf_counter()
             futures = {
                 pool.submit(_worker, spec, self.timeout, submitted_at,
@@ -406,26 +567,158 @@ class JobRunner:
             remaining = len(futures)
             for future in as_completed(futures):
                 spec = futures[future]
-                if self.metrics is not None:
-                    # In-flight + queued jobs at this completion: how
-                    # loaded the pool was over the batch's lifetime.
-                    self.metrics.histogram(
-                        "exec.pool.occupancy",
-                        (1, 2, 4, 8, 16, 32, 64),
-                        "pending jobs at each completion",
-                        volatile=True).record(remaining)
+                self._note_occupancy(remaining)
                 remaining -= 1
                 run_seconds = queue_seconds = 0.0
                 try:
                     outcome, run_seconds, queue_seconds = future.result()
                 except Exception as exc:   # worker process died
                     outcome = JobFailure.from_exception(
-                        spec.digest, spec.label, exc
+                        spec.digest, spec.label, exc, kind="crash"
                     )
                 self._cache_put(spec, outcome)
                 complete(spec, outcome, cached=False,
                          run_seconds=run_seconds,
                          queue_seconds=queue_seconds)
+
+    # -- parallel path, supervised (retry and/or chaos configured) -----
+    def _run_parallel_robust(self, pending: List[JobSpec],
+                             complete: Callable[..., None]) -> None:
+        """Pool execution with supervision, retries, and chaos kills.
+
+        Runs in rounds: each round submits every unfinished spec to a
+        fresh pool (so crash retries never share a possibly-wounded
+        pool with their first attempt).  A worker death breaks the
+        whole ``ProcessPoolExecutor``; unfinished victims are
+        resubmitted without consuming retry budget — only a job's *own*
+        observed failure does.  After ``max_pool_restarts`` pool
+        losses, the remaining jobs degrade to serial in-process
+        execution with a warning rather than failing the batch.
+        """
+        from repro.exec.robust import DEFAULT_POOL_RESTARTS
+
+        policy = self.retry
+        restart_limit = (policy.max_pool_restarts if policy is not None
+                         else DEFAULT_POOL_RESTARTS)
+        todo: Dict[str, JobSpec] = {s.digest: s for s in pending}
+        attempts: Dict[str, int] = {d: 0 for d in todo}
+        submissions: Dict[str, int] = {d: 0 for d in todo}
+        restarts = 0
+        while todo:
+            broken = False
+            retried_this_round: List[str] = []
+            round_specs = list(todo.values())
+            with ProcessPoolExecutor(max_workers=self.jobs,
+                                     mp_context=self._mp_context()
+                                     ) as pool:
+                submitted_at = time.perf_counter()
+                futures = {}
+                for spec in round_specs:
+                    digest = spec.digest
+                    kill = (self.chaos is not None
+                            and self.chaos.kill_worker(
+                                digest, submissions[digest]))
+                    submissions[digest] += 1
+                    timeout = (policy.timeout_for(self.timeout,
+                                                  attempts[digest])
+                               if policy is not None else self.timeout)
+                    futures[pool.submit(
+                        _worker, spec, timeout, submitted_at,
+                        self._profile_path(spec), kill)] = spec
+                remaining = len(futures)
+                for future in as_completed(futures):
+                    spec = futures[future]
+                    digest = spec.digest
+                    self._note_occupancy(remaining)
+                    remaining -= 1
+                    run_seconds = queue_seconds = 0.0
+                    try:
+                        outcome, run_seconds, queue_seconds = (
+                            future.result())
+                    except BrokenProcessPool:
+                        # A victim of some worker's death, not
+                        # necessarily the culprit: resubmit next round
+                        # at no retry cost (the pool-restart budget
+                        # bounds this loop instead).
+                        broken = True
+                        continue
+                    except Exception as exc:   # this worker died
+                        outcome = JobFailure.from_exception(
+                            spec.digest, spec.label, exc, kind="crash"
+                        )
+                    if (not outcome.ok and policy is not None
+                            and policy.should_retry(outcome,
+                                                    attempts[digest])):
+                        self._note_retry(spec, outcome, run_seconds,
+                                         queue_seconds)
+                        retried_this_round.append(digest)
+                        attempts[digest] += 1
+                        continue        # stays in todo for next round
+                    self._cache_put(spec, outcome)
+                    del todo[digest]
+                    complete(spec, outcome, cached=False,
+                             run_seconds=run_seconds,
+                             queue_seconds=queue_seconds)
+            if not todo:
+                break
+            if broken:
+                restarts += 1
+                self.stats.pool_restarts += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "exec.pool.restarts",
+                        "process pools rebuilt after worker death"
+                    ).inc()
+                if restarts > restart_limit:
+                    warnings.warn(
+                        f"process pool broke {restarts} times "
+                        f"(limit {restart_limit}); degrading "
+                        f"{len(todo)} remaining job(s) to serial "
+                        f"in-process execution", RuntimeWarning,
+                        stacklevel=3)
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "exec.pool.degraded",
+                            "batches degraded to serial execution"
+                        ).inc()
+                    self._run_serial(list(todo.values()), complete,
+                                     attempts=attempts)
+                    return
+            if retried_this_round and policy is not None:
+                policy.sleep(max(
+                    policy.delay(d, attempts[d] - 1)
+                    for d in retried_this_round))
+
+    # ------------------------------------------------------------------
+    def _note_occupancy(self, remaining: int) -> None:
+        if self.metrics is not None:
+            # In-flight + queued jobs at this completion: how loaded
+            # the pool was over the batch's lifetime.
+            self.metrics.histogram(
+                "exec.pool.occupancy",
+                (1, 2, 4, 8, 16, 32, 64),
+                "pending jobs at each completion",
+                volatile=True).record(remaining)
+
+    def _note_retry(self, spec: JobSpec, outcome: Outcome,
+                    run_seconds: float, queue_seconds: float) -> None:
+        """Account one failed attempt that is about to be re-run."""
+        self.stats.retried += 1
+        self.stats.run_seconds += run_seconds
+        if self.metrics is not None:
+            self.metrics.counter(
+                "exec.jobs.retried",
+                "failed attempts re-run under the retry policy").inc()
+        if self.ledger is not None:
+            self.ledger.record_job(
+                spec, outcome, cached=False, run_seconds=run_seconds,
+                queue_seconds=queue_seconds, jobs=self.jobs,
+                retried=True,
+            )
+        if self.progress is not None:
+            note = getattr(self.progress, "note_retry", None)
+            if note is not None:
+                note()
 
     # ------------------------------------------------------------------
     def _cache_get(self, spec: JobSpec):
@@ -433,9 +726,22 @@ class JobRunner:
         if self.cache is None:
             return None, 0.0
         start = time.perf_counter()
+        quarantined_before = getattr(self.cache, "quarantined", 0)
         record = self.cache.get(spec)
         lookup = time.perf_counter() - start
         self.stats.cache_seconds += lookup
+        quarantined = (getattr(self.cache, "quarantined", 0)
+                       - quarantined_before)
+        if quarantined > 0:
+            self.stats.quarantined += quarantined
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "exec.cache.quarantined",
+                    "corrupt cache entries moved aside").inc(quarantined)
+            if self.progress is not None:
+                note = getattr(self.progress, "note_quarantine", None)
+                if note is not None:
+                    note(quarantined)
         if self.metrics is not None:
             self.metrics.counter(
                 "exec.cache.hits" if record is not None
@@ -447,27 +753,39 @@ class JobRunner:
         return record, lookup
 
     def _cache_put(self, spec: JobSpec, outcome: Outcome) -> None:
-        """Timed cache store (successful outcomes only)."""
+        """Timed cache store (successful outcomes only, best effort)."""
         if not outcome.ok or self.cache is None:
             return
         start = time.perf_counter()
-        self.cache.put(spec, outcome)
+        try:
+            stored = self.cache.put(spec, outcome)
+        except OSError:         # caches without their own guard
+            stored = None
         store = time.perf_counter() - start
         self.stats.cache_seconds += store
         if self.metrics is not None:
-            self.metrics.counter("exec.cache.stores").inc()
+            if stored is not None:
+                self.metrics.counter("exec.cache.stores").inc()
+            else:
+                self.metrics.counter(
+                    "exec.cache.store_errors",
+                    "cache stores dropped on I/O errors").inc()
             self.metrics.histogram(
                 "exec.cache.store_seconds",
                 help="result-cache store wall-clock",
                 volatile=True).record(store)
 
     def _record_metrics(self, outcome: Outcome, cached: bool,
-                        run_seconds: float,
-                        queue_seconds: float) -> None:
+                        run_seconds: float, queue_seconds: float,
+                        resumed: bool = False) -> None:
         """Per-completion metric emission (``self.metrics`` is set)."""
         from repro.obs.metrics import CYCLES_BUCKETS
 
         metrics = self.metrics
+        if resumed:
+            metrics.counter("exec.jobs.resumed",
+                            "jobs skipped via a campaign manifest").inc()
+            return
         if cached:
             metrics.counter("exec.jobs.cached", "cache hits").inc()
         elif outcome.ok:

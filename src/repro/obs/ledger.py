@@ -22,8 +22,12 @@ id that groups one campaign's jobs together.  Appends are single
 interleave whole lines; unreadable lines are skipped on read.
 
 The ledger is observability, not state: deleting it loses history but
-breaks nothing, and it is never read on the simulation path.  Query it
-with ``repro ledger`` (recent runs, slowest jobs, cache-hit trend).
+breaks nothing, and it is never read on the simulation path.  That is
+why appends are *best-effort*: a transient I/O error (or an injected
+:class:`~repro.exec.chaos.ChaosError` when a chaos plan is wired in)
+drops the line and bumps :attr:`RunLedger.dropped` instead of failing
+the job that was being recorded.  Query it with ``repro ledger``
+(recent runs, slowest jobs, cache-hit trend).
 """
 
 from __future__ import annotations
@@ -74,16 +78,26 @@ def default_ledger_dir(cache_root: Union[str, Path, None] = None) -> Path:
 class RunLedger:
     """Append-only JSONL ledger rooted at a cache directory."""
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(self, root: Union[str, Path, None] = None,
+                 chaos=None) -> None:
         self.root = Path(root) if root is not None else default_ledger_dir()
         self.path = self.root / LEDGER_FILENAME
+        #: Optional :class:`~repro.exec.chaos.ChaosPlan` hooked into
+        #: appends (fault-injection tests only).
+        self.chaos = chaos
         #: Groups the jobs of one runner/campaign in trend queries.
         self.session = uuid.uuid4().hex[:12]
         self.appended = 0
+        self.dropped = 0    # appends lost to transient I/O errors
 
     # -- writing --------------------------------------------------------
     def append(self, entry: Dict[str, object]) -> None:
-        """Write one entry (session/host/version added here)."""
+        """Write one entry (session/host/version added here).
+
+        Best-effort: the ledger is observability, so a transient I/O
+        failure drops the line (counted in :attr:`dropped`) rather than
+        failing the job being recorded.
+        """
         payload = {
             "v": LEDGER_VERSION,
             "session": self.session,
@@ -92,16 +106,24 @@ class RunLedger:
         }
         line = json.dumps(payload, sort_keys=True,
                           separators=(",", ":")) + "\n"
-        self.root.mkdir(parents=True, exist_ok=True)
-        # One write on an O_APPEND descriptor: concurrent pool workers
-        # and parallel campaigns interleave whole lines, never bytes.
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
+        try:
+            if self.chaos is not None:
+                self.chaos.ledger_append()
+            self.root.mkdir(parents=True, exist_ok=True)
+            # One write on an O_APPEND descriptor: concurrent pool
+            # workers and parallel campaigns interleave whole lines,
+            # never bytes.
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+        except OSError:
+            self.dropped += 1
+            return
         self.appended += 1
 
     def record_job(self, spec, outcome, *, cached: bool,
                    run_seconds: float = 0.0, queue_seconds: float = 0.0,
-                   lookup_seconds: float = 0.0, jobs: int = 1) -> None:
+                   lookup_seconds: float = 0.0, jobs: int = 1,
+                   retried: bool = False, resumed: bool = False) -> None:
         """Ledger one :class:`~repro.exec.runner.JobRunner` completion."""
         from repro.exec.cache import code_salt
 
@@ -121,11 +143,19 @@ class RunLedger:
             "jobs": jobs,
             "salt": code_salt(),
         }
+        if retried:
+            # A failed attempt about to be re-run: visible in history,
+            # excluded from the ETA estimator's mean.
+            entry["retried"] = True
+        if resumed:
+            # Served from a campaign manifest, not simulated now.
+            entry["resumed"] = True
         if outcome.ok:
             entry["cycles"] = outcome.cycles
         else:
             entry["error"] = outcome.error_type
             entry["timed_out"] = bool(getattr(outcome, "timed_out", False))
+            entry["kind"] = getattr(outcome, "kind", "sim-error")
         self.append(entry)
 
     # -- reading --------------------------------------------------------
@@ -151,9 +181,13 @@ class RunLedger:
     def estimate_seconds(self, window: int = 200) -> Optional[float]:
         """Mean ``run_seconds`` over the last ``window`` *executed*
         entries — the prior the progress printer uses for its first ETA
-        before this batch has produced timings of its own."""
+        before this batch has produced timings of its own.  Retried
+        attempts are excluded — they measure a fault (a timeout budget,
+        a mid-job kill), not a job's cost — as are manifest-resumed
+        completions, which did not simulate at all."""
         timed = [e["run_seconds"] for e in self.entries(window)
-                 if not e.get("cached") and e.get("run_seconds")]
+                 if not e.get("cached") and not e.get("retried")
+                 and not e.get("resumed") and e.get("run_seconds")]
         if not timed:
             return None
         return sum(timed) / len(timed)

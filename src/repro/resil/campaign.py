@@ -110,9 +110,13 @@ def run_fault_campaign(
                 diagnosed += 1
                 record["outcome"] = "diagnosed"
                 record["error"] = f"{outcome.error_type}: {outcome.message}"
+                record["kind"] = outcome.kind
             else:
-                # Anything untyped (a crash, a wrong answer caught by
-                # verification) is a bug, not a campaign datum.
+                # A diagnosed termination is a deterministic sim-error;
+                # anything else (a host crash, a timeout, a wrong
+                # answer caught by verification) is not a campaign
+                # datum — it is either transient (retryable at the
+                # execution layer) or a bug.
                 raise JobFailedError(outcome)
             runs.append(record)
         overhead = "-"

@@ -81,3 +81,107 @@ def test_runner_resumes_interrupted_campaign(tmp_path):
 def test_cache_stats_in_repr(tmp_path):
     cache = ResultCache(tmp_path)
     assert "0 hits" in repr(cache)
+
+
+# -- self-healing: checksum, quarantine, verify/repair ------------------
+
+def test_entries_carry_content_checksum(tmp_path):
+    from repro.exec import record_checksum
+
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    path = cache.put(spec, execute(spec))
+    payload = json.loads(path.read_text())
+    assert payload["checksum"] == record_checksum(payload["record"])
+
+
+def test_bitflip_inside_valid_json_is_caught(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    path = cache.put(spec, execute(spec))
+    # Damage a digit inside the record: still valid JSON, wrong bytes.
+    payload = json.loads(path.read_text())
+    payload["record"]["cycles"] += 1
+    path.write_text(json.dumps(payload))
+    assert cache.get(spec) is None, \
+        "a parseable-but-damaged record must not be served"
+    assert cache.quarantined == 1
+
+
+def test_corrupt_entry_is_quarantined_for_postmortem(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    path = cache.put(spec, execute(spec))
+    path.write_text("{truncated")
+    assert cache.get(spec) is None
+    assert not path.exists(), "corrupt entries must be moved, not left"
+    moved = tmp_path / "quarantine" / code_salt() / path.name
+    assert moved.is_file()
+    assert moved.read_text() == "{truncated", \
+        "quarantine preserves the damaged bytes for post-mortem"
+
+
+def test_healed_entry_is_bit_identical(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    original = execute(spec, cache=cache)
+    cache._path(spec).write_text("garbage")
+    healed = execute(spec, cache=cache)   # miss -> re-simulate -> put
+    assert healed.digest == original.digest
+    assert cache.get(spec).digest == original.digest
+
+
+def test_verify_reports_corruption_without_touching_it(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = [make_spec("fib", n, quick=True) for n in (1, 2, 3)]
+    paths = [cache.put(s, execute(s)) for s in specs]
+    paths[1].write_text("{nope")
+    valid, corrupt = cache.verify()
+    assert valid == 2
+    assert [p for p, _ in corrupt] == [paths[1]]
+    assert paths[1].exists(), "verify is read-only"
+
+
+def test_repair_quarantines_only_the_corrupt(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = [make_spec("fib", n, quick=True) for n in (1, 2, 3)]
+    paths = [cache.put(s, execute(s)) for s in specs]
+    paths[0].write_text("{nope")
+    valid, moved = cache.repair()
+    assert valid == 2 and len(moved) == 1
+    assert not paths[0].exists()
+    assert paths[1].exists() and paths[2].exists()
+    # Quarantined entries never rejoin verification sweeps.
+    assert cache.verify() == (2, [])
+
+
+def test_put_is_best_effort_on_io_error(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    record = execute(spec)
+
+    import tempfile as tempfile_mod
+
+    def full_disk(*args, **kwargs):
+        raise OSError("no space left on device")
+
+    monkeypatch.setattr(tempfile_mod, "mkstemp", full_disk)
+    assert cache.put(spec, record) is None   # dropped, not raised
+    assert cache.io_errors == 1
+    assert cache.puts == 0
+
+
+def test_cli_cache_verify_and_repair(tmp_path, capsys):
+    from repro.cli import main
+
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    path = cache.put(spec, execute(spec))
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+
+    path.write_text("{nope")
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
+    assert main(["cache", "repair", "--cache-dir", str(tmp_path)]) == 0
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined" in out

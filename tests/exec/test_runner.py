@@ -101,10 +101,13 @@ def test_runner_stats_dict():
     # The dict shape is a stable mini-API: results_io and the CLI's
     # timing summary both consume these exact keys.
     assert sorted(stats) == ["cache_seconds", "cached", "deduplicated",
-                             "executed", "failed", "run_seconds",
-                             "submitted"]
+                             "executed", "failed", "pool_restarts",
+                             "quarantined", "resumed", "retried",
+                             "run_seconds", "submitted"]
     assert stats["run_seconds"] > 0.0
     assert stats["cache_seconds"] == 0.0       # no cache configured
+    assert stats["retried"] == stats["quarantined"] == 0
+    assert stats["resumed"] == stats["pool_restarts"] == 0
 
 
 def test_runner_stats_cache_seconds(tmp_path):
@@ -113,3 +116,143 @@ def test_runner_stats_cache_seconds(tmp_path):
     runner = JobRunner(cache=ResultCache(tmp_path))
     runner.run_checked([make_spec("fib", 1, quick=True)])
     assert runner.stats.as_dict()["cache_seconds"] > 0.0
+
+
+# -- _deadline hardening (docs/EXECUTION.md failure handling) ----------
+
+def test_deadline_noop_without_sigalrm(monkeypatch):
+    # Platforms without SIGALRM (Windows) must run unbounded, not die.
+    import signal as signal_mod
+
+    from repro.exec import runner as runner_mod
+
+    monkeypatch.delattr(signal_mod, "SIGALRM", raising=False)
+    with runner_mod._deadline(0.01):
+        pass    # no timeout armed, no AttributeError
+
+
+def test_deadline_noop_off_main_thread():
+    import threading
+
+    from repro.exec import runner as runner_mod
+
+    errors = []
+
+    def body():
+        try:
+            # signal.signal would raise ValueError off the main
+            # thread; _deadline must not even try.
+            with runner_mod._deadline(0.01):
+                pass
+        except BaseException as exc:   # pragma: no cover
+            errors.append(exc)
+
+    thread = threading.Thread(target=body)
+    thread.start()
+    thread.join()
+    assert errors == []
+
+
+def test_deadline_restores_previous_handler_when_arming_fails(
+        monkeypatch):
+    import signal as signal_mod
+
+    from repro.exec import runner as runner_mod
+
+    def previous(signum, frame):    # pragma: no cover - never fired
+        pass
+
+    old = signal_mod.signal(signal_mod.SIGALRM, previous)
+    try:
+        monkeypatch.setattr(
+            runner_mod.signal, "alarm",
+            lambda *_: (_ for _ in ()).throw(OSError("no alarm")))
+        with runner_mod._deadline(0.01):
+            pass    # arming failed: job runs unbounded
+        assert signal_mod.getsignal(signal_mod.SIGALRM) is previous
+    finally:
+        signal_mod.signal(signal_mod.SIGALRM, old)
+
+
+# -- retry / quarantine accounting (RunnerStats) ------------------------
+
+def _flaky_run_job(fail_times, kind="timeout"):
+    """A `_run_job` stand-in failing the first N calls per digest."""
+
+    calls = {}
+
+    def fake(spec, timeout):
+        from repro.exec.engines import simulate
+
+        n = calls.get(spec.digest, 0)
+        calls[spec.digest] = n + 1
+        if n < fail_times:
+            return JobFailure(
+                spec_digest=spec.digest, label=spec.label,
+                error_type="FakeTimeout", message="injected",
+                timed_out=(kind == "timeout"), kind=kind)
+        return RunRecord.from_result(spec.digest, simulate(spec))
+
+    return fake, calls
+
+
+def test_retry_policy_recovers_transient_failure(monkeypatch):
+    from repro.exec import RetryPolicy
+    from repro.exec import runner as runner_mod
+
+    fake, calls = _flaky_run_job(fail_times=1)
+    monkeypatch.setattr(runner_mod, "_run_job", fake)
+    policy = RetryPolicy(max_attempts=3, sleep=lambda s: None)
+    runner = JobRunner(retry=policy)
+    (outcome,) = runner.run([make_spec("fib", 2, quick=True)])
+    assert outcome.ok
+    assert runner.stats.retried == 1
+    assert runner.stats.executed == 1
+    assert runner.stats.failed == 0
+    assert sum(calls.values()) == 2
+
+
+def test_retry_budget_exhausts_to_failure(monkeypatch):
+    from repro.exec import RetryPolicy
+    from repro.exec import runner as runner_mod
+
+    fake, calls = _flaky_run_job(fail_times=99)
+    monkeypatch.setattr(runner_mod, "_run_job", fake)
+    policy = RetryPolicy(max_attempts=2, sleep=lambda s: None)
+    runner = JobRunner(retry=policy)
+    (outcome,) = runner.run([make_spec("fib", 2, quick=True)])
+    assert not outcome.ok
+    assert runner.stats.retried == 1     # one re-attempt, then give up
+    assert runner.stats.failed == 1
+    assert sum(calls.values()) == 2
+
+
+def test_sim_errors_never_retried(monkeypatch):
+    from repro.exec import RetryPolicy
+    from repro.exec import runner as runner_mod
+
+    fake, calls = _flaky_run_job(fail_times=99, kind="sim-error")
+    monkeypatch.setattr(runner_mod, "_run_job", fake)
+    runner = JobRunner(retry=RetryPolicy(max_attempts=5,
+                                         sleep=lambda s: None))
+    (outcome,) = runner.run([make_spec("fib", 2, quick=True)])
+    assert not outcome.ok
+    assert runner.stats.retried == 0, \
+        "deterministic failures must not burn attempts"
+    assert sum(calls.values()) == 1
+
+
+def test_quarantine_counted_by_runner(tmp_path):
+    from repro.exec import ResultCache
+
+    spec = make_spec("fib", 2, quick=True)
+    cache = ResultCache(tmp_path)
+    warm = JobRunner(cache=cache)
+    warm.run_checked([spec])
+    (path,) = cache.entry_paths()
+    path.write_text("{truncated")
+    runner = JobRunner(cache=ResultCache(tmp_path))
+    (outcome,) = runner.run([spec])
+    assert outcome.ok, "corrupt entry must re-simulate, not fail"
+    assert runner.stats.quarantined == 1
+    assert runner.stats.executed == 1 and runner.stats.cached == 0
