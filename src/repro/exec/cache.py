@@ -135,8 +135,12 @@ class ResultCache:
         """
         if self.chaos is not None:
             self.chaos.cache_read(str(path))
-        text = path.read_text()
         try:
+            # read_text() inside the try: a high-bit flip makes the
+            # entry invalid UTF-8, and UnicodeDecodeError is a
+            # ValueError — corruption, not a transient I/O failure.
+            # FileNotFoundError/OSError still propagate as themselves.
+            text = path.read_text()
             payload = json.loads(text)
             checksum = payload["checksum"]
             record_dict = payload["record"]

@@ -155,7 +155,12 @@ class ChaosPlan:
             offset = int(unit_roll(self.seed, "corrupt-at",
                                    path.name) * len(data))
             offset = min(offset, len(data) - 1)
-            data = (data[:offset] + bytes([data[offset] ^ 0x40])
+            # Half the flips set the high bit: cache entries are ASCII
+            # JSON, so 0x80 yields invalid UTF-8 and exercises the
+            # decode-error path, not just structural JSON damage.
+            mask = (0x80 if unit_roll(self.seed, "corrupt-bit",
+                                      path.name) < 0.5 else 0x40)
+            data = (data[:offset] + bytes([data[offset] ^ mask])
                     + data[offset + 1:])
         try:
             path.write_bytes(data)

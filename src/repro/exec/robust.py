@@ -190,9 +190,14 @@ class CampaignManifest:
 
         self._completed = {}
         try:
-            lines = self.path.read_text(encoding="utf-8").splitlines()
+            raw = self.path.read_bytes()
         except OSError:
             return 0
+        # Decode permissively: our own appends are ASCII, so any
+        # non-UTF-8 byte is external corruption — it must poison only
+        # its own line (json.loads rejects the replacement char), not
+        # crash --resume or drop the parseable lines around it.
+        lines = raw.decode("utf-8", errors="replace").splitlines()
         salt = code_salt()
         for line in lines:
             try:

@@ -121,6 +121,30 @@ def test_corrupt_entry_is_quarantined_for_postmortem(tmp_path):
         "quarantine preserves the damaged bytes for post-mortem"
 
 
+def test_non_utf8_entry_is_quarantined_not_raised(tmp_path):
+    """A high-bit flip makes the entry undecodable, not just unparseable."""
+    cache = ResultCache(tmp_path)
+    spec = make_spec("fib", 2, quick=True)
+    path = cache.put(spec, execute(spec))
+    data = path.read_bytes()
+    path.write_bytes(data[:10] + bytes([data[10] ^ 0x80]) + data[11:])
+    assert cache.get(spec) is None, "get() never raises, even on bad UTF-8"
+    assert cache.quarantined == 1
+    assert cache.io_errors == 0, "bad bytes are corruption, not I/O"
+
+
+def test_verify_and_repair_survive_non_utf8_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = [make_spec("fib", n, quick=True) for n in (1, 2)]
+    paths = [cache.put(s, execute(s)) for s in specs]
+    paths[0].write_bytes(b'{"record": "\xff\xfe"}')
+    valid, corrupt = cache.verify()
+    assert valid == 1
+    assert [p for p, _ in corrupt] == [paths[0]]
+    valid, moved = cache.repair()
+    assert valid == 1 and len(moved) == 1
+
+
 def test_healed_entry_is_bit_identical(tmp_path):
     cache = ResultCache(tmp_path)
     spec = make_spec("fib", 2, quick=True)

@@ -122,6 +122,21 @@ def test_manifest_skips_partial_and_foreign_lines(tmp_path):
         "stale-salt and partial lines must be skipped silently"
 
 
+def test_manifest_survives_non_utf8_corruption(tmp_path):
+    """Disk corruption poisons only its own line, never the resume."""
+    specs = _specs()
+    manifest = CampaignManifest.for_specs(tmp_path, specs)
+    record = RunRecord(spec_digest=specs[0].digest, label="fib-flex1",
+                       cycles=1, clock_mhz=100.0)
+    manifest.record(specs[0], record)
+    with open(manifest.path, "ab") as handle:
+        handle.write(b'{"digest": "\xff\xfe-not-utf8", "ok": true}\n')
+    reloaded = CampaignManifest.for_specs(tmp_path, specs)
+    assert len(reloaded) == 1, \
+        "the good line must survive a corrupted neighbour"
+    assert reloaded.completed(specs[0].digest) is not None
+
+
 def test_manifest_transient_failures_rerun_on_resume(tmp_path):
     specs = _specs()
     manifest = CampaignManifest.for_specs(tmp_path, specs)
