@@ -40,7 +40,7 @@ from repro.core.exceptions import (
 from repro.core.task import Continuation, Task
 from repro.mem.hierarchy import MemoryHierarchy, PerfectMemory, StreamBufferMemory
 from repro.sched import make_policy
-from repro.sim.engine import Engine
+from repro.kernel import make_engine
 
 #: Default simulation cycle budget before declaring deadlock.
 DEFAULT_MAX_CYCLES = 200_000_000
@@ -75,7 +75,7 @@ class BaseAccelerator:
     def __init__(self, config: AcceleratorConfig, worker: Worker) -> None:
         self.config = config
         self.worker = worker
-        self.engine = Engine()
+        self.engine = make_engine(config.backend)
         self.net = CrossbarNetwork(config)
         self.interface = InterfaceBlock()
         self.memory = self._build_memory()
@@ -222,7 +222,8 @@ class BaseAccelerator:
         """
         interval = self.config.watchdog_interval
         if interval is None:
-            return self.engine.run(until=max_cycles)
+            self.engine.run(until=max_cycles)
+            return self.engine.last_event_time
         from repro.resil.watchdog import (
             diagnose,
             live_execution,
@@ -233,11 +234,12 @@ class BaseAccelerator:
         deadline = 0
         while deadline < max_cycles:
             deadline = min(deadline + interval, max_cycles)
-            end = self.engine.run(until=deadline)
+            self.engine.run(until=deadline)
             if self.done:
-                # Drain the remaining PE-exit events so ``end`` matches
-                # the unchunked run (now may sit at a chunk boundary).
-                return self.engine.run(until=max_cycles)
+                # Drain the remaining PE-exit events so the end cycle
+                # matches the unchunked run.
+                self.engine.run(until=max_cycles)
+                return self.engine.last_event_time
             if self.engine.finished:
                 raise diagnose(
                     self, "the event heap drained with the run incomplete"
@@ -250,7 +252,7 @@ class BaseAccelerator:
                     "(watchdog stagnation check)",
                 )
             last_sig = sig
-        return end
+        return self.engine.last_event_time
 
     def _finish(self, max_cycles: int, label: str) -> RunResult:
         end = self._run_to_completion(max_cycles)

@@ -22,7 +22,7 @@ from repro.arch.result import RunResult
 from repro.core.context import Worker
 from repro.core.exceptions import ConfigError, ProtocolError
 from repro.core.task import HOST, Continuation, Task
-from repro.sim.engine import Timeout
+from repro.kernel import Timeout
 
 
 class LiteProgram:

@@ -73,7 +73,7 @@ from repro.resil.faults import (
     STEAL_DROP,
     op_signature,
 )
-from repro.sim.engine import Park, Timeout
+from repro.kernel import Park, Timeout
 
 
 class TaskManagementUnit:
@@ -113,6 +113,17 @@ class ProcessingElement:
         # LFSR), built by the accelerator's policy (repro.sched).
         self.sched = accel.sched_policy.scheduler_for(self)
         self.stats = PEStats(pe_id)
+        # Preallocated Timeout scratch for the fixed-latency hot yields.
+        # The kernel only reads ``.delay``, so per-PE reuse is safe and
+        # saves an allocation per dispatch/poll/backoff event.
+        cfg = accel.config
+        self._t_pop = Timeout(cfg.queue_op_cycles + cfg.dispatch_cycles)
+        self._t_idle = Timeout(cfg.idle_poll_cycles)
+        self._t_backoff = Timeout(cfg.steal_backoff_cycles)
+        self._t_dispatch = Timeout(cfg.dispatch_cycles)
+        self._t_queue_op = Timeout(cfg.queue_op_cycles)
+        self._t_pstore_rt = Timeout(2 * cfg.pstore_local_cycles)
+        self._t_arg_issue = Timeout(1)
         self._busy_since: Optional[int] = None
         # Engine process handle, set by the accelerator when it starts the
         # PE; the park registry needs it to resume a parked loop.
@@ -151,7 +162,7 @@ class ProcessingElement:
             if task is not None:
                 if accel.telemetry is not None:
                     accel.telemetry.task_dispatched(self.pe_id, task)
-                yield Timeout(cfg.queue_op_cycles + cfg.dispatch_cycles)
+                yield self._t_pop
                 yield from self._execute(task)
                 continue
             # Fast path: a PE with no possible victim (stealing disabled,
@@ -168,7 +179,7 @@ class ProcessingElement:
                 if registry is not None:
                     yield registry.park(self, scope=SCOPE_LOCAL)
                 else:
-                    yield Timeout(cfg.idle_poll_cycles)
+                    yield self._t_idle
                 continue
             if registry is not None and not registry.work_visible:
                 resumed = yield registry.park(self, scope=SCOPE_GLOBAL)
@@ -178,9 +189,9 @@ class ProcessingElement:
             else:
                 stolen = yield from self._steal_once()
             if stolen is None:
-                yield Timeout(cfg.steal_backoff_cycles)
+                yield self._t_backoff
             else:
-                yield Timeout(cfg.dispatch_cycles)
+                yield self._t_dispatch
                 yield from self._execute(stolen)
 
     def _steal_once(self) -> Generator:
@@ -353,9 +364,9 @@ class ProcessingElement:
                     yield Timeout(stall)
             elif isinstance(op, SuccessorOp):
                 # cont_req/cont_resp round trip to the local P-Store.
-                yield Timeout(2 * cfg.pstore_local_cycles)
+                yield self._t_pstore_rt
             elif isinstance(op, SpawnOp):
-                yield Timeout(cfg.queue_op_cycles)
+                yield self._t_queue_op
                 accel.add_work()
                 if tel is not None:
                     tel.task_spawned(self.pe_id, op.task)
@@ -394,7 +405,7 @@ class ProcessingElement:
                                      data={"type": op.task.task_type})
                     yield from self._execute(op.task)
             elif isinstance(op, SendArgOp):
-                yield Timeout(1)  # arg_out issue
+                yield self._t_arg_issue  # arg_out issue
                 if tel is not None:
                     tel.arg_sent(self.pe_id, op.cont)
                 accel.send_arg(self.pe_id, op.cont, op.value)

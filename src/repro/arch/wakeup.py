@@ -68,7 +68,7 @@ from __future__ import annotations
 from functools import cmp_to_key
 from typing import Callable, List, Optional, Tuple
 
-from repro.sim.engine import Park
+from repro.kernel import Park
 from repro.sim.stats import StatsRegistry
 
 #: Park scopes: a stealing PE sleeps on *global* work visibility (any

@@ -251,6 +251,8 @@ def _run_one(args, *, telemetry: bool):
         kwargs["watchdog_interval"] = args.watchdog
     if args.steal_policy is not None:
         kwargs["steal_policy"] = args.steal_policy
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
     return engines[args.engine](args.benchmark, args.pes, **kwargs)
 
 
@@ -481,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=POLICY_NAMES,
                        help="work-stealing scheduling policy "
                        "(default: random, the paper's protocol)")
+        p.add_argument("--backend", default=None,
+                       choices=("auto", "reference", "fast"),
+                       help="simulation-kernel backend (docs/KERNEL.md); "
+                       "bit-exact either way.  auto defers to "
+                       "$REPRO_BACKEND, then reference")
 
     run_parser = sub.add_parser("run", help="simulate one benchmark")
     add_run_args(run_parser)

@@ -1,89 +1,14 @@
-"""Latency-carrying message channels between simulated components.
+"""Compatibility shim: channels now live in :mod:`repro.kernel`.
 
-A :class:`Channel` models a point-to-point or multiplexed link: ``put`` makes
-an item visible to getters after the channel's latency, and an optional
-bandwidth limit serialises deliveries so that at most one item is delivered
-per ``interval`` ticks (used for shared links such as the Zedboard ACP port).
+``Channel`` is the reference backend's channel, kept under its
+historical import path.  New code should build channels through the
+engine factory (``engine.channel(...)``) so the backend's own channel
+class is used; see ``docs/KERNEL.md``.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Deque, List, Optional
+from repro.kernel.interface import ChannelBase
+from repro.kernel.reference import ReferenceChannel as Channel
 
-from repro.sim.engine import Engine, Process
-
-
-class Channel:
-    """FIFO channel with delivery latency and optional serialisation.
-
-    Parameters
-    ----------
-    engine:
-        Owning simulation engine.
-    latency:
-        Ticks between ``put`` and the item becoming available to a getter.
-    interval:
-        Minimum ticks between consecutive deliveries (bandwidth limit);
-        ``0`` means unlimited.
-    name:
-        Debug label.
-    """
-
-    def __init__(
-        self,
-        engine: Engine,
-        latency: int = 0,
-        interval: int = 0,
-        name: str = "",
-    ) -> None:
-        self.engine = engine
-        self.latency = int(latency)
-        self.interval = int(interval)
-        self.name = name
-        self._items: Deque[Any] = deque()
-        self._getters: List[Process] = []
-        self._next_free = 0  # next tick a serialised delivery may land
-        self.put_count = 0
-        self.get_count = 0
-
-    def put(self, item: Any) -> None:
-        """Send ``item``; it arrives after latency (and bandwidth slotting)."""
-        self.put_count += 1
-        arrival = self.engine.now + self.latency
-        if self.interval:
-            arrival = max(arrival, self._next_free)
-            self._next_free = arrival + self.interval
-        self.engine.schedule(arrival - self.engine.now, lambda: self._deliver(item))
-
-    def _deliver(self, item: Any) -> None:
-        if self._getters:
-            proc = self._getters.pop(0)
-            self.get_count += 1
-            self.engine._schedule_resume(proc, 0, item)
-        else:
-            self._items.append(item)
-
-    def _add_getter(self, proc: Process) -> None:
-        if self._items:
-            item = self._items.popleft()
-            self.get_count += 1
-            self.engine._schedule_resume(proc, 0, item)
-        else:
-            self._getters.append(proc)
-
-    def try_get(self) -> Optional[Any]:
-        """Non-blocking get: return an available item or ``None``."""
-        if self._items:
-            self.get_count += 1
-            return self._items.popleft()
-        return None
-
-    def __len__(self) -> int:
-        return len(self._items)
-
-    def __repr__(self) -> str:
-        return (
-            f"Channel({self.name!r}, latency={self.latency}, "
-            f"queued={len(self._items)})"
-        )
+__all__ = ["Channel", "ChannelBase"]

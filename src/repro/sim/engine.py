@@ -1,330 +1,31 @@
-"""Core discrete-event engine.
+"""Compatibility shim: the event core now lives in :mod:`repro.kernel`.
 
-The engine keeps a heap of ``(time, sequence, action)`` entries.  Actions are
-either plain callbacks or process resumptions.  Processes are generators that
-yield request objects:
-
-``Timeout(delay)``
-    Resume the process ``delay`` ticks from now.
-
-``Get(channel)``
-    Resume the process with the next item that arrives on ``channel``.
-
-``Event``
-    Resume the process when the event is triggered; the process receives the
-    event's payload.
-
-``Park``
-    Suspend the process indefinitely.  The engine never resumes a parked
-    process on its own; whoever issued the park must hold the
-    :class:`Process` and resume it with :meth:`Engine.resume_at`.
-
-A process may also yield another process (the value returned by
-:meth:`Engine.process`) to join on its completion, receiving the child's
-return value.
-
-Event ordering
---------------
-
-Heap entries are keyed ``(time, scheduled_at, parent_scheduled_at, seq)``.
-For normally scheduled events the extra two fields are redundant — ``seq``
-is allocated in schedule-call order, and schedule calls happen in
-non-decreasing ``scheduled_at`` order, so the composite key sorts exactly
-like the plain ``(time, seq)`` key.  They exist for
-:meth:`Engine.resume_at`, which lets a wakeup scheduler re-insert an
-event that a *paused* component would have scheduled in the past: passing
-the virtual ancestry makes the resumed event order against same-tick
-events precisely as it would have, had it been scheduled on time.
+The discrete-event engine was split into a narrow interface
+(:mod:`repro.kernel.interface`) with two bit-identical implementations —
+the generator-heap ``reference`` backend and the slot-record ``fast``
+backend — selected via :func:`repro.kernel.make_engine` (see
+``docs/KERNEL.md``).  ``Engine`` here is the reference backend, kept
+under its historical import path for existing code and tests.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from repro.kernel.interface import (
+    Event,
+    Get,
+    Park,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.kernel.reference import ReferenceEngine as Engine
 
-
-class SimulationError(RuntimeError):
-    """Raised when the simulation reaches an inconsistent state."""
-
-
-class Timeout:
-    """Request to sleep for a fixed number of ticks."""
-
-    __slots__ = ("delay",)
-
-    def __init__(self, delay: int) -> None:
-        if delay < 0:
-            raise ValueError(f"negative delay: {delay}")
-        self.delay = int(delay)
-
-    def __repr__(self) -> str:
-        return f"Timeout({self.delay})"
-
-
-class Event:
-    """One-shot event that processes can wait on.
-
-    Triggering an event resumes every waiter with the trigger payload.  An
-    event may only be triggered once; waiting on an already-triggered event
-    resumes immediately.
-    """
-
-    __slots__ = ("engine", "_waiters", "triggered", "payload", "name")
-
-    def __init__(self, engine: "Engine", name: str = "") -> None:
-        self.engine = engine
-        self.name = name
-        self._waiters: List["Process"] = []
-        self.triggered = False
-        self.payload: Any = None
-
-    def trigger(self, payload: Any = None) -> None:
-        """Fire the event, resuming all waiters at the current time."""
-        if self.triggered:
-            raise SimulationError(f"event {self.name!r} triggered twice")
-        self.triggered = True
-        self.payload = payload
-        for proc in self._waiters:
-            self.engine._schedule_resume(proc, 0, payload)
-        self._waiters.clear()
-
-    def _add_waiter(self, proc: "Process") -> None:
-        if self.triggered:
-            self.engine._schedule_resume(proc, 0, self.payload)
-        else:
-            self._waiters.append(proc)
-
-    def __repr__(self) -> str:
-        state = "triggered" if self.triggered else "pending"
-        return f"Event({self.name!r}, {state})"
-
-
-class Get:
-    """Request for the next item from a channel."""
-
-    __slots__ = ("channel",)
-
-    def __init__(self, channel: Any) -> None:
-        self.channel = channel
-
-    def __repr__(self) -> str:
-        return f"Get({self.channel!r})"
-
-
-class Park:
-    """Request to suspend the process until an external wakeup.
-
-    Unlike :class:`Timeout` or :class:`Event`, a parked process holds no
-    engine resources at all — no heap entry, no waiter list.  The issuer
-    (e.g. the accelerator's park registry) is responsible for keeping a
-    reference to the :class:`Process` and resuming it with
-    :meth:`Engine.resume_at` when the condition it sleeps on changes.
-    """
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:
-        return "Park()"
-
-
-class Process:
-    """A running generator process managed by the engine."""
-
-    __slots__ = ("engine", "generator", "name", "done", "result", "_joiners")
-
-    def __init__(self, engine: "Engine", generator: Generator, name: str) -> None:
-        self.engine = engine
-        self.generator = generator
-        self.name = name
-        self.done = False
-        self.result: Any = None
-        self._joiners: List["Process"] = []
-
-    def _finish(self, result: Any) -> None:
-        self.done = True
-        self.result = result
-        for joiner in self._joiners:
-            self.engine._schedule_resume(joiner, 0, result)
-        self._joiners.clear()
-
-    def _add_joiner(self, proc: "Process") -> None:
-        if self.done:
-            self.engine._schedule_resume(proc, 0, self.result)
-        else:
-            self._joiners.append(proc)
-
-    def __repr__(self) -> str:
-        state = "done" if self.done else "running"
-        return f"Process({self.name!r}, {state})"
-
-
-#: ``scheduled_at`` sentinel for events scheduled before the first event
-#: executes (setup code runs outside any event).
-_PRE_RUN = -1
-
-
-class Engine:
-    """Discrete-event simulation engine with an integer tick clock."""
-
-    def __init__(self) -> None:
-        self.now: int = 0
-        # Entries: (time, scheduled_at, parent_scheduled_at, seq, fn).
-        self._heap: List[Tuple[int, int, int, int, Callable[[], None]]] = []
-        self._seq = 0
-        self._live_processes = 0
-        # Optional telemetry sink (repro.obs); record-only, so attaching
-        # one cannot change event ordering or simulated time.
-        self.telemetry = None
-        # Ancestry of the currently executing event (see module docstring):
-        # the tick it was scheduled at, and the tick *that* event was
-        # scheduled at.
-        self._cur_s_at = _PRE_RUN
-        self._cur_p_s_at = _PRE_RUN
-
-    # ------------------------------------------------------------------
-    # Scheduling primitives
-    # ------------------------------------------------------------------
-    def schedule(self, delay: int, fn: Callable[[], None]) -> None:
-        """Run ``fn()`` ``delay`` ticks from now."""
-        if delay < 0:
-            raise ValueError(f"negative delay: {delay}")
-        self._seq += 1
-        heapq.heappush(
-            self._heap,
-            (self.now + int(delay), self.now, self._cur_s_at, self._seq, fn),
-        )
-
-    def resume_at(self, proc: "Process", time: int, value: Any,
-                  s_at: int, p_s_at: int) -> None:
-        """Resume a parked ``proc`` at absolute ``time`` with ``value``.
-
-        ``s_at``/``p_s_at`` give the *virtual* ancestry of the resumption:
-        the tick at which the event would have been scheduled had the
-        process never parked, and the scheduling tick of that scheduler in
-        turn.  Same-tick ordering against other events then matches the
-        never-parked execution (up to three-deep scheduling-tick ties,
-        which no longer occur once ancestries diverge).
-        """
-        if time < self.now:
-            raise SimulationError(
-                f"cannot resume {proc.name!r} at {time} (now {self.now})"
-            )
-        if not (p_s_at <= s_at <= time):
-            raise SimulationError(
-                f"inconsistent resume ancestry {p_s_at} <= {s_at} <= {time}"
-            )
-        self._seq += 1
-        heapq.heappush(
-            self._heap,
-            (time, s_at, p_s_at, self._seq, lambda: self._step(proc, value)),
-        )
-
-    @property
-    def current_key(self) -> Tuple[int, int, int]:
-        """``(time, scheduled_at, parent_scheduled_at)`` of the executing
-        event — the ordering key a wakeup scheduler compares virtual
-        timelines against."""
-        return (self.now, self._cur_s_at, self._cur_p_s_at)
-
-    @property
-    def current_ancestry(self) -> Tuple[int, int]:
-        """``(scheduled_at, parent_scheduled_at)`` of the executing event."""
-        return (self._cur_s_at, self._cur_p_s_at)
-
-    def event(self, name: str = "") -> Event:
-        """Create a new one-shot :class:`Event`."""
-        return Event(self, name)
-
-    def process(self, generator: Generator, name: str = "proc") -> Process:
-        """Register ``generator`` as a process and start it immediately."""
-        proc = Process(self, generator, name)
-        self._live_processes += 1
-        if self.telemetry is not None:
-            self.telemetry.proc_start(name)
-        self._schedule_start(proc)
-        return proc
-
-    def _schedule_start(self, proc: Process) -> None:
-        self.schedule(0, lambda: self._step(proc, None))
-
-    def _schedule_resume(self, proc: Process, delay: int, value: Any) -> None:
-        self.schedule(delay, lambda: self._step(proc, value))
-
-    def _step(self, proc: Process, value: Any) -> None:
-        try:
-            request = proc.generator.send(value)
-        except StopIteration as stop:
-            self._live_processes -= 1
-            if self.telemetry is not None:
-                self.telemetry.proc_end(proc.name)
-            proc._finish(getattr(stop, "value", None))
-            return
-        self._dispatch(proc, request)
-
-    def _dispatch(self, proc: Process, request: Any) -> None:
-        if isinstance(request, Timeout):
-            self._schedule_resume(proc, request.delay, None)
-        elif isinstance(request, Get):
-            request.channel._add_getter(proc)
-        elif isinstance(request, Event):
-            request._add_waiter(proc)
-        elif isinstance(request, Process):
-            request._add_joiner(proc)
-        elif isinstance(request, Park):
-            pass  # suspended; the park issuer resumes via resume_at
-        else:
-            raise SimulationError(
-                f"process {proc.name!r} yielded unsupported request {request!r}"
-            )
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run until the event heap drains (or ``until`` ticks / ``max_events``).
-
-        Returns the final simulation time.  ``until`` is an absolute tick
-        bound; ``max_events`` guards against runaway simulations.  A run
-        stopped by ``until`` leaves the remaining events on the heap
-        (visible via :attr:`pending_events`); calling :meth:`run` again
-        resumes from where the previous call stopped.
-        """
-        events = 0
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            entry = heap[0]
-            time = entry[0]
-            if until is not None and time > until:
-                if until > self.now:
-                    self.now = until
-                return self.now
-            pop(heap)
-            if time < self.now:
-                raise SimulationError("time went backwards")
-            self.now = time
-            self._cur_s_at = entry[1]
-            self._cur_p_s_at = entry[2]
-            entry[4]()
-            events += 1
-            if max_events is not None and events >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
-        return self.now
-
-    @property
-    def pending_events(self) -> int:
-        """Number of events still on the heap (parked processes hold none)."""
-        return len(self._heap)
-
-    @property
-    def finished(self) -> bool:
-        """True when the event heap has fully drained."""
-        return not self._heap
-
-    @property
-    def live_processes(self) -> int:
-        """Number of processes that have started but not finished."""
-        return self._live_processes
-
-    def __repr__(self) -> str:
-        return f"Engine(now={self.now}, pending={len(self._heap)})"
+__all__ = [
+    "Engine",
+    "Event",
+    "Get",
+    "Park",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]

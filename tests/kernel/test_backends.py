@@ -1,0 +1,279 @@
+"""Backend selection and full cross-backend equivalence.
+
+The kernel contract (docs/KERNEL.md) is that ``reference`` and ``fast``
+are *bit-identical* on every observable: cycles, per-PE statistics,
+counters, steal digests, and the complete telemetry event stream.  The
+golden suites pin each backend against recorded constants; this module
+pins the two backends against *each other* on the heaviest feature
+combinations (telemetry + parking + zero-rate fault plans) and on a
+seeded randomized kernel workload that hammers the ordering paths the
+fast backend optimises (tick buckets, run-ahead, same-tick inserts).
+"""
+
+import pytest
+
+from repro.core.exceptions import ConfigError
+from repro.harness.runners import run_flex
+from repro.kernel import (
+    BACKEND_CHOICES,
+    BACKEND_ENV,
+    FastChannel,
+    FastEngine,
+    Get,
+    Park,
+    ReferenceChannel,
+    ReferenceEngine,
+    SimulationError,
+    Timeout,
+    make_engine,
+    resolve_backend,
+)
+from repro.resil.faults import FaultSpec
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+
+def test_resolve_backend_defaults_to_reference(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert resolve_backend(None) == "reference"
+    assert resolve_backend("auto") == "reference"
+
+
+def test_resolve_backend_env_fills_auto_only(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "fast")
+    assert resolve_backend("auto") == "fast"
+    assert resolve_backend(None) == "fast"
+    # An explicit name always wins over the environment.
+    assert resolve_backend("reference") == "reference"
+
+
+def test_resolve_backend_rejects_unknown_names(monkeypatch):
+    with pytest.raises(ConfigError, match="backend"):
+        resolve_backend("bogus")
+    monkeypatch.setenv(BACKEND_ENV, "bogus")
+    with pytest.raises(ConfigError):
+        resolve_backend("auto")
+
+
+def test_make_engine_wires_backend_and_channel_type(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    ref = make_engine("reference")
+    fast = make_engine("fast")
+    assert type(ref) is ReferenceEngine and ref.backend_name == "reference"
+    assert type(fast) is FastEngine and fast.backend_name == "fast"
+    assert type(ref.channel()) is ReferenceChannel
+    assert type(fast.channel()) is FastChannel
+    assert type(make_engine()) is ReferenceEngine
+
+
+def test_config_validates_backend_choice():
+    from repro.arch.config import flex_config
+
+    with pytest.raises(ConfigError, match="backend"):
+        flex_config(4, backend="bogus")
+    for name in BACKEND_CHOICES:
+        flex_config(4, backend=name)
+
+
+def test_accelerator_engine_follows_config(monkeypatch):
+    from repro.arch.accelerator import FlexAccelerator
+    from repro.arch.config import flex_config
+    from repro.workers import make_benchmark
+
+    def build(**overrides):
+        bench = make_benchmark("fib", n=5)
+        return FlexAccelerator(flex_config(4, **overrides),
+                               bench.flex_worker("flex"))
+
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert type(build().engine) is ReferenceEngine
+    assert type(build(backend="fast").engine) is FastEngine
+    monkeypatch.setenv(BACKEND_ENV, "fast")
+    assert type(build().engine) is FastEngine
+
+
+# ----------------------------------------------------------------------
+# Full-system equivalence (telemetry + parking + null fault plan)
+# ----------------------------------------------------------------------
+
+def full_signature(result):
+    """Every observable of a run, including the whole telemetry trace."""
+    sig = {
+        "cycles": result.cycles,
+        "value": result.value,
+        "pe_stats": [repr(s) for s in result.pe_stats],
+        "counters": dict(result.counters),
+    }
+    if result.telemetry is not None:
+        sig["trace"] = [
+            (e.ts, e.kind, e.pe, e.uid, e.data)
+            for e in result.telemetry.sorted_events()
+        ]
+        sig["tasks"] = [repr(t) for t in result.telemetry.tasks]
+    return sig
+
+
+@pytest.mark.parametrize("name,pes,kwargs", [
+    ("fib", 4, dict(telemetry=True, park_idle_pes=True)),
+    ("uts", 8, dict(telemetry=True, park_idle_pes=True)),
+    ("quicksort", 4, dict(telemetry=True, park_idle_pes=False,
+                          faults=FaultSpec())),
+])
+def test_backends_identical_on_full_observables(name, pes, kwargs):
+    ref = run_flex(name, pes, quick=True, backend="reference", **kwargs)
+    fast = run_flex(name, pes, quick=True, backend="fast", **kwargs)
+    assert full_signature(fast) == full_signature(ref)
+
+
+# ----------------------------------------------------------------------
+# Randomized kernel-level parity
+# ----------------------------------------------------------------------
+
+def _random_workload(eng, trace, seed):
+    """A seeded tangle of processes exercising every kernel primitive.
+
+    Uses the kernel's own LFSR so both backends draw the same stream.
+    Mixes plain timeouts (run-ahead candidates), channel traffic,
+    events, joins, parks and same-tick resume_at with past virtual
+    ancestry — the insert paths the fast backend's buckets must keep
+    sorted.
+    """
+    lfsr = eng.lfsr(seed)
+    ch = eng.channel(latency=2, interval=3)
+    evt = eng.event("gate")
+    parked = []
+
+    def sleeper(tag):
+        value = yield Park()
+        trace.append(("woke", tag, eng.now, value))
+
+    def producer(tag, rounds):
+        for i in range(rounds):
+            yield Timeout(1 + lfsr.next() % 7)
+            ch.put((tag, i))
+            trace.append(("put", tag, i, eng.now))
+            if lfsr.next() % 4 == 0 and parked:
+                proc = parked.pop()
+                # Wake with *past* virtual ancestry at the current
+                # tick: lands mid-bucket, ahead of later same-tick
+                # records — the insort path.
+                eng.resume_at(proc, eng.now, tag,
+                              max(0, eng.now - 1), max(0, eng.now - 2))
+        trace.append(("producer-done", tag, eng.now))
+
+    def consumer(tag, count):
+        for _ in range(count):
+            item = yield Get(ch)
+            trace.append(("got", tag, item, eng.now))
+            yield Timeout(lfsr.next() % 5)
+        trace.append(("consumer-done", tag, eng.now))
+
+    def chain(tag, links):
+        # Serial chain: the run-ahead fast path.
+        for _ in range(links):
+            yield Timeout(3)
+        trace.append(("chain-done", tag, eng.now))
+        evt.trigger(tag)
+
+    def joiner(proc, tag):
+        value = yield proc
+        trace.append(("joined", tag, value, eng.now))
+        gate = yield evt
+        trace.append(("gated", tag, gate, eng.now))
+
+    for k in range(3):
+        parked.append(eng.process(sleeper(k), name=f"sleeper{k}"))
+    p = eng.process(producer("p0", 12), name="p0")
+    eng.process(producer("p1", 9), name="p1")
+    eng.process(consumer("c0", 14), name="c0")
+    eng.process(consumer("c1", 7), name="c1")
+    eng.process(chain("chain", 40), name="chain")
+    eng.process(joiner(p, "j0"), name="j0")
+
+
+@pytest.mark.parametrize("seed", [0xACE1, 0xBEEF, 0x1234])
+def test_randomized_workload_bit_exact_across_backends(seed):
+    traces = {}
+    for backend in ("reference", "fast"):
+        eng = make_engine(backend)
+        trace = []
+        _random_workload(eng, trace, seed)
+        end = eng.run()
+        traces[backend] = (end, trace, eng.live_processes,
+                           eng.pending_events)
+    assert traces["fast"] == traces["reference"]
+
+
+@pytest.mark.parametrize("seed", [0xACE1, 0xBEEF])
+def test_randomized_workload_bit_exact_under_bounded_runs(seed):
+    """Driving the same workload in until-chunks (the watchdog pattern)
+    must not perturb anything either — run-ahead has to stop at each
+    horizon and resume cleanly."""
+    full = {}
+    for backend in ("reference", "fast"):
+        eng = make_engine(backend)
+        trace = []
+        _random_workload(eng, trace, seed)
+        eng.run()
+        full[backend] = trace
+    chunked = {}
+    for backend in ("reference", "fast"):
+        eng = make_engine(backend)
+        trace = []
+        _random_workload(eng, trace, seed)
+        horizon = 0
+        while not eng.finished:
+            horizon += 17
+            eng.run(until=horizon)
+        chunked[backend] = trace
+    assert full["fast"] == full["reference"]
+    assert chunked["reference"] == full["reference"]
+    assert chunked["fast"] == full["reference"]
+
+
+def test_max_events_parity_across_backends():
+    """Both backends must count events identically: the guard trips at
+    the same threshold whether or not run-ahead elided heap traffic."""
+
+    def build(eng, log):
+        def spinner():
+            while True:
+                yield Timeout(1)
+                log.append(eng.now)
+
+        eng.process(spinner(), name="spin")
+
+    thresholds = {}
+    for backend in ("reference", "fast"):
+        for limit in (1, 2, 7, 50):
+            eng = make_engine(backend)
+            log = []
+            build(eng, log)
+            with pytest.raises(SimulationError):
+                eng.run(max_events=limit)
+            thresholds[(backend, limit)] = (len(log), eng.now)
+    for limit in (1, 2, 7, 50):
+        assert thresholds[("fast", limit)] == thresholds[("reference", limit)]
+
+
+def test_mid_bucket_failure_leaves_suffix_pending():
+    """A callback raising mid-tick must not lose the same-tick suffix:
+    both backends keep unexecuted events inspectable and resumable."""
+
+    class Boom(Exception):
+        pass
+
+    for backend in ("reference", "fast"):
+        eng = make_engine(backend)
+        ran = []
+        eng.schedule(5, lambda: ran.append("a"))
+        eng.schedule(5, lambda: (_ for _ in ()).throw(Boom()))
+        eng.schedule(5, lambda: ran.append("c"))
+        with pytest.raises(Boom):
+            eng.run()
+        assert ran == ["a"], backend
+        assert eng.pending_events == 1, backend
+        eng.run()
+        assert ran == ["a", "c"], backend

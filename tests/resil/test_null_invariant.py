@@ -43,11 +43,13 @@ def signature(result):
     }
 
 
+@pytest.mark.parametrize("backend", ["reference", "fast"])
 @pytest.mark.parametrize("name", ["fib", "uts"])
-def test_zero_rate_plan_is_bit_exact(name):
-    plain = run_flex(name, 8, quick=True, park_idle_pes=False)
+def test_zero_rate_plan_is_bit_exact(name, backend):
+    plain = run_flex(name, 8, quick=True, park_idle_pes=False,
+                     backend=backend)
     nulled = run_flex(name, 8, quick=True, park_idle_pes=False,
-                      faults=FaultSpec())
+                      faults=FaultSpec(), backend=backend)
     assert signature(nulled) == signature(plain)
     # The plan was attached and consulted zero times.
     assert nulled.counters["faults.injected"] == 0

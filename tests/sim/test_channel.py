@@ -1,12 +1,21 @@
-"""Unit tests for latency/bandwidth channels."""
+"""Unit tests for latency/bandwidth channels, on both kernel backends.
 
-from repro.sim.channel import Channel
-from repro.sim.engine import Engine, Get, Timeout
+Channels are built through the engine factory (``engine.channel``) so
+each backend's own channel class is under test.
+"""
+
+import pytest
+
+from repro.kernel import FastEngine, Get, ReferenceEngine, Timeout
 
 
-def test_put_get_with_latency():
-    eng = Engine()
-    ch = Channel(eng, latency=10)
+@pytest.fixture(params=["reference", "fast"])
+def eng(request):
+    return {"reference": ReferenceEngine, "fast": FastEngine}[request.param]()
+
+
+def test_put_get_with_latency(eng):
+    ch = eng.channel(latency=10)
     got = []
 
     def consumer():
@@ -19,9 +28,8 @@ def test_put_get_with_latency():
     assert got == [(10, "hello")]
 
 
-def test_fifo_order_preserved():
-    eng = Engine()
-    ch = Channel(eng, latency=2)
+def test_fifo_order_preserved(eng):
+    ch = eng.channel(latency=2)
     got = []
 
     def consumer():
@@ -36,9 +44,8 @@ def test_fifo_order_preserved():
     assert got == ["a", "b", "c"]
 
 
-def test_getter_waits_for_item():
-    eng = Engine()
-    ch = Channel(eng)
+def test_getter_waits_for_item(eng):
+    ch = eng.channel()
     got = []
 
     def consumer():
@@ -55,9 +62,8 @@ def test_getter_waits_for_item():
     assert got == [(30, "late")]
 
 
-def test_bandwidth_interval_serialises_deliveries():
-    eng = Engine()
-    ch = Channel(eng, latency=0, interval=5)
+def test_bandwidth_interval_serialises_deliveries(eng):
+    ch = eng.channel(latency=0, interval=5)
     times = []
 
     def consumer():
@@ -72,9 +78,8 @@ def test_bandwidth_interval_serialises_deliveries():
     assert times == [0, 5, 10]
 
 
-def test_try_get_nonblocking():
-    eng = Engine()
-    ch = Channel(eng)
+def test_try_get_nonblocking(eng):
+    ch = eng.channel()
     assert ch.try_get() is None
     ch.put("x")
     eng.run()
@@ -82,11 +87,17 @@ def test_try_get_nonblocking():
     assert ch.try_get() is None
 
 
-def test_counts():
-    eng = Engine()
-    ch = Channel(eng)
+def test_counts(eng):
+    ch = eng.channel()
     ch.put(1)
     ch.put(2)
     eng.run()
     assert ch.put_count == 2
     assert len(ch) == 2
+
+
+def test_legacy_channel_import_is_reference_channel():
+    from repro.kernel import ReferenceChannel
+    from repro.sim.channel import Channel
+
+    assert Channel is ReferenceChannel

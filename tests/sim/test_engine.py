@@ -1,11 +1,28 @@
-"""Unit tests for the discrete-event engine."""
+"""Unit tests for the discrete-event kernel, run against both backends.
+
+Every test is parametrized over the ``reference`` and ``fast`` backends
+via the ``Engine`` fixture — the kernel interface contract
+(docs/KERNEL.md) says any backend must pass the same suite.
+"""
 
 import pytest
 
-from repro.sim.engine import Engine, Get, Park, Timeout, SimulationError
+from repro.kernel import (
+    FastEngine,
+    Get,
+    Park,
+    ReferenceEngine,
+    SimulationError,
+    Timeout,
+)
 
 
-def test_schedule_runs_in_time_order():
+@pytest.fixture(params=["reference", "fast"])
+def Engine(request):
+    return {"reference": ReferenceEngine, "fast": FastEngine}[request.param]
+
+
+def test_schedule_runs_in_time_order(Engine):
     eng = Engine()
     order = []
     eng.schedule(5, lambda: order.append("b"))
@@ -16,7 +33,7 @@ def test_schedule_runs_in_time_order():
     assert eng.now == 9
 
 
-def test_same_time_events_fifo():
+def test_same_time_events_fifo(Engine):
     eng = Engine()
     order = []
     for tag in ("first", "second", "third"):
@@ -25,13 +42,29 @@ def test_same_time_events_fifo():
     assert order == ["first", "second", "third"]
 
 
-def test_negative_delay_rejected():
+def test_negative_delay_rejected(Engine):
     eng = Engine()
     with pytest.raises(ValueError):
         eng.schedule(-1, lambda: None)
 
 
-def test_timeout_process():
+def test_fractional_delay_rejected(Engine):
+    """Non-integral delays are modelling bugs: fail loudly, never truncate."""
+    eng = Engine()
+    with pytest.raises(ValueError, match="non-integral"):
+        eng.schedule(2.5, lambda: None)
+    with pytest.raises(ValueError, match="non-integral"):
+        Timeout(1.5)
+    with pytest.raises(ValueError):
+        Timeout(-1)
+    # Integral floats are fine (a whole number of ticks, however typed).
+    assert Timeout(2.0).delay == 2
+    eng.schedule(3.0, lambda: None)
+    eng.run()
+    assert eng.now == 3
+
+
+def test_timeout_process(Engine):
     eng = Engine()
     trace = []
 
@@ -47,7 +80,7 @@ def test_timeout_process():
     assert trace == [0, 10, 15]
 
 
-def test_process_return_value_and_join():
+def test_process_return_value_and_join(Engine):
     eng = Engine()
     results = []
 
@@ -64,7 +97,7 @@ def test_process_return_value_and_join():
     assert results == [(7, 42)]
 
 
-def test_join_already_finished_process():
+def test_join_already_finished_process(Engine):
     eng = Engine()
     results = []
 
@@ -83,7 +116,7 @@ def test_join_already_finished_process():
     assert results == [1]
 
 
-def test_event_trigger_resumes_waiters():
+def test_event_trigger_resumes_waiters(Engine):
     eng = Engine()
     seen = []
     evt = eng.event("go")
@@ -99,7 +132,7 @@ def test_event_trigger_resumes_waiters():
     assert seen == [("w1", 20, "payload"), ("w2", 20, "payload")]
 
 
-def test_event_double_trigger_raises():
+def test_event_double_trigger_raises(Engine):
     eng = Engine()
     evt = eng.event()
     evt.trigger()
@@ -107,7 +140,7 @@ def test_event_double_trigger_raises():
         evt.trigger()
 
 
-def test_wait_on_triggered_event_resumes_immediately():
+def test_wait_on_triggered_event_resumes_immediately(Engine):
     eng = Engine()
     evt = eng.event()
     evt.trigger("x")
@@ -122,7 +155,7 @@ def test_wait_on_triggered_event_resumes_immediately():
     assert got == [(0, "x")]
 
 
-def test_run_until_stops_early():
+def test_run_until_stops_early(Engine):
     eng = Engine()
     fired = []
     eng.schedule(100, lambda: fired.append(True))
@@ -131,7 +164,31 @@ def test_run_until_stops_early():
     assert not fired
 
 
-def test_run_until_leaves_pending_events_and_resumes():
+def test_run_until_advances_clock_on_drained_heap(Engine):
+    """A bounded run ends at its horizon even when the heap drains first
+    (regression: ``now`` used to stick at the last event's time,
+    inconsistent with the stopped-early path)."""
+    eng = Engine()
+    fired = []
+    eng.schedule(10, lambda: fired.append(eng.now))
+    end = eng.run(until=50)
+    assert fired == [10]
+    assert end == 50
+    assert eng.now == 50
+    assert eng.last_event_time == 10
+    # Idempotent: running again past the horizon just advances the clock.
+    assert eng.run(until=80) == 80
+    assert eng.last_event_time == 10
+
+
+def test_run_until_advances_clock_with_no_events_at_all(Engine):
+    eng = Engine()
+    assert eng.run(until=40) == 40
+    assert eng.now == 40
+    assert eng.last_event_time == 0
+
+
+def test_run_until_leaves_pending_events_and_resumes(Engine):
     eng = Engine()
     fired = []
     eng.schedule(100, lambda: fired.append(eng.now))
@@ -146,7 +203,7 @@ def test_run_until_leaves_pending_events_and_resumes():
     assert eng.finished
 
 
-def test_park_suspends_without_engine_events():
+def test_park_suspends_without_engine_events(Engine):
     eng = Engine()
     trace = []
 
@@ -167,7 +224,7 @@ def test_park_suspends_without_engine_events():
     assert eng.live_processes == 0
 
 
-def test_resume_at_rejects_the_past_and_bad_ancestry():
+def test_resume_at_rejects_the_past_and_bad_ancestry(Engine):
     eng = Engine()
 
     def sleeper():
@@ -182,7 +239,7 @@ def test_resume_at_rejects_the_past_and_bad_ancestry():
         eng.resume_at(proc, 20, None, 30, 5)  # scheduled after it runs
 
 
-def test_resume_at_virtual_ancestry_orders_same_tick_events():
+def test_resume_at_virtual_ancestry_orders_same_tick_events(Engine):
     """A resumed event with earlier virtual ancestry runs before a
     same-tick event scheduled later in wall-clock order — exactly where
     the never-parked execution would have placed it."""
@@ -208,7 +265,7 @@ def test_resume_at_virtual_ancestry_orders_same_tick_events():
     assert order == ["resumed", "producer"]
 
 
-def test_max_events_guard():
+def test_max_events_guard(Engine):
     eng = Engine()
 
     def spinner():
@@ -220,7 +277,7 @@ def test_max_events_guard():
         eng.run(max_events=100)
 
 
-def test_unsupported_yield_raises():
+def test_unsupported_yield_raises(Engine):
     eng = Engine()
 
     def bad():
@@ -231,7 +288,7 @@ def test_unsupported_yield_raises():
         eng.run()
 
 
-def test_live_process_count():
+def test_live_process_count(Engine):
     eng = Engine()
 
     def proc():
