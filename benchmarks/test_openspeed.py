@@ -1,0 +1,46 @@
+"""Open-system simulation throughput gauge (docs/WORKLOADS.md).
+
+Times one stochastic arrival-stream run through the full execution
+layer (spec → workload source → ``run_workload`` → verified record) and
+publishes wall-clock and simulated-throughput gauges into the CI
+benchmarks-timing artifacts.  The determinism assertion rides along so
+the number can never be bought with a semantics change.
+"""
+
+import time
+
+from repro.exec import JobRunner, make_spec
+from repro.obs.report import job_summary
+
+WORKLOAD = dict(kind="stochastic", rate=6.0, num_jobs=48, seed=0xACE1)
+
+
+def _run_open_point():
+    spec = make_spec("fib", 8, quick=True, workload=WORKLOAD)
+    start = time.perf_counter()
+    record, = JobRunner().run_checked([spec])
+    return record, time.perf_counter() - start
+
+
+def test_open_system_simulation_speed(bench_metrics):
+    record, elapsed = _run_open_point()
+    again, _ = _run_open_point()
+    assert again.digest == record.digest
+
+    latencies = [j["latency"] for j in record.jobs]
+    assert len(latencies) == WORKLOAD["num_jobs"]
+    jobs_per_s = len(latencies) / elapsed if elapsed else 0.0
+    bench_metrics.gauge("openspeed.seconds",
+                        "open-system point wall-clock",
+                        volatile=True).set(elapsed)
+    bench_metrics.gauge("openspeed.jobs_per_second",
+                        "simulated jobs per host second",
+                        volatile=True).set(jobs_per_s)
+    bench_metrics.gauge("openspeed.cycles", "simulated cycles").set(
+        record.cycles)
+    bench_metrics.gauge("openspeed.p99_latency",
+                        "p99 job latency (cycles)").set(
+        job_summary(record.jobs)["all"]["p99"])
+    print(f"\nopenspeed: {len(latencies)} jobs in {elapsed:.2f}s "
+          f"({jobs_per_s:.0f} jobs/s host), {record.cycles} simulated "
+          f"cycles")

@@ -16,7 +16,7 @@ stops changing indicates a protocol bug and raises
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.config import (
     MEMORY_COHERENT,
@@ -41,6 +41,7 @@ from repro.core.task import Continuation, Task
 from repro.mem.hierarchy import MemoryHierarchy, PerfectMemory, StreamBufferMemory
 from repro.sched import make_policy
 from repro.kernel import make_engine
+from repro.workload import DEFAULT_TENANT_NAME, Job, JobRecord, Tenant
 
 #: Default simulation cycle budget before declaring deadlock.
 DEFAULT_MAX_CYCLES = 200_000_000
@@ -284,6 +285,9 @@ class BaseAccelerator:
             )
         if self.park_registry is not None:
             counters.update(self.park_registry.stats.snapshot(prefix="park."))
+        if self.interface.admission is not None:
+            counters["admission_high_water"] = \
+                self.interface.admission.max_queued
         if self.worker_units is not None:
             counters.update(self.worker_units.summary())
         if self.faults is not None:
@@ -308,6 +312,11 @@ class FlexAccelerator(BaseAccelerator):
         if not config.is_flex:
             raise ConfigError("FlexAccelerator requires arch='flex'")
         super().__init__(config, worker)
+        #: Per-job lifecycle records, filled by :meth:`run_workload`
+        #: (job id -> record; ``_records_by_slot`` maps the host
+        #: continuation slot back to the record for completion stamps).
+        self.job_records: Dict[int, JobRecord] = {}
+        self._records_by_slot: Dict[int, JobRecord] = {}
         self.pstores = [
             HardwarePStore(t, config.pstore_entries,
                            backpressure=config.pstore_backpressure,
@@ -437,6 +446,9 @@ class FlexAccelerator(BaseAccelerator):
         if self.telemetry is not None:
             self.telemetry.host_result(cont)
         self.interface.deliver(cont, value)
+        record = self._records_by_slot.get(cont.slot)
+        if record is not None and record.completed < 0:
+            record.completed = self.engine.now
         self.sub_work()
 
     def rollback_successor(self, cont: Continuation) -> None:
@@ -493,20 +505,93 @@ class FlexAccelerator(BaseAccelerator):
         max_cycles: int = DEFAULT_MAX_CYCLES,
         label: str = "",
     ) -> RunResult:
-        """Inject the root task(s) via the IF block and simulate to
-        completion."""
+        """Closed-system entry point: run root task(s), all arriving at
+        t=0, as a degenerate workload (docs/WORKLOADS.md)."""
         roots = [root] if isinstance(root, Task) else list(root)
-        # Memory-mapped injection: the host writes each task descriptor
-        # into the IF block before any PE can steal it.
-        for i, task in enumerate(roots):
-            self.add_work()
-            self.engine.schedule(
-                (i + 1) * self.config.offload_inject_cycles,
-                lambda t=task: self.interface.inject(t),
+        jobs = [
+            Job(job_id=i, time=0, tenant=DEFAULT_TENANT_NAME, task=task)
+            for i, task in enumerate(roots)
+        ]
+        return self.run_workload(jobs, max_cycles=max_cycles, label=label)
+
+    def run_workload(
+        self,
+        jobs: Sequence[Job],
+        *,
+        tenants: Optional[Sequence[Tenant]] = None,
+        admit_window: Optional[int] = None,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        label: str = "",
+    ) -> RunResult:
+        """Run an arrival stream of jobs and simulate to completion.
+
+        ``jobs`` (ordered by ``(time, job_id)``) is the bound arrival
+        stream of a :class:`~repro.workload.WorkloadSource`.  Host
+        injection is modelled as a serialized memory-mapped write port:
+        job *i* becomes visible in the IF block at
+        ``max(arrival_i, prev_write_end) + offload_inject_cycles`` —
+        which reduces to the classic ``(i+1) * offload_inject_cycles``
+        staggering when everything arrives at t=0.  Each job's result
+        readback costs ``offload_read_cycles``, charged serially to the
+        makespan after the machine drains (per-job latencies exclude
+        it; docs/SIMULATOR.md).
+
+        Every job's work unit is accounted *before* the engine starts,
+        so the machine cannot drain between arrivals: an idle (parked)
+        machine stays alive and wakes when the next arrival's injection
+        callback pushes into the IF deque.  With ``admit_window`` set,
+        arrivals pass through per-tenant admission queues and the
+        scheduling policy's admission decision point; otherwise they
+        inject directly (byte-identical to the pre-workload lifecycle).
+        """
+        jobs = list(jobs)
+        if not jobs:
+            raise ConfigError("a workload needs at least one job")
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate job ids in workload: {ids}")
+        order = [(job.time, job.job_id) for job in jobs]
+        if order != sorted(order):
+            raise ConfigError(
+                "workload jobs must be ordered by (time, job_id)"
             )
+        if admit_window is not None:
+            if tenants is None:
+                names = []
+                for job in jobs:
+                    if job.tenant not in names:
+                        names.append(job.tenant)
+                tenants = [Tenant(name=name) for name in names]
+            self.interface.configure_admission(
+                self.engine, self.sched_policy, tenants, admit_window
+            )
+        for job in jobs:
+            record = JobRecord(job_id=job.job_id, tenant=job.tenant,
+                               arrival=job.time)
+            self.job_records[job.job_id] = record
+            if job.task.k.is_host:
+                self._records_by_slot.setdefault(job.task.k.slot, record)
+        # Serialized memory-mapped injection: one write port, each
+        # descriptor write takes offload_inject_cycles, and a burst of
+        # arrivals queues behind the port.
+        write_free = 0
+        for job in jobs:
+            visible = (max(job.time, write_free)
+                       + self.config.offload_inject_cycles)
+            write_free = visible
+            self.add_work()
+            self.engine.schedule(visible, lambda j=job: self._arrive(j))
         self._start_processes()
         result = self._finish(max_cycles,
                               label or f"flex{self.config.num_pes}")
-        # Result readback over the memory-mapped interface.
-        result.cycles += self.config.offload_read_cycles
+        # Per-job result readback over the memory-mapped interface.
+        result.cycles += self.config.offload_read_cycles * len(jobs)
+        result.jobs = [self.job_records[job.job_id].as_dict()
+                       for job in jobs]
         return result
+
+    def _arrive(self, job: Job) -> None:
+        """Injection-visibility callback: the host write completed."""
+        record = self.job_records[job.job_id]
+        record.injected = self.engine.now
+        self.interface.submit(job, record, self.engine.now)

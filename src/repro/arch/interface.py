@@ -10,15 +10,108 @@ The IF block's deque participates in the parked-PE wakeup scheme like any
 TMU deque: the accelerator's park registry observes it, so an ``inject``
 into an otherwise idle machine wakes the parked PEs (this is how every run
 starts — all PEs park at tick 0 until the first root task arrives).
+
+Open-system workloads (docs/WORKLOADS.md) may bound how many root tasks
+sit in the stealable deque at once: ``configure_admission`` interposes
+per-tenant FIFO admission queues in front of the deque, and the
+scheduling policy's admission decision point
+(:meth:`repro.sched.SchedulingPolicy.admit`) picks which tenant's head
+job is released whenever the window has room.  Without admission
+configured, ``submit`` degenerates to a direct ``inject`` — byte-
+identical to the classic closed-system path.
 """
 
 from __future__ import annotations
 
+from collections import deque as _deque
 from typing import Optional
 
 from repro.core.deque import WorkStealingDeque
 from repro.core.executor import HostResult
+from repro.core.exceptions import ConfigError
 from repro.core.task import Continuation, Task
+from repro.sched.base import AdmissionView
+
+
+class _TenantQueue:
+    """One tenant's FIFO of submitted-but-not-yet-admitted jobs."""
+
+    __slots__ = ("name", "weight", "entries")
+
+    def __init__(self, name: str, weight: int) -> None:
+        self.name = name
+        self.weight = weight
+        self.entries = _deque()  # of (Job, JobRecord)
+
+
+class AdmissionControl:
+    """Per-tenant admission queues + window in front of the IF deque.
+
+    ``window`` bounds the number of root tasks concurrently visible in
+    the stealable deque.  The pump runs at two deterministic points —
+    after a ``submit`` and after a PE's root fetch drains the deque —
+    and releases heads in the order the policy's ``admit`` decision
+    point dictates.  All bookkeeping happens inside already-scheduled
+    engine callbacks, so admission adds no events of its own.
+    """
+
+    def __init__(self, engine, interface: "InterfaceBlock", policy,
+                 tenants, window: int) -> None:
+        if window < 1:
+            raise ConfigError(f"admission window must be >= 1: {window}")
+        self.engine = engine
+        self.interface = interface
+        self.policy = policy
+        self.window = window
+        self.queues = [_TenantQueue(t.name, t.weight) for t in tenants]
+        self._by_name = {q.name: q for q in self.queues}
+        self.max_queued = 0
+
+    @property
+    def pending(self) -> int:
+        """Jobs submitted but not yet admitted (diagnostics)."""
+        return sum(len(q.entries) for q in self.queues)
+
+    def enqueue(self, job, record) -> None:
+        try:
+            queue = self._by_name[job.tenant]
+        except KeyError:
+            raise ConfigError(
+                f"job {job.job_id} names undeclared tenant "
+                f"{job.tenant!r}"
+            ) from None
+        queue.entries.append((job, record))
+        if self.pending > self.max_queued:
+            self.max_queued = self.pending
+        self.pump()
+
+    def pump(self) -> None:
+        """Release queue heads while the window has room."""
+        while len(self.interface.deque) < self.window:
+            views = []
+            nonempty = []
+            for queue in self.queues:
+                if not queue.entries:
+                    continue
+                head_job, _ = queue.entries[0]
+                views.append(AdmissionView(
+                    tenant=queue.name, weight=queue.weight,
+                    depth=len(queue.entries),
+                    head_arrival=head_job.time,
+                    head_job=head_job.job_id,
+                ))
+                nonempty.append(queue)
+            if not views:
+                return
+            choice = self.policy.admit(tuple(views))
+            if not (0 <= choice < len(nonempty)):
+                raise ConfigError(
+                    f"admit() returned {choice} for {len(nonempty)} "
+                    "queues"
+                )
+            job, record = nonempty[choice].entries.popleft()
+            record.admitted = self.engine.now
+            self.interface.inject(job.task)
 
 
 class InterfaceBlock:
@@ -32,11 +125,41 @@ class InterfaceBlock:
         self.host = HostResult()
         self.tasks_injected = 0
         self.results_received = 0
+        #: Optional :class:`AdmissionControl` (open-system workloads with
+        #: a bounded window; ``None`` = direct injection).
+        self.admission: Optional[AdmissionControl] = None
 
     @property
     def pending(self) -> int:
         """Number of injected tasks not yet stolen by a PE."""
         return len(self.deque)
+
+    @property
+    def admission_pending(self) -> int:
+        """Jobs held back in tenant admission queues (0 without one)."""
+        return 0 if self.admission is None else self.admission.pending
+
+    def configure_admission(self, engine, policy, tenants,
+                            window: int) -> None:
+        """Interpose per-tenant admission queues (docs/WORKLOADS.md)."""
+        if self.admission is not None:
+            raise ConfigError("admission control already configured")
+        self.admission = AdmissionControl(engine, self, policy, tenants,
+                                          window)
+
+    def submit(self, job, record, now: int) -> None:
+        """Accept one arrived job from the host's injection process.
+
+        ``record`` is the job's :class:`~repro.workload.JobRecord`; the
+        injected timestamp was stamped by the caller, and admission (if
+        configured) stamps ``admitted`` when the job reaches the
+        stealable deque.
+        """
+        if self.admission is None:
+            record.admitted = now
+            self.inject(job.task)
+        else:
+            self.admission.enqueue(job, record)
 
     def inject(self, task: Task) -> None:
         """Queue a task from the CPU, available for PEs to steal."""
@@ -47,7 +170,12 @@ class InterfaceBlock:
 
     def steal_head(self) -> Optional[Task]:
         """Work-stealing network entry point: hand over the oldest task."""
-        return self.deque.steal_head()
+        task = self.deque.steal_head()
+        if task is not None and self.admission is not None:
+            # The fetch freed a window slot: release the next head(s) at
+            # the same tick, inside the steal-service callback.
+            self.admission.pump()
+        return task
 
     def deliver(self, cont: Continuation, value) -> None:
         """Receive a result value destined for the host."""

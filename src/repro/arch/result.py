@@ -46,6 +46,11 @@ class RunResult:
     mem_summary: Dict[str, float] = field(default_factory=dict)
     counters: Dict[str, float] = field(default_factory=dict)
     label: str = ""
+    #: Per-job lifecycle records (JSON-safe dicts, in job order) when the
+    #: run was driven through the workload layer
+    #: (:meth:`~repro.arch.accelerator.FlexAccelerator.run_workload`);
+    #: ``None`` for engines without a job lifecycle (LiteArch).
+    jobs: Optional[List[Dict[str, Any]]] = None
     #: Optional :class:`repro.obs.EventSink` from an instrumented run
     #: (``telemetry=True`` on the harness runners).
     telemetry: Optional[Any] = field(default=None, repr=False,

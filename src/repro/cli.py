@@ -21,6 +21,11 @@ Commands:
   per-point analytical-vs-simulated error.
 * ``sweep`` — generic configuration sweep (``--pes``, ``--l1``,
   ``--hops`` axes) over one benchmark, through the execution layer.
+* ``open`` — open-system experiment (docs/WORKLOADS.md): sweep
+  stochastic arrival rates (``--rates``) or replay a recorded trace
+  (``--trace``) and report the throughput / tail-latency curve, with
+  optional multi-tenant admission control (``--tenants``,
+  ``--window``).
 * ``ledger`` — query the persistent run ledger
   (docs/OBSERVABILITY.md): recent runs, slowest jobs, per-campaign
   cache-hit trend.
@@ -253,6 +258,26 @@ def _run_one(args, *, telemetry: bool):
         kwargs["steal_policy"] = args.steal_policy
     if args.backend is not None:
         kwargs["backend"] = args.backend
+    if args.arrivals is not None:
+        from repro.core.exceptions import ConfigError
+        from repro.workload import DEFAULT_ARRIVAL_SEED
+
+        if args.engine not in ("flex", "zynq"):
+            raise ConfigError(
+                "--arrivals needs the flex or zynq engine"
+            )
+        parts = args.arrivals.split(":")
+        if len(parts) not in (2, 3):
+            raise ConfigError(
+                f"--arrivals must be RATE:N[:SEED], got {args.arrivals!r}"
+            )
+        kwargs["workload"] = dict(
+            kind="stochastic",
+            rate=float(parts[0]),
+            num_jobs=int(parts[1]),
+            seed=int(parts[2], 0) if len(parts) == 3
+            else DEFAULT_ARRIVAL_SEED,
+        )
     return engines[args.engine](args.benchmark, args.pes, **kwargs)
 
 
@@ -287,6 +312,12 @@ def _cmd_report(args) -> int:
     print(render_report(result.telemetry, cycles=result.cycles,
                         clock_mhz=result.clock_mhz, label=result.label,
                         epochs=args.epochs))
+    if result.jobs and len(result.jobs) > 1:
+        from repro.obs import render_job_summary
+
+        print()
+        print(render_job_summary(result.jobs, cycles=result.cycles,
+                                 clock_mhz=result.clock_mhz))
     if args.trace:
         write_chrome_trace(
             result.telemetry, args.trace,
@@ -384,6 +415,41 @@ def _cmd_sweep(args) -> int:
         print(f"saved: {args.out}")
         args.out = None     # already saved; skip the ExperimentResult path
     return _finish_experiment(args, runner, [])
+
+
+def _cmd_open(args) -> int:
+    from repro.harness.openload import parse_tenants, run_open
+
+    tenants = parse_tenants(args.tenants) if args.tenants else None
+    if args.rates:
+        rates = tuple(float(r) for r in args.rates.split(",") if r)
+    else:
+        rates = (args.rate,)
+    if args.dump_trace:
+        from repro.workload import StochasticSource, Tenant, dump_trace
+
+        source = StochasticSource(
+            rate=rates[0], num_jobs=args.num_jobs, seed=args.seed,
+            tenants=tuple(Tenant(t["name"], t["weight"])
+                          for t in tenants) if tenants else (),
+        )
+        dump_trace(args.dump_trace, source.arrivals())
+        print(f"trace: wrote {args.dump_trace} ({args.num_jobs} arrivals)")
+    runner = _make_runner(args)
+    result = run_open(
+        benchmark=args.benchmark,
+        num_pes=args.pes,
+        rates=rates,
+        seed=args.seed,
+        num_jobs=args.num_jobs,
+        tenants=tenants,
+        window=args.window,
+        trace=args.trace,
+        quick=not args.full,
+        runner=runner,
+    )
+    print(result.render())
+    return _finish_experiment(args, runner, [result])
 
 
 def _cmd_ledger(args) -> int:
@@ -488,6 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulation-kernel backend (docs/KERNEL.md); "
                        "bit-exact either way.  auto defers to "
                        "$REPRO_BACKEND, then reference")
+        p.add_argument("--arrivals", default=None, metavar="RATE:N[:SEED]",
+                       help="run an open-system stochastic arrival "
+                       "stream instead of one closed root: RATE jobs "
+                       "per kilocycle, N jobs, optional LFSR seed "
+                       "(flex/zynq engines; docs/WORKLOADS.md)")
 
     run_parser = sub.add_parser("run", help="simulate one benchmark")
     add_run_args(run_parser)
@@ -614,6 +685,43 @@ def build_parser() -> argparse.ArgumentParser:
                               help="paper-size workload")
     add_exec_args(sweep_parser)
 
+    open_parser = sub.add_parser(
+        "open", help="open-system arrival-rate sweep "
+        "(repro.harness.openload; docs/WORKLOADS.md)"
+    )
+    open_parser.add_argument("benchmark", nargs="?", default="fib",
+                             help="re-entrant benchmark (default fib)")
+    open_parser.add_argument("--pes", type=int, default=8)
+    open_parser.add_argument("--rate", type=float, default=4.0,
+                             metavar="R", help="arrival rate in jobs "
+                             "per kilocycle (default 4.0)")
+    open_parser.add_argument("--rates", default=None, metavar="R,R,...",
+                             help="comma-separated rate axis "
+                             "(overrides --rate)")
+    open_parser.add_argument("--seed", type=lambda s: int(s, 0),
+                             default=0xACE1, metavar="S",
+                             help="arrival-stream LFSR seed "
+                             "(default 0xACE1)")
+    open_parser.add_argument("--num-jobs", type=int, default=64,
+                             metavar="N", help="jobs per point "
+                             "(default 64)")
+    open_parser.add_argument("--tenants", default=None,
+                             metavar="NAME:W,NAME:W",
+                             help="tenant mix, e.g. gold:3,silver:1")
+    open_parser.add_argument("--window", type=int, default=None,
+                             metavar="W", help="admission window: max "
+                             "roots in the stealable deque (default: "
+                             "no admission control)")
+    open_parser.add_argument("--trace", default=None, metavar="PATH",
+                             help="replay a JSONL arrival trace "
+                             "instead of the stochastic sweep")
+    open_parser.add_argument("--dump-trace", default=None, metavar="PATH",
+                             help="write the first rate's stochastic "
+                             "arrivals as a JSONL trace and continue")
+    open_parser.add_argument("--full", action="store_true",
+                             help="paper-size workload")
+    add_exec_args(open_parser)
+
     ledger_parser = sub.add_parser(
         "ledger", help="query the run ledger (repro.obs.ledger)"
     )
@@ -679,6 +787,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_dse(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "open":
+        return _cmd_open(args)
     if args.command == "ledger":
         return _cmd_ledger(args)
     if args.command == "cache":

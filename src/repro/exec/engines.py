@@ -102,6 +102,8 @@ def _max_cycles(spec: JobSpec) -> int:
 def _simulate_flex(spec: JobSpec, telemetry: bool,
                    extra_config: Optional[dict] = None,
                    label_tag: str = "flex") -> RunResult:
+    if spec.workload is not None:
+        return _simulate_open(spec, telemetry, extra_config, label_tag)
     bench = make_benchmark(
         spec.benchmark, **bench_params(spec.benchmark, spec.quick,
                                        spec.params_dict))
@@ -119,6 +121,68 @@ def _simulate_flex(spec: JobSpec, telemetry: bool,
     )
     result.telemetry = sink
     return _verify(bench, result, result.label)
+
+
+def _simulate_open(spec: JobSpec, telemetry: bool,
+                   extra_config: Optional[dict] = None,
+                   label_tag: str = "flex") -> RunResult:
+    """Open-system run: an arrival stream instead of a single root.
+
+    Builds the :class:`~repro.workload.WorkloadSource` from the spec's
+    canonical workload dict, binds one root task per arrival (per-tenant
+    benchmark instances so tenant ``params`` can differ), and drives
+    :meth:`~repro.arch.accelerator.FlexAccelerator.run_workload`.  Every
+    job's host value is verified against its tenant's reference.
+    """
+    from repro.core.exceptions import ConfigError
+    from repro.workload import bind_jobs, make_source
+
+    source = make_source(spec.workload_dict)
+    base_params = bench_params(spec.benchmark, spec.quick,
+                               spec.params_dict)
+    benches = {}
+    for tenant in source.tenants:
+        params = dict(base_params)
+        params.update(tenant.params_dict)
+        benches[tenant.name] = make_benchmark(spec.benchmark, **params)
+    primary = benches[source.tenants[0].name]
+    overrides = dict(extra_config or {})
+    overrides.update(spec.config_dict)
+    config = flex_config(spec.num_pes, **overrides)
+    engine = FlexAccelerator(config, primary.flex_worker(spec.platform))
+    sink = _instrument(engine, telemetry)
+    _inject_faults(engine, spec.faults)
+    _warm(engine, primary)
+    jobs = bind_jobs(source,
+                     lambda arrival: benches[arrival.tenant].root_task())
+    # A single job cannot interleave with anything, so any benchmark may
+    # run through the workload path (the closed-equivalence pins rely on
+    # this); multi-job streams need a pure worker.
+    if len(jobs) > 1 and not primary.reentrant:
+        raise ConfigError(
+            f"benchmark {spec.benchmark!r} is not re-entrant: its jobs "
+            "mutate shared workload data, so it cannot run as an "
+            "open-system arrival stream (re-entrant benchmarks: pure "
+            "workers like 'fib'; see docs/WORKLOADS.md)"
+        )
+    result = engine.run_workload(
+        jobs,
+        tenants=source.tenants,
+        admit_window=source.admit_window,
+        max_cycles=_max_cycles(spec),
+        label=f"{spec.benchmark}-{label_tag}{spec.num_pes}-open",
+    )
+    result.telemetry = sink
+    for job in jobs:
+        bench = benches[job.tenant]
+        value = result.host.slots.get(job.job_id)
+        if not bench.verify(value):
+            raise VerificationError(
+                f"{result.label}: job {job.job_id} (tenant "
+                f"{job.tenant!r}) wrong result {value!r} "
+                f"(expected {bench.expected()!r})"
+            )
+    return result
 
 
 def _simulate_lite(spec: JobSpec, telemetry: bool) -> RunResult:

@@ -25,7 +25,8 @@ from typing import Any, Dict, List, Optional
 from repro.arch.result import RunResult
 
 #: Record-format version, folded into every record digest.
-RECORD_VERSION = 1
+#: v2: per-job lifecycle records (``jobs``) from the workload layer.
+RECORD_VERSION = 2
 
 #: Longest stored ``repr`` of the host value (kept for debugging; the
 #: full value was already verified against the benchmark reference
@@ -45,6 +46,10 @@ class RunRecord:
     pe_stats: List[Dict[str, Any]] = field(default_factory=list)
     mem_summary: Dict[str, Any] = field(default_factory=dict)
     counters: Dict[str, Any] = field(default_factory=dict)
+    #: Per-job lifecycle records (arrival/injected/admitted/completed
+    #: cycles + latency; docs/WORKLOADS.md).  Part of the digest, so the
+    #: open-system latency report is covered by the bit-exactness tests.
+    jobs: List[Dict[str, Any]] = field(default_factory=list)
 
     ok = True  # distinguishes records from JobFailures without isinstance
 
@@ -97,6 +102,7 @@ class RunRecord:
             "pe_stats": self.pe_stats,
             "mem_summary": self.mem_summary,
             "counters": self.counters,
+            "jobs": self.jobs,
         }
 
     def canonical_json(self) -> str:
@@ -121,6 +127,7 @@ class RunRecord:
             pe_stats=payload.get("pe_stats", []),
             mem_summary=payload.get("mem_summary", {}),
             counters=payload.get("counters", {}),
+            jobs=payload.get("jobs", []),
         )
 
     @classmethod
@@ -138,6 +145,7 @@ class RunRecord:
             pe_stats=[dataclasses.asdict(p) for p in result.pe_stats],
             mem_summary=dict(result.mem_summary),
             counters=dict(result.counters),
+            jobs=[dict(j) for j in (result.jobs or [])],
         )
 
 

@@ -35,7 +35,8 @@ ENGINES = ("flex", "lite", "cpu", "zynq", "zynq-cpu")
 
 #: Spec-format version, folded into every digest: bump when the spec's
 #: canonical form (not the simulator) changes meaning.
-SPEC_VERSION = 1
+#: v2: optional open-system ``workload`` (docs/WORKLOADS.md).
+SPEC_VERSION = 2
 
 
 def _freeze(value: Any) -> Any:
@@ -102,6 +103,11 @@ class JobSpec:
     config: Tuple[Tuple[str, Any], ...] = ()
     faults: Optional[Any] = None        # repro.resil.FaultSpec
     max_cycles: Optional[int] = None
+    #: Canonical JSON string of an open-system workload spec (the
+    #: ``describe()`` dict of a :class:`~repro.workload.WorkloadSource`),
+    #: or ``None`` for a classic closed run.  Stored as a string so the
+    #: spec stays hashable; :attr:`workload_dict` parses it back.
+    workload: Optional[str] = None
     _digest: Optional[str] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -129,6 +135,11 @@ class JobSpec:
     def config_dict(self) -> Dict[str, Any]:
         return dict(self.config)
 
+    @property
+    def workload_dict(self) -> Optional[Dict[str, Any]]:
+        """Parsed workload spec, or ``None`` for closed runs."""
+        return None if self.workload is None else json.loads(self.workload)
+
     def canonical_dict(self) -> Dict[str, Any]:
         """JSON-safe dict with a deterministic shape (digest input)."""
         return {
@@ -142,6 +153,7 @@ class JobSpec:
             "config": {k: _jsonify(v) for k, v in self.config},
             "faults": _jsonify(self.faults),
             "max_cycles": self.max_cycles,
+            "workload": self.workload_dict,
         }
 
     def canonical_json(self) -> str:
@@ -165,13 +177,17 @@ def make_spec(benchmark: str, num_pes: int, *, engine: str = "flex",
               params: Optional[Dict[str, Any]] = None,
               faults: Optional[Any] = None,
               max_cycles: Optional[int] = None,
+              workload: Optional[Dict[str, Any]] = None,
               **config_overrides: Any) -> JobSpec:
     """Build a :class:`JobSpec` from runner-style keyword arguments.
 
     ``config_overrides`` are :class:`~repro.arch.config.AcceleratorConfig`
     fields; unknown names raise :class:`ConfigError` up front, naming the
     bad key, instead of failing inside the engine constructor on the
-    first simulated point.
+    first simulated point.  ``workload`` is an open-system workload spec
+    dict (docs/WORKLOADS.md); it is validated and canonicalised through
+    :func:`repro.workload.make_source` so equivalent workloads digest
+    equal regardless of spelled-out defaults.
     """
     known = _config_field_names()
     for key in config_overrides:
@@ -180,6 +196,17 @@ def make_spec(benchmark: str, num_pes: int, *, engine: str = "flex",
                 f"unknown AcceleratorConfig override {key!r} "
                 f"(no such field)"
             )
+    workload_json = None
+    if workload is not None:
+        from repro.workload import make_source
+
+        if engine not in ("flex", "zynq"):
+            raise ConfigError(
+                f"open-system workloads need the flex or zynq engine, "
+                f"not {engine!r}"
+            )
+        workload_json = json.dumps(make_source(workload).describe(),
+                                   sort_keys=True, separators=(",", ":"))
     if faults is not None:
         from repro.resil.faults import FaultPlan, FaultSpec
 
@@ -200,4 +227,5 @@ def make_spec(benchmark: str, num_pes: int, *, engine: str = "flex",
         config=_items(config_overrides),
         faults=faults,
         max_cycles=max_cycles,
+        workload=workload_json,
     )

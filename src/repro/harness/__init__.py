@@ -10,9 +10,11 @@ One module per artifact (see DESIGN.md's experiment index):
 * :mod:`repro.harness.fig9` — cache-size sweep
 * :mod:`repro.harness.tables123` — descriptive Tables I-III
 * :mod:`repro.harness.ablations` — design-choice ablations
+* :mod:`repro.harness.openload` — open-system throughput/latency curves
 """
 
 from repro.harness.common import ExperimentResult, format_table
+from repro.harness.openload import parse_tenants, run_open
 from repro.harness.runners import (
     QUICK_PARAMS,
     VerificationError,
@@ -40,6 +42,8 @@ __all__ = [
     "geomean",
     "load_result",
     "save_result",
+    "parse_tenants",
+    "run_open",
     "pareto_front",
     "sweep",
     "tabulate",

@@ -45,16 +45,19 @@ def run_flex(name: str, num_pes: int, *, quick: bool = False,
              params: Optional[dict] = None, platform: str = "accel",
              telemetry: bool = False, faults=None,
              max_cycles: Optional[int] = None,
+             workload: Optional[dict] = None,
              **config_overrides) -> RunResult:
     """FlexArch accelerator run.
 
     ``faults`` accepts a :class:`repro.resil.FaultSpec` (or a prebuilt
     ``FaultPlan``) and requires ``park_idle_pes=False``; ``max_cycles``
-    overrides the default 200M-cycle deadlock budget.
+    overrides the default 200M-cycle deadlock budget; ``workload`` is an
+    open-system workload spec dict (docs/WORKLOADS.md).
     """
     spec = make_spec(name, num_pes, engine="flex", quick=quick,
                      params=params, platform=platform, faults=faults,
-                     max_cycles=max_cycles, **config_overrides)
+                     max_cycles=max_cycles, workload=workload,
+                     **config_overrides)
     return simulate(spec, telemetry=telemetry)
 
 
@@ -83,12 +86,13 @@ def run_cpu(name: str, num_cores: int, *, quick: bool = False,
 def run_zynq_flex(name: str, num_pes: int, *, quick: bool = False,
                   params: Optional[dict] = None, telemetry: bool = False,
                   max_cycles: Optional[int] = None,
+                  workload: Optional[dict] = None,
                   **config_overrides) -> RunResult:
     """Zedboard prototype accelerator: 100 MHz fabric, stream buffers over
     the single ACP port instead of coherent L1 caches (Section V-B)."""
     spec = make_spec(name, num_pes, engine="zynq", quick=quick,
                      params=params, max_cycles=max_cycles,
-                     **config_overrides)
+                     workload=workload, **config_overrides)
     return simulate(spec, telemetry=telemetry)
 
 

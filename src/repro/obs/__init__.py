@@ -53,7 +53,9 @@ from repro.obs.events import (
 )
 from repro.obs.report import (
     LatencySummary,
+    job_summary,
     latency_decomposition,
+    render_job_summary,
     render_report,
     steal_summary,
     summary,
@@ -72,7 +74,9 @@ __all__ = [
     "CriticalPathReport",
     "critical_path",
     "LatencySummary",
+    "job_summary",
     "latency_decomposition",
+    "render_job_summary",
     "render_report",
     "steal_summary",
     "summary",

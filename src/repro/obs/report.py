@@ -219,6 +219,73 @@ def render_report(sink: EventSink, *, cycles: int = 0,
     return "\n".join(parts)
 
 
+def _latency_stats(latencies: List[int]) -> Dict:
+    """Nearest-rank summary of one job-latency sample set."""
+    ordered = sorted(latencies)
+    return {
+        "jobs": len(ordered),
+        "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+        "min": float(ordered[0]) if ordered else 0.0,
+        "max": float(ordered[-1]) if ordered else 0.0,
+        "p50": percentile(ordered, 50),
+        "p95": percentile(ordered, 95),
+        "p99": percentile(ordered, 99),
+    }
+
+
+def job_summary(jobs: Sequence[Dict]) -> Dict:
+    """Tail-latency summary of per-job lifecycle records.
+
+    ``jobs`` are the dicts of :class:`~repro.workload.JobRecord` (as
+    carried on :attr:`RunResult.jobs <repro.arch.result.RunResult>` and
+    ``RunRecord.jobs``).  Returns ``{"all": stats, "tenants": {name:
+    stats}}`` where each ``stats`` dict holds job count, mean/min/max
+    and nearest-rank p50/p95/p99 of the arrival-to-completion latency
+    in cycles (readback excluded; docs/WORKLOADS.md).  Jobs that never
+    completed (``latency`` is None) are excluded from the distributions.
+    """
+    done = [j for j in jobs if j.get("latency") is not None]
+    by_tenant: Dict[str, List[int]] = {}
+    for job in done:
+        by_tenant.setdefault(job["tenant"], []).append(job["latency"])
+    return {
+        "all": _latency_stats([j["latency"] for j in done]),
+        "tenants": {name: _latency_stats(lat)
+                    for name, lat in sorted(by_tenant.items())},
+    }
+
+
+def render_job_summary(jobs: Sequence[Dict], *, cycles: int = 0,
+                       clock_mhz: float = 0.0) -> str:
+    """Terminal table of the per-job latency distribution.
+
+    One row for the whole run plus one per tenant (when more than one);
+    throughput is jobs per kilocycle over the full run.
+    """
+    stats = job_summary(jobs)
+    parts = ["-- job latency (cycles, arrival to completion) --"]
+    rows = []
+    groups = [("all", stats["all"])]
+    if len(stats["tenants"]) > 1:
+        groups += list(stats["tenants"].items())
+    for name, s in groups:
+        rows.append([
+            name, str(s["jobs"]), f"{s['mean']:.1f}",
+            f"{s['p50']:.0f}", f"{s['p95']:.0f}", f"{s['p99']:.0f}",
+            f"{s['max']:.0f}",
+        ])
+    parts.append(_table(
+        ["tenant", "jobs", "mean", "p50", "p95", "p99", "max"], rows))
+    if cycles and stats["all"]["jobs"]:
+        tput = 1000.0 * stats["all"]["jobs"] / cycles
+        line = f"throughput: {tput:.3f} jobs/kcycle"
+        if clock_mhz:
+            jobs_per_ms = stats["all"]["jobs"] / (cycles / clock_mhz * 1e-3)
+            line += f" ({jobs_per_ms:.1f} jobs/ms @ {clock_mhz:.0f} MHz)"
+        parts.append(line)
+    return "\n".join(parts)
+
+
 def summary(sink: EventSink, *, cycles: int = 0,
             epochs: int = 16) -> Dict:
     """Compact JSON-safe telemetry summary (the harness attachment)."""

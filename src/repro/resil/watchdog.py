@@ -100,6 +100,7 @@ def snapshot(accel) -> Dict:
         + sum(ps.occupancy for ps in getattr(accel, "pstores", ()))
         + sum(1 for pe in accel.pes if pe.current_task is not None)
         + accel.interface.pending
+        + accel.interface.admission_pending
     )
     parked = []
     if accel.park_registry is not None:
@@ -113,6 +114,7 @@ def snapshot(accel) -> Dict:
         "pes": pes,
         "pstores": pstores,
         "if_pending": accel.interface.pending,
+        "if_admission_pending": accel.interface.admission_pending,
         "if_results": accel.interface.results_received,
         "pending_events": accel.engine.pending_events,
         "parked": parked,
@@ -156,6 +158,7 @@ def diagnose(accel, reason: str) -> DeadlockError:
         )
     lines.append(
         f"  IF block: {diag['if_pending']} task(s) pending, "
+        f"{diag['if_admission_pending']} in admission queues, "
         f"{diag['if_results']} result(s) received"
     )
     if diag["parked"]:

@@ -8,7 +8,7 @@ package makes the policy a first-class, swappable subsystem: a
 :class:`SchedulingPolicy` owns the run-global decisions and hands each
 PE a :class:`PEScheduler` carrying the per-PE decision state.
 
-Four decision points are covered:
+Five decision points are covered:
 
 1. **Victim selection** — :meth:`PEScheduler.pick_victim` chooses which
    queue an idle PE probes next.
@@ -21,6 +21,10 @@ Four decision points are covered:
    spawned child (self-push today), and
    :meth:`SchedulingPolicy.place_round_task` places LiteArch's
    statically split round tasks (round-robin today).
+5. **Admission / QoS** — :meth:`SchedulingPolicy.admit` picks which
+   per-tenant IF admission queue releases its head job into the
+   stealable deque when an open-system workload bounds the window
+   (earliest arrival, weight tiebreak today; docs/WORKLOADS.md).
 
 Determinism contract
 --------------------
@@ -46,9 +50,25 @@ consumers rely on this:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.lfsr import default_seed
+
+
+class AdmissionView(NamedTuple):
+    """One *non-empty* per-tenant admission queue, as shown to
+    :meth:`SchedulingPolicy.admit`.
+
+    A read-only projection (the policy never touches the queue itself):
+    the tenant's identity and QoS weight, the queue depth, and the
+    host-side arrival time / id of the job at its head.
+    """
+
+    tenant: str
+    weight: int
+    depth: int
+    head_arrival: int
+    head_job: int
 
 
 class PEScheduler:
@@ -137,6 +157,31 @@ class SchedulingPolicy:
         """PE slot for LiteArch round task ``index`` (static round-robin
         push, matching the host driver of Section III-B)."""
         return index % self.config.num_pes
+
+    # -- decision point 5: admission / QoS -------------------------------
+    def admit(self, queues: Sequence[AdmissionView]) -> int:
+        """Index into ``queues`` of the tenant queue to release next.
+
+        Called by the IF block's admission control whenever the window
+        has room and at least one tenant queue is non-empty; ``queues``
+        holds only the non-empty queues, in the workload's declared
+        tenant order.  The default is global FIFO with a QoS tiebreak:
+        earliest head arrival wins, equal arrivals go to the heavier
+        tenant, and the lower job id breaks exact ties — so untenanted
+        workloads admit in pure arrival order.
+
+        The same determinism contract as the other decision points
+        applies: the choice may depend only on the views passed in (no
+        engine state, no other LFSR streams).
+        """
+        best = 0
+        for index in range(1, len(queues)):
+            view, leader = queues[index], queues[best]
+            if ((view.head_arrival, -view.weight, view.head_job)
+                    < (leader.head_arrival, -leader.weight,
+                       leader.head_job)):
+                best = index
+        return best
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -72,6 +72,13 @@ class Benchmark:
     #: irregular high-MI benchmarks (bfsqueue, spmvcrs) model the paper's
     #: larger-than-LLC datasets and run cold (DRAM-bandwidth-bound).
     l2_resident: bool = True
+    #: Whether concurrent jobs of this benchmark may share one instance:
+    #: True only when the worker is *pure* (computes from task arguments,
+    #: never mutates :class:`SimMemory` data).  Open-system workloads
+    #: (docs/WORKLOADS.md) interleave jobs on one machine, so they
+    #: require a re-entrant benchmark; mutating ones (sorting sorts, BFS
+    #: marks visited...) stay closed-system only.
+    reentrant: bool = False
 
     def __init__(self) -> None:
         self.mem = SimMemory()

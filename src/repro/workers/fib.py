@@ -74,6 +74,9 @@ class FibBenchmark(Benchmark):
     memory_pattern = "regular"
     memory_intensity = "low"
     has_lite = False
+    # The worker is pure (no SimMemory traffic), so interleaved jobs of
+    # an open-system arrival stream cannot interfere.
+    reentrant = True
 
     def __init__(self, n: int = 18) -> None:
         super().__init__()

@@ -1,0 +1,54 @@
+"""Open-system workload layer: arrival streams, tenants, trace replay.
+
+A run is driven by a :class:`WorkloadSource` — closed (everything at
+t=0), stochastic (seeded-LFSR arrivals), or trace replay — instead of a
+fixed root-task list.  See docs/WORKLOADS.md.
+"""
+
+from repro.workload.base import (
+    DEFAULT_TENANT,
+    DEFAULT_TENANT_NAME,
+    Arrival,
+    Job,
+    JobRecord,
+    Tenant,
+    WorkloadSource,
+    bind_jobs,
+)
+from repro.workload.sources import (
+    CLOSED,
+    DEFAULT_ARRIVAL_SEED,
+    SOURCE_KINDS,
+    STOCHASTIC,
+    TRACE,
+    ClosedSource,
+    StochasticSource,
+    TraceSource,
+    dump_trace,
+    load_trace,
+    make_source,
+    trace_tenants,
+)
+
+__all__ = [
+    "Arrival",
+    "CLOSED",
+    "ClosedSource",
+    "DEFAULT_ARRIVAL_SEED",
+    "DEFAULT_TENANT",
+    "DEFAULT_TENANT_NAME",
+    "Job",
+    "JobRecord",
+    "SOURCE_KINDS",
+    "STOCHASTIC",
+    "StochasticSource",
+    "TRACE",
+    "Tenant",
+    "TraceSource",
+    "WorkloadSource",
+    "bind_jobs",
+    "dump_trace",
+    "load_trace",
+    "make_source",
+    "trace_tenants",
+]

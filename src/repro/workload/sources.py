@@ -1,0 +1,293 @@
+"""The concrete workload sources: closed, stochastic, and trace replay.
+
+All three produce their complete arrival stream up front, as a pure
+function of the spec (docs/WORKLOADS.md):
+
+* :class:`ClosedSource` — ``num_jobs`` arrivals at t=0, tenants
+  assigned round-robin.  One job reproduces the classic closed run.
+* :class:`StochasticSource` — seeded-LFSR Poisson-like arrivals:
+  exponential interarrival gaps at ``rate`` jobs per kilocycle, tenant
+  of each job drawn weight-proportionally.  The LFSR stream is
+  dedicated to the workload (the same isolation contract as the
+  fault-plan stream in :mod:`repro.resil`).
+* :class:`TraceSource` — replay of an explicit ``(time, tenant)`` list,
+  loadable from a JSONL trace file (:func:`load_trace` /
+  :func:`dump_trace`).
+
+``make_source`` turns the JSON-safe ``describe()`` dict back into a
+source; the dict is what :func:`repro.exec.spec.make_spec` canonicalises
+into the job digest, so trace workloads inline their arrivals (content-
+addressing must not depend on a file path).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ConfigError
+from repro.core.lfsr import LFSR16
+from repro.workload.base import (
+    DEFAULT_TENANT,
+    Arrival,
+    Tenant,
+    WorkloadSource,
+)
+
+#: Source kinds ``make_source`` understands.
+CLOSED = "closed"
+STOCHASTIC = "stochastic"
+TRACE = "trace"
+SOURCE_KINDS = (CLOSED, STOCHASTIC, TRACE)
+
+#: Default seed of the workload arrival stream (the LFSR16 reset value;
+#: deliberately *not* derived from any PE's scheduling seed).
+DEFAULT_ARRIVAL_SEED = 0xACE1
+
+
+def _tenants_arg(tenants) -> Tuple[Tenant, ...]:
+    if not tenants:
+        return (DEFAULT_TENANT,)
+    return tuple(tenants)
+
+
+class ClosedSource(WorkloadSource):
+    """Everything arrives at t=0 — the classic closed-system run."""
+
+    kind = CLOSED
+
+    def __init__(self, num_jobs: int = 1, tenants=(),
+                 admit_window: Optional[int] = None) -> None:
+        super().__init__(_tenants_arg(tenants), admit_window)
+        if num_jobs < 1:
+            raise ConfigError(f"need at least one job: {num_jobs}")
+        self.num_jobs = num_jobs
+
+    def arrivals(self) -> Tuple[Arrival, ...]:
+        return tuple(
+            Arrival(job_id=j, time=0,
+                    tenant=self.tenants[j % len(self.tenants)].name)
+            for j in range(self.num_jobs)
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        spec = self._describe_common()
+        spec["num_jobs"] = self.num_jobs
+        return spec
+
+
+class StochasticSource(WorkloadSource):
+    """Seeded-LFSR stochastic arrivals (open-system heavy traffic).
+
+    Interarrival gaps are exponential with mean ``1000 / rate`` cycles
+    (``rate`` = offered load in jobs per kilocycle), quantised to whole
+    cycles with a floor of one so arrivals are strictly ordered.  Both
+    the gap draw and the weighted tenant draw advance one dedicated
+    :class:`LFSR16` stream, so the arrival pattern is reproducible from
+    ``seed`` alone and can never perturb (or be perturbed by) the
+    scheduling or fault streams.
+    """
+
+    kind = STOCHASTIC
+
+    def __init__(self, rate: float, num_jobs: int,
+                 seed: int = DEFAULT_ARRIVAL_SEED, tenants=(),
+                 admit_window: Optional[int] = None) -> None:
+        super().__init__(_tenants_arg(tenants), admit_window)
+        if not rate > 0.0:
+            raise ConfigError(f"arrival rate must be positive: {rate}")
+        if num_jobs < 1:
+            raise ConfigError(f"need at least one job: {num_jobs}")
+        if not (seed & 0xFFFF):
+            raise ConfigError(f"arrival seed must be nonzero mod 2^16: {seed}")
+        self.rate = float(rate)
+        self.num_jobs = num_jobs
+        self.seed = seed
+
+    def arrivals(self) -> Tuple[Arrival, ...]:
+        lfsr = LFSR16(self.seed & 0xFFFF)
+        mean_gap = 1000.0 / self.rate
+        total_weight = sum(t.weight for t in self.tenants)
+        out = []
+        time = 0
+        for job_id in range(self.num_jobs):
+            # u in (0, 1]: LFSR states are 1..65535, so log(u) is finite
+            # and the gap floor keeps arrival times strictly increasing.
+            u = lfsr.next() / float(LFSR16.PERIOD)
+            time += max(1, int(round(-math.log(u) * mean_gap)))
+            if len(self.tenants) == 1:
+                tenant = self.tenants[0].name
+            else:
+                draw = lfsr.pick(total_weight)
+                for candidate in self.tenants:
+                    draw -= candidate.weight
+                    if draw < 0:
+                        tenant = candidate.name
+                        break
+            out.append(Arrival(job_id=job_id, time=time, tenant=tenant))
+        return tuple(out)
+
+    def describe(self) -> Dict[str, Any]:
+        spec = self._describe_common()
+        spec.update(rate=self.rate, num_jobs=self.num_jobs, seed=self.seed)
+        return spec
+
+
+class TraceSource(WorkloadSource):
+    """Replay an explicit arrival list (e.g. loaded from a JSONL trace).
+
+    ``arrivals`` is a sequence of ``(time, tenant)`` pairs, already
+    sorted by time; job ids are assigned in list order.  The list is
+    part of :meth:`describe`, so two trace workloads are the same job
+    iff their arrival streams are identical — regardless of which file
+    they came from.
+    """
+
+    kind = TRACE
+
+    def __init__(self, arrivals: Sequence, tenants=(),
+                 admit_window: Optional[int] = None) -> None:
+        super().__init__(_tenants_arg(tenants), admit_window)
+        if not arrivals:
+            raise ConfigError("trace workload has no arrivals")
+        parsed = []
+        last_time = 0
+        for index, entry in enumerate(arrivals):
+            try:
+                time, tenant = entry
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"trace arrival {index} must be a (time, tenant) "
+                    f"pair, got {entry!r}"
+                ) from None
+            time = int(time)
+            if time < 0:
+                raise ConfigError(
+                    f"trace arrival {index} has negative time {time}"
+                )
+            if time < last_time:
+                raise ConfigError(
+                    f"trace arrivals out of order at index {index}: "
+                    f"{time} < {last_time}"
+                )
+            last_time = time
+            parsed.append((time, str(tenant)))
+        self._arrivals = tuple(parsed)
+        for _, tenant in self._arrivals:
+            self.tenant(tenant)  # raises on undeclared names
+
+    def arrivals(self) -> Tuple[Arrival, ...]:
+        return tuple(
+            Arrival(job_id=j, time=time, tenant=tenant)
+            for j, (time, tenant) in enumerate(self._arrivals)
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        spec = self._describe_common()
+        spec["arrivals"] = [[time, tenant]
+                            for time, tenant in self._arrivals]
+        return spec
+
+
+# ---------------------------------------------------------------------------
+# JSONL trace files (schema: docs/WORKLOADS.md)
+
+def dump_trace(path, arrivals: Iterable[Arrival]) -> Path:
+    """Write an arrival stream as a JSONL trace file."""
+    path = Path(path)
+    lines = [
+        json.dumps({"time": a.time, "tenant": a.tenant}, sort_keys=True)
+        for a in arrivals
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def load_trace(path) -> Tuple[Tuple[int, str], ...]:
+    """Parse a JSONL trace file into ``(time, tenant)`` pairs.
+
+    Each non-empty line is an object with ``time`` (required, integer
+    cycles) and ``tenant`` (optional, default ``"default"``); malformed
+    lines raise :class:`ConfigError` naming the line number.
+    """
+    path = Path(path)
+    out = []
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"{path}:{lineno}: invalid trace JSON: {exc}"
+            ) from exc
+        if not isinstance(entry, dict) or "time" not in entry:
+            raise ConfigError(
+                f"{path}:{lineno}: trace line needs a 'time' field: "
+                f"{line!r}"
+            )
+        out.append((int(entry["time"]),
+                    str(entry.get("tenant", DEFAULT_TENANT.name))))
+    if not out:
+        raise ConfigError(f"{path}: trace file has no arrivals")
+    return tuple(out)
+
+
+def trace_tenants(arrivals: Sequence[Tuple[int, str]]) -> Tuple[Tenant, ...]:
+    """Default tenant set of a raw trace: every referenced name, weight 1,
+    in first-appearance order."""
+    seen = []
+    for _, tenant in arrivals:
+        if tenant not in seen:
+            seen.append(tenant)
+    return tuple(Tenant(name=name) for name in seen)
+
+
+# ---------------------------------------------------------------------------
+def make_source(spec: Dict[str, Any]) -> WorkloadSource:
+    """Build a :class:`WorkloadSource` from its canonical spec dict.
+
+    Inverse of ``describe()``: ``make_source(src.describe())`` builds an
+    equivalent source for every kind.  Raises :class:`ConfigError` on an
+    unknown kind or invalid parameters, naming the problem.
+    """
+    if not isinstance(spec, dict):
+        raise ConfigError(
+            f"workload spec must be a mapping, got {type(spec).__name__}"
+        )
+    kind = spec.get("kind")
+    if kind not in SOURCE_KINDS:
+        raise ConfigError(
+            f"unknown workload kind {kind!r} "
+            f"(choose from {', '.join(SOURCE_KINDS)})"
+        )
+    tenants = tuple(
+        Tenant.from_dict(t) if isinstance(t, dict) else t
+        for t in (spec.get("tenants") or ())
+    )
+    window = spec.get("window")
+    window = None if window is None else int(window)
+    if kind == CLOSED:
+        return ClosedSource(num_jobs=int(spec.get("num_jobs", 1)),
+                            tenants=tenants, admit_window=window)
+    if kind == STOCHASTIC:
+        if "rate" not in spec:
+            raise ConfigError("stochastic workload needs a 'rate'")
+        return StochasticSource(
+            rate=float(spec["rate"]),
+            num_jobs=int(spec.get("num_jobs", 1)),
+            seed=int(spec.get("seed", DEFAULT_ARRIVAL_SEED)),
+            tenants=tenants, admit_window=window,
+        )
+    arrivals = spec.get("arrivals")
+    if not arrivals:
+        raise ConfigError("trace workload needs a non-empty 'arrivals'")
+    pairs = tuple((int(t), str(name)) for t, name in arrivals)
+    if not tenants:
+        tenants = trace_tenants(pairs)
+    return TraceSource(arrivals=pairs, tenants=tenants,
+                       admit_window=window)

@@ -1,0 +1,55 @@
+"""Multi-root run semantics (docs/SIMULATOR.md, "Host offload costs").
+
+``Accelerator.run`` with a root *list* is a closed workload of one job
+per root: injection serialises through the host's memory-mapped write
+port (root *i* visible at ``(i+1) * offload_inject_cycles``), and the
+makespan charges one ``offload_read_cycles`` readback per root.  These
+pins keep those semantics from drifting.
+"""
+
+from repro.arch.accelerator import FlexAccelerator
+from repro.arch.config import flex_config
+from repro.core.task import HOST_CONTINUATION, Task
+from repro.workers.fib import FIB, FibWorker, fib_reference
+
+
+def _run(**overrides):
+    config = flex_config(4, memory="perfect", **overrides)
+    engine = FlexAccelerator(config, FibWorker())
+    roots = [Task(FIB, HOST_CONTINUATION.with_slot(i), (8 + i,))
+             for i in range(3)]
+    return config, engine.run(roots)
+
+
+def test_serialized_injection_costs():
+    config, result = _run()
+    assert [j["injected"] for j in result.jobs] == [
+        (i + 1) * config.offload_inject_cycles for i in range(3)
+    ]
+    assert all(j["arrival"] == 0 for j in result.jobs)
+
+
+def test_per_root_readback_cost():
+    _, base = _run(offload_read_cycles=0)
+    _, paid = _run(offload_read_cycles=100)
+    assert paid.cycles - base.cycles == 3 * 100
+    # Readback is makespan-only: per-job completion times are untouched.
+    assert ([j["completed"] for j in paid.jobs]
+            == [j["completed"] for j in base.jobs])
+
+
+def test_each_root_delivers_to_its_own_slot():
+    _, result = _run()
+    assert result.host.slots == {
+        i: fib_reference(8 + i) for i in range(3)
+    }
+    for i, job in enumerate(result.jobs):
+        assert job["job"] == i
+        assert job["latency"] == job["completed"]
+
+
+def test_multiroot_cycles_pinned():
+    # Captured from the serialized write-port model at its introduction;
+    # any drift means the multi-root cost model changed.
+    _, result = _run()
+    assert result.cycles == 1083

@@ -1,0 +1,188 @@
+"""Workload-source unit tests: determinism, round-trips, validation."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.arch.config import flex_config
+from repro.core.exceptions import ConfigError
+from repro.sched import AdmissionView, SchedulingPolicy
+from repro.workload import (
+    ClosedSource,
+    StochasticSource,
+    Tenant,
+    TraceSource,
+    bind_jobs,
+    dump_trace,
+    load_trace,
+    make_source,
+    trace_tenants,
+)
+
+GOLD_SILVER = (Tenant("gold", weight=3), Tenant("silver", weight=1))
+
+
+# ---------------------------------------------------------------------------
+# stochastic arrivals
+def test_stochastic_same_seed_is_identical():
+    a = StochasticSource(rate=4.0, num_jobs=32, seed=0xBEEF)
+    b = StochasticSource(rate=4.0, num_jobs=32, seed=0xBEEF)
+    assert a.arrivals() == b.arrivals()
+
+
+def test_stochastic_different_seed_differs():
+    a = StochasticSource(rate=4.0, num_jobs=32, seed=0xBEEF)
+    b = StochasticSource(rate=4.0, num_jobs=32, seed=0xACE1)
+    assert a.arrivals() != b.arrivals()
+
+
+def test_stochastic_times_strictly_increase():
+    arrivals = StochasticSource(rate=50.0, num_jobs=64,
+                                seed=0xBEEF).arrivals()
+    assert [a.job_id for a in arrivals] == list(range(64))
+    times = [a.time for a in arrivals]
+    assert all(t1 > t0 for t0, t1 in zip(times, times[1:]))
+    assert times[0] >= 1
+
+
+def test_stochastic_rate_scales_mean_gap():
+    slow = StochasticSource(rate=1.0, num_jobs=64, seed=0xBEEF).arrivals()
+    fast = StochasticSource(rate=8.0, num_jobs=64, seed=0xBEEF).arrivals()
+    assert fast[-1].time < slow[-1].time
+
+
+def test_stochastic_weighted_tenant_mix():
+    arrivals = StochasticSource(rate=4.0, num_jobs=200, seed=0xBEEF,
+                                tenants=GOLD_SILVER).arrivals()
+    gold = sum(1 for a in arrivals if a.tenant == "gold")
+    silver = len(arrivals) - gold
+    # Weight 3:1 — the draw is LFSR-uniform, so gold dominates.
+    assert gold > 2 * silver
+
+
+def test_closed_source_round_robin_tenants():
+    arrivals = ClosedSource(num_jobs=4, tenants=GOLD_SILVER).arrivals()
+    assert all(a.time == 0 for a in arrivals)
+    assert [a.tenant for a in arrivals] == ["gold", "silver"] * 2
+
+
+# ---------------------------------------------------------------------------
+# describe() / make_source round-trips
+@pytest.mark.parametrize("source", [
+    ClosedSource(num_jobs=3),
+    ClosedSource(num_jobs=2, tenants=GOLD_SILVER, admit_window=2),
+    StochasticSource(rate=2.5, num_jobs=16, seed=0xBEEF),
+    StochasticSource(rate=2.5, num_jobs=16, seed=0xBEEF,
+                     tenants=GOLD_SILVER, admit_window=1),
+    TraceSource(arrivals=((0, "default"), (10, "default"))),
+    TraceSource(arrivals=((5, "gold"), (5, "silver"), (9, "gold")),
+                tenants=GOLD_SILVER),
+], ids=lambda s: f"{s.kind}-{len(s.tenants)}t")
+def test_describe_round_trips(source):
+    rebuilt = make_source(source.describe())
+    assert rebuilt.describe() == source.describe()
+    assert rebuilt.arrivals() == source.arrivals()
+
+
+def test_tenant_params_survive_round_trip():
+    source = ClosedSource(
+        num_jobs=2,
+        tenants=(Tenant("big", params=(("n", 18),)), Tenant("small")),
+    )
+    rebuilt = make_source(source.describe())
+    assert rebuilt.tenant("big").params_dict == {"n": 18}
+
+
+# ---------------------------------------------------------------------------
+# trace files
+def test_trace_dump_load_round_trip(tmp_path):
+    source = StochasticSource(rate=4.0, num_jobs=12, seed=0xBEEF,
+                              tenants=GOLD_SILVER)
+    path = dump_trace(tmp_path / "arr.jsonl", source.arrivals())
+    pairs = load_trace(path)
+    replay = TraceSource(arrivals=pairs, tenants=GOLD_SILVER)
+    assert replay.arrivals() == source.arrivals()
+
+
+def test_load_trace_defaults_tenant(tmp_path):
+    path = tmp_path / "arr.jsonl"
+    path.write_text('{"time": 3}\n\n{"time": 7, "tenant": "gold"}\n')
+    assert load_trace(path) == ((3, "default"), (7, "gold"))
+    assert [t.name for t in trace_tenants(load_trace(path))] == [
+        "default", "gold"]
+
+
+def test_load_trace_names_bad_line(tmp_path):
+    path = tmp_path / "arr.jsonl"
+    path.write_text('{"time": 3}\nnot json\n')
+    with pytest.raises(ConfigError, match=r"arr\.jsonl:2"):
+        load_trace(path)
+
+
+# ---------------------------------------------------------------------------
+# validation
+@pytest.mark.parametrize("build", [
+    lambda: StochasticSource(rate=0.0, num_jobs=1),
+    lambda: StochasticSource(rate=4.0, num_jobs=0),
+    lambda: StochasticSource(rate=4.0, num_jobs=1, seed=0x10000),
+    lambda: ClosedSource(num_jobs=0),
+    lambda: ClosedSource(num_jobs=1, admit_window=0),
+    lambda: ClosedSource(num_jobs=1, tenants=(Tenant("a"), Tenant("a"))),
+    lambda: Tenant("gold", weight=0),
+    lambda: TraceSource(arrivals=()),
+    lambda: TraceSource(arrivals=((5, "x"), (3, "x"))),
+    lambda: TraceSource(arrivals=((-1, "x"),)),
+    lambda: TraceSource(arrivals=((0, "ghost"),), tenants=GOLD_SILVER),
+    lambda: make_source({"kind": "nope"}),
+    lambda: make_source({"kind": "stochastic"}),
+    lambda: make_source({"kind": "trace"}),
+    lambda: make_source("stochastic"),
+], ids=[
+    "zero-rate", "zero-jobs", "zero-seed", "closed-zero-jobs",
+    "zero-window", "dup-tenants", "zero-weight", "empty-trace",
+    "unsorted-trace", "negative-time", "undeclared-tenant",
+    "unknown-kind", "missing-rate", "missing-arrivals", "non-dict-spec",
+])
+def test_invalid_specs_raise(build):
+    with pytest.raises(ConfigError):
+        build()
+
+
+def test_bind_jobs_reslots_host_continuation():
+    from repro.workers import make_benchmark
+
+    bench = make_benchmark("fib", n=8)
+    jobs = bind_jobs(ClosedSource(num_jobs=3),
+                     lambda arrival: bench.root_task())
+    assert [j.task.k.slot for j in jobs] == [0, 1, 2]
+    assert all(j.task.k.is_host for j in jobs)
+
+
+# ---------------------------------------------------------------------------
+# decision point 5: the admission choice
+def _policy():
+    return SchedulingPolicy(SimpleNamespace(config=flex_config(4)))
+
+
+def test_admit_prefers_earliest_arrival():
+    views = (
+        AdmissionView("gold", 3, 2, head_arrival=90, head_job=4),
+        AdmissionView("silver", 1, 1, head_arrival=10, head_job=7),
+    )
+    assert _policy().admit(views) == 1
+
+
+def test_admit_breaks_arrival_tie_by_weight():
+    views = (
+        AdmissionView("silver", 1, 1, head_arrival=10, head_job=2),
+        AdmissionView("gold", 3, 2, head_arrival=10, head_job=5),
+    )
+    assert _policy().admit(views) == 1
+
+
+def test_admit_breaks_full_tie_by_job_id():
+    views = (
+        AdmissionView("a", 1, 1, head_arrival=10, head_job=5),
+        AdmissionView("b", 1, 1, head_arrival=10, head_job=2),
+    )
+    assert _policy().admit(views) == 1
